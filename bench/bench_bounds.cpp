@@ -1,0 +1,78 @@
+// E10 (validation study, not a paper figure): tightness of the Lemma 1
+// lower bounds against the exact offline optimum on small random instances.
+// Reports, per (d, mu), the mean of LB/OPT for each bound and the FFD/OPT
+// upper-bound gap -- justifying the paper's use of LB_height (Lemma 1(i))
+// as the Figure 4 normalizer.
+//
+// Flags: --trials=30 --n=30 --d=1,2,3 --mu=2,5,10 --seed=7
+#include <iostream>
+
+#include "core/simulator.hpp"
+#include "gen/uniform.hpp"
+#include "harness/cli.hpp"
+#include "harness/table.hpp"
+#include "opt/lower_bounds.hpp"
+#include "opt/offline_norepack.hpp"
+#include "opt/offline_opt.hpp"
+#include "stats/descriptive.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dvbp;
+  const harness::Args args(argc, argv);
+  const auto trials = static_cast<std::size_t>(args.get_int("trials", 30));
+  const auto n = static_cast<std::size_t>(args.get_int("n", 30));
+  const auto ds = args.get_int_list("d", {1, 2, 3});
+  const auto mus = args.get_int_list("mu", {2, 5, 10});
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 7));
+
+  std::cout << "=== Lower-bound tightness vs exact OPT (n=" << n << ", "
+            << trials << " trials/cell) ===\n\n";
+
+  harness::Table t({"d", "mu", "height/OPT", "util/OPT", "span/OPT",
+                    "FFD/OPT", "norepack/OPT", "MTF/OPT", "exact-rate"});
+  for (const auto d : ds) {
+    for (const auto mu : mus) {
+      gen::UniformParams params;
+      params.d = static_cast<std::size_t>(d);
+      params.n = n;
+      params.mu = mu;
+      params.span = static_cast<std::int64_t>(3 * mu + n / 4);
+      params.bin_size = 7;
+
+      RunningStats height, util, span, ffd, norepack, mtf;
+      std::size_t exact_count = 0;
+      for (std::size_t trial = 0; trial < trials; ++trial) {
+        const Instance inst = gen::uniform_instance(params, seed, trial);
+        const auto opt = offline_opt(inst);
+        if (!opt.exact || opt.cost <= 0.0) continue;
+        ++exact_count;
+        const LowerBounds lbs = lower_bounds(inst);
+        height.add(lbs.height / opt.cost);
+        util.add(lbs.utilization / opt.cost);
+        span.add(lbs.span / opt.cost);
+        ffd.add(offline_ffd_cost(inst) / opt.cost);
+        norepack.add(offline_norepack(inst).cost / opt.cost);
+        mtf.add(simulate(inst, "MoveToFront").cost / opt.cost);
+      }
+      t.add_row({std::to_string(d), std::to_string(mu),
+                 harness::Table::mean_pm(height.mean(), height.stddev()),
+                 harness::Table::mean_pm(util.mean(), util.stddev()),
+                 harness::Table::mean_pm(span.mean(), span.stddev()),
+                 harness::Table::mean_pm(ffd.mean(), ffd.stddev()),
+                 harness::Table::mean_pm(norepack.mean(), norepack.stddev()),
+                 harness::Table::mean_pm(mtf.mean(), mtf.stddev()),
+                 std::to_string(exact_count) + "/" + std::to_string(trials)});
+    }
+  }
+  std::cout << t.to_aligned_text() << '\n';
+  std::cout
+      << "Reading: height (Lemma 1(i)) is the tightest lower bound (ratios\n"
+         "near 1), util degrades with d (the 1/d factor), span is loose\n"
+         "under load; FFD/OPT shows the offline *repacking* heuristic gap.\n"
+         "This justifies normalizing Figure 4 by the height bound, as the\n"
+         "paper does. The norepack column is the offline optimum denied\n"
+         "migration (local search): its gap over 1.0 is the value of\n"
+         "repacking; MTF/OPT minus norepack/OPT is the value of knowing\n"
+         "the future.\n";
+  return 0;
+}

@@ -1,0 +1,79 @@
+// E11 (extension; Sec. 8 future work): how much is duration information
+// worth? Compares the best non-clairvoyant policies against
+// MinExtensionFit with exact departures and with log-normally corrupted
+// predictions of increasing noise, on the Figure 4 workload.
+//
+// Flags: --trials=100 --d=2 --mu=10,100 --sigmas=0,0.25,0.5,1.0,2.0 --seed=3
+#include <iostream>
+#include <sstream>
+
+#include "gen/uniform.hpp"
+#include "harness/cli.hpp"
+#include "harness/sweep.hpp"
+#include "harness/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dvbp;
+  const harness::Args args(argc, argv);
+  const auto trials = static_cast<std::size_t>(args.get_int("trials", 100));
+  const auto d = static_cast<std::size_t>(args.get_int("d", 2));
+  const auto mus = args.get_int_list("mu", {10, 100});
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 3));
+
+  std::vector<double> sigmas{0.0, 0.25, 0.5, 1.0, 2.0};
+  if (args.has("sigmas")) {
+    sigmas.clear();
+    for (const std::string& tok : args.get_list("sigmas")) {
+      sigmas.push_back(std::stod(tok));
+    }
+  }
+
+  std::vector<std::string> policies{"MoveToFront", "FirstFit",
+                                    "DurationClassFit"};
+  for (double sigma : sigmas) {
+    std::ostringstream os;
+    os << "NoisyMinExtensionFit:" << sigma;
+    policies.push_back(os.str());
+  }
+
+  std::cout << "=== Clairvoyance value study (d=" << d << ", " << trials
+            << " trials, cost/LB) ===\n\n";
+  harness::Table t([&] {
+    std::vector<std::string> hdr{"mu"};
+    for (const auto& p : policies) hdr.push_back(p);
+    return hdr;
+  }());
+
+  for (const auto mu : mus) {
+    gen::UniformParams params;
+    params.d = d;
+    params.mu = mu;
+    harness::SweepConfig cfg;
+    cfg.trials = trials;
+    cfg.seed = seed;
+    const auto cells = harness::run_policy_sweep(
+        gen::make_generator("uniform", params, seed), policies, cfg);
+    std::vector<std::string> row{std::to_string(mu)};
+    for (const auto& cell : cells) {
+      row.push_back(
+          harness::Table::mean_pm(cell.ratio.mean(), cell.ratio.stddev()));
+    }
+    t.add_row(std::move(row));
+  }
+  std::cout << t.to_aligned_text() << '\n';
+  std::cout
+      << "Reading: two ways to spend duration knowledge. Greedy\n"
+         "MinExtensionFit converts it into the best average-case ratios\n"
+         "here; DurationClassFit (geometric duration classes + FF within\n"
+         "class, the alignment idea behind the clairvoyant worst-case\n"
+         "algorithms [27, 2]) actually LOSES to non-clairvoyant MTF on\n"
+         "this workload -- strict classification wastes bins that mixing\n"
+         "would share. Worst-case-optimal structure is not average-case\n"
+         "optimal. sigma=0 is fully clairvoyant (duration known on\n"
+         "arrival); increasing sigma degrades the predictions "
+         "(multiplicative\nlog-normal error). The gap between sigma=0 and "
+         "MoveToFront is the\nvalue of clairvoyance the paper poses as "
+         "future work; the sigma\nsweep shows how fast that value decays "
+         "with predictor quality.\n";
+  return 0;
+}

@@ -1,0 +1,135 @@
+// Google-benchmark microbenchmarks: simulation throughput per policy,
+// lower-bound computation, the exact VBP solver, and core data-structure
+// operations. Engineering benchmarks (no paper counterpart): they track
+// the cost of the machinery that the experiment harness runs millions of
+// times.
+#include <benchmark/benchmark.h>
+
+#include "core/dispatcher.hpp"
+#include "core/event.hpp"
+#include "core/policies/registry.hpp"
+#include "core/simulator.hpp"
+#include "gen/uniform.hpp"
+#include "opt/lower_bounds.hpp"
+#include "opt/vbp_exact.hpp"
+#include "stats/rng.hpp"
+
+namespace {
+
+using namespace dvbp;
+
+gen::UniformParams bench_params(std::size_t d, std::int64_t mu) {
+  gen::UniformParams p;
+  p.d = d;
+  p.n = 1000;
+  p.mu = mu;
+  p.span = 1000;
+  p.bin_size = 100;
+  return p;
+}
+
+void BM_SimulatePolicy(benchmark::State& state, const char* policy_name) {
+  const Instance inst =
+      gen::uniform_instance(bench_params(2, 10), /*seed=*/42);
+  PolicyPtr policy = make_policy(policy_name);
+  for (auto _ : state) {
+    const SimResult r = simulate(inst, *policy);
+    benchmark::DoNotOptimize(r.cost);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(inst.size()));
+}
+
+BENCHMARK_CAPTURE(BM_SimulatePolicy, MoveToFront, "MoveToFront");
+BENCHMARK_CAPTURE(BM_SimulatePolicy, FirstFit, "FirstFit");
+BENCHMARK_CAPTURE(BM_SimulatePolicy, BestFit, "BestFit");
+BENCHMARK_CAPTURE(BM_SimulatePolicy, NextFit, "NextFit");
+BENCHMARK_CAPTURE(BM_SimulatePolicy, WorstFit, "WorstFit");
+
+void BM_SimulateDimensionScaling(benchmark::State& state) {
+  const auto d = static_cast<std::size_t>(state.range(0));
+  const Instance inst = gen::uniform_instance(bench_params(d, 10), 42);
+  PolicyPtr policy = make_policy("FirstFit");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(simulate(inst, *policy).cost);
+  }
+}
+BENCHMARK(BM_SimulateDimensionScaling)->Arg(1)->Arg(2)->Arg(5)->Arg(10);
+
+void BM_SimulateMuScaling(benchmark::State& state) {
+  // Larger mu -> more simultaneously-open bins -> slower arrivals.
+  const Instance inst =
+      gen::uniform_instance(bench_params(2, state.range(0)), 42);
+  PolicyPtr policy = make_policy("FirstFit");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(simulate(inst, *policy).cost);
+  }
+}
+BENCHMARK(BM_SimulateMuScaling)->Arg(1)->Arg(10)->Arg(100)->Arg(200);
+
+void BM_LowerBoundHeight(benchmark::State& state) {
+  const Instance inst = gen::uniform_instance(bench_params(5, 100), 42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lb_height(inst));
+  }
+}
+BENCHMARK(BM_LowerBoundHeight);
+
+void BM_VbpExact(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Xoshiro256pp rng(7);
+  std::vector<RVec> sizes;
+  for (std::size_t i = 0; i < n; ++i) {
+    sizes.push_back(RVec{rng.uniform(0.1, 0.6), rng.uniform(0.1, 0.6)});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(vbp_min_bins(sizes).bins);
+  }
+}
+BENCHMARK(BM_VbpExact)->Arg(8)->Arg(12)->Arg(16);
+
+void BM_RVecFitsWith(benchmark::State& state) {
+  const RVec load(5, 0.3);
+  const RVec add(5, 0.2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(load.fits_with(add));
+  }
+}
+BENCHMARK(BM_RVecFitsWith);
+
+void BM_DispatcherStream(benchmark::State& state) {
+  // Live-API overhead: replaying the same workload through the streaming
+  // Dispatcher instead of the batch simulator.
+  const Instance inst =
+      gen::uniform_instance(bench_params(2, 10), /*seed=*/42);
+  const auto events = build_event_stream(inst);
+  PolicyPtr policy = make_policy("MoveToFront");
+  for (auto _ : state) {
+    Dispatcher dispatcher(inst.dim(), *policy);
+    for (const Event& ev : events) {
+      const Item& item = inst[ev.item];
+      if (ev.kind == EventKind::kArrival) {
+        benchmark::DoNotOptimize(
+            dispatcher.arrive(item.arrival, item.size, item.departure));
+      } else {
+        dispatcher.depart(ev.time, item.id);
+      }
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(inst.size()));
+}
+BENCHMARK(BM_DispatcherStream);
+
+void BM_UniformGenerate(benchmark::State& state) {
+  std::uint64_t trial = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        gen::uniform_instance(bench_params(2, 10), 42, trial++).size());
+  }
+}
+BENCHMARK(BM_UniformGenerate);
+
+}  // namespace
+
+BENCHMARK_MAIN();

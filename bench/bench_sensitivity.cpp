@@ -1,0 +1,104 @@
+// Extension bench: sensitivity of the Figure 4 ranking to the workload
+// envelope. The paper fixes n=1000, T=1000, B=100; this bench sweeps the
+// load factor (n/T) and the size granularity B to check that the
+// recommendation ("use Move To Front") is not an artifact of one operating
+// point, and re-runs the grid on the non-uniform trace extensions.
+//
+// Flags: --trials=60 --d=2 --mu=10 --seed=4
+#include <iostream>
+
+#include "gen/registry.hpp"
+#include "harness/cli.hpp"
+#include "harness/sweep.hpp"
+#include "harness/table.hpp"
+
+namespace {
+
+using namespace dvbp;
+
+void sweep_block(const char* title, const std::vector<std::string>& policies,
+                 const std::vector<std::pair<std::string,
+                                             gen::UniformParams>>& cells,
+                 const std::string& generator, std::size_t trials,
+                 std::uint64_t seed) {
+  std::cout << "--- " << title << " (generator=" << generator << ", "
+            << trials << " trials) ---\n";
+  harness::Table t([&] {
+    std::vector<std::string> hdr{"cell"};
+    for (const auto& p : policies) hdr.push_back(p);
+    return hdr;
+  }());
+  for (const auto& [label, params] : cells) {
+    harness::SweepConfig cfg;
+    cfg.trials = trials;
+    cfg.seed = seed;
+    const auto stats = harness::run_policy_sweep(
+        gen::make_generator(generator, params, seed), policies, cfg);
+    std::vector<std::string> row{label};
+    for (const auto& cell : stats) {
+      row.push_back(
+          harness::Table::mean_pm(cell.ratio.mean(), cell.ratio.stddev()));
+    }
+    t.add_row(std::move(row));
+  }
+  std::cout << t.to_aligned_text() << '\n';
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const harness::Args args(argc, argv);
+  const auto trials = static_cast<std::size_t>(args.get_int("trials", 60));
+  const auto d = static_cast<std::size_t>(args.get_int("d", 2));
+  const auto mu = args.get_int("mu", 10);
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 4));
+
+  const std::vector<std::string> policies{"MoveToFront", "FirstFit",
+                                          "BestFit",     "NextFit",
+                                          "WorstFit",    "HarmonicFit"};
+
+  std::cout << "=== Sensitivity study around the Table 2 operating point "
+               "(d=" << d << ", mu=" << mu << ") ===\n\n";
+
+  gen::UniformParams base;
+  base.d = d;
+  base.mu = mu;
+
+  // Load factor: n/T from sparse to dense.
+  std::vector<std::pair<std::string, gen::UniformParams>> load_cells;
+  for (const auto& [n, t] : std::vector<std::pair<std::size_t,
+                                                  std::int64_t>>{
+           {250, 1000}, {1000, 1000}, {4000, 1000}, {1000, 250}}) {
+    gen::UniformParams p = base;
+    p.n = n;
+    p.span = t;
+    load_cells.push_back({"n=" + std::to_string(n) +
+                              ",T=" + std::to_string(t),
+                          p});
+  }
+  sweep_block("load factor n/T", policies, load_cells, "uniform", trials,
+              seed);
+
+  // Size granularity B.
+  std::vector<std::pair<std::string, gen::UniformParams>> gran_cells;
+  for (std::int64_t b : {2, 10, 100, 1000}) {
+    gen::UniformParams p = base;
+    p.bin_size = b;
+    gran_cells.push_back({"B=" + std::to_string(b), p});
+  }
+  sweep_block("size granularity B", policies, gran_cells, "uniform", trials,
+              seed);
+
+  // Distributional shape: the trace extensions at the Table 2 point.
+  std::vector<std::pair<std::string, gen::UniformParams>> shape_cells{
+      {"n=1000,T=1000", base}};
+  for (const char* g : {"zipf", "bursty", "correlated", "diurnal"}) {
+    sweep_block("distribution shape", policies, shape_cells, g, trials,
+                seed);
+  }
+
+  std::cout << "Reading: if MoveToFront stays in the top group in every\n"
+               "row, the paper's recommendation is robust to the operating\n"
+               "point; NextFit's gap should widen with density and mu.\n";
+  return 0;
+}

@@ -1,0 +1,120 @@
+// Regenerates Table 1 of the paper: the closed-form lower/upper bounds on
+// the competitive ratio of Any Fit / Move To Front / First Fit / Next Fit /
+// Best Fit -- and, next to each theoretical lower bound, the ratio actually
+// *measured* by simulating the Section 6 adversarial construction that
+// proves it (normalized by an offline upper bound on OPT, so the measured
+// number is a certified lower bound on the CR).
+//
+// Flags: --mu=10 --d=2 --k=32 (construction size parameter)
+//        --bf-k=40 (Best Fit gadget phases)
+#include <iostream>
+
+#include "core/bounds.hpp"
+#include "core/simulator.hpp"
+#include "gen/adversarial.hpp"
+#include "harness/cli.hpp"
+#include "harness/table.hpp"
+#include "opt/offline_opt.hpp"
+
+namespace {
+
+/// Measured cost(alg)/upper-bound-on-OPT for one adversarial instance.
+double measured_ratio(const dvbp::gen::AdversarialInstance& adv,
+                      const std::string& policy) {
+  const double cost = dvbp::simulate(adv.instance, policy).cost;
+  const double opt_ub = dvbp::offline_ffd_cost(adv.instance);
+  return cost / opt_ub;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace dvbp;
+  const harness::Args args(argc, argv);
+  const double mu = args.get_double("mu", 10.0);
+  const auto d = static_cast<std::size_t>(args.get_int("d", 2));
+  const auto k = static_cast<std::size_t>(args.get_int("k", 32));
+  const auto bf_k = static_cast<std::size_t>(args.get_int("bf-k", 40));
+  const double dd = static_cast<double>(d);
+
+  std::cout << "=== Table 1 regeneration (mu=" << mu << ", d=" << d
+            << ", construction parameter k=" << k << ") ===\n\n";
+
+  using harness::Table;
+  Table t({"Algorithm", "LB (d=1)", "UB (d=1)", "LB (d>=1)", "UB (d>=1)",
+           "measured CR >= (construction)"});
+
+  // Measured ratios from the Section 6 constructions. Each entry is a
+  // certified lower bound on the CR: cost(alg) / (FFD offline upper bound
+  // on OPT).
+  const auto anyfit = gen::anyfit_lower_bound(k, d, mu);
+  const auto nextfit =
+      gen::nextfit_lower_bound(k % 2 == 0 ? k : k + 1, d, mu);
+  const auto mtf1d = gen::mtf_lower_bound(k, mu);
+  const auto bf = gen::bestfit_unbounded(bf_k);
+
+  const double anyfit_measured = measured_ratio(anyfit, "FirstFit");
+  const double mtf_thm5 = measured_ratio(anyfit, "MoveToFront");
+  const double mtf_thm8 = measured_ratio(mtf1d, "MoveToFront");
+  const double ff_measured = anyfit_measured;
+  const double nf_measured = measured_ratio(nextfit, "NextFit");
+  const double bf_measured = measured_ratio(bf, "BestFit");
+
+  t.add_row({"AnyFit", Table::num(bounds::any_fit_lower(mu, 1)), "inf",
+             Table::num(bounds::any_fit_lower(mu, dd)), "inf",
+             Table::num(anyfit_measured) + "  (Thm 5, via FirstFit)"});
+  t.add_row({"MoveToFront", Table::num(bounds::move_to_front_lower(mu, 1)),
+             Table::num(bounds::move_to_front_upper(mu, 1)),
+             Table::num(bounds::move_to_front_lower(mu, dd)),
+             Table::num(bounds::move_to_front_upper(mu, dd)),
+             Table::num(std::max(mtf_thm5, mtf_thm8)) +
+                 "  (max of Thm 5 d-D / Thm 8 1-D)"});
+  t.add_row({"FirstFit", Table::num(bounds::first_fit_lower(mu, 1)),
+             Table::num(bounds::first_fit_upper(mu, 1)),
+             Table::num(bounds::first_fit_lower(mu, dd)),
+             Table::num(bounds::first_fit_upper(mu, dd)),
+             Table::num(ff_measured) + "  (Thm 5)"});
+  t.add_row({"NextFit", Table::num(bounds::next_fit_lower(mu, 1)),
+             Table::num(bounds::next_fit_upper(mu, 1)),
+             Table::num(bounds::next_fit_lower(mu, dd)),
+             Table::num(bounds::next_fit_upper(mu, dd)),
+             Table::num(nf_measured) + "  (Thm 6)"});
+  t.add_row({"BestFit", "inf", "inf", "inf", "inf",
+             Table::num(bf_measured) + "  (Thm 7 gadget, k=" +
+                 std::to_string(bf_k) + ", grows ~k/3)"});
+
+  std::cout << t.to_aligned_text() << '\n';
+
+  // Convergence: the measured ratios approach the asymptotic lower bounds
+  // as the construction parameter grows.
+  std::cout << "--- convergence of the constructions (mu=" << mu
+            << ", d=" << d << ") ---\n";
+  Table conv({"k", "Thm5 (-> " + Table::num(bounds::any_fit_lower(mu, dd), 1) +
+                       ")",
+              "Thm6 (-> " + Table::num(bounds::next_fit_lower(mu, dd), 1) +
+                  ")",
+              "Thm8 (-> " + Table::num(2.0 * mu, 1) + ", d=1)"});
+  for (std::size_t kk : {4u, 8u, 16u, 32u, 64u}) {
+    conv.add_row(
+        {std::to_string(kk),
+         Table::num(measured_ratio(gen::anyfit_lower_bound(kk, d, mu),
+                                   "FirstFit")),
+         Table::num(measured_ratio(gen::nextfit_lower_bound(kk, d, mu),
+                                   "NextFit")),
+         Table::num(
+             measured_ratio(gen::mtf_lower_bound(kk, mu), "MoveToFront"))});
+  }
+  std::cout << conv.to_aligned_text() << '\n';
+
+  std::cout
+      << "Notes:\n"
+      << "  * Closed forms follow Table 1: AnyFit LB (mu+1)d; MTF in\n"
+      << "    [max{2mu,(mu+1)d}, (2mu+1)d+1]; FF in [(mu+1)d, (mu+2)d+1];\n"
+      << "    NF in [2mud, 2mud+1]; BF unbounded.\n"
+      << "  * Measured columns are finite-k: they approach the LB column\n"
+      << "    as k grows (e.g. Thm 5 gives dk(mu+1)/(k+mu+1)).\n"
+      << "  * The paper's Table 1 lists asymptotic (k -> inf) values; the\n"
+      << "    measured entries certify the constructions actually force\n"
+      << "    the claimed behaviour in this implementation.\n";
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Timeline study: where do online policies waste bins? For one workload
+// instance, prints the number of open bins over time for each policy next
+// to the exact OPT(R,t) (eq. (2) integrand) and the Lemma 1 height
+// integrand ceil(||s(R,t)||_inf). The gap between a policy's curve and
+// OPT(t) is exactly the waste the competitive analysis bounds.
+//
+// Flags: --n=40 --d=2 --mu=8 --span=30 --bin=6 --seed=5 --buckets=15
+#include <cmath>
+#include <iostream>
+
+#include "core/simulator.hpp"
+#include "gen/uniform.hpp"
+#include "harness/cli.hpp"
+#include "harness/table.hpp"
+#include "opt/vbp_exact.hpp"
+#include "harness/sweep.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dvbp;
+  const harness::Args args(argc, argv);
+  gen::UniformParams params;
+  params.n = static_cast<std::size_t>(args.get_int("n", 40));
+  params.d = static_cast<std::size_t>(args.get_int("d", 2));
+  params.mu = args.get_int("mu", 8);
+  params.span = args.get_int("span", 30);
+  params.bin_size = args.get_int("bin", 6);
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 5));
+  const auto buckets = static_cast<std::size_t>(args.get_int("buckets", 15));
+
+  const Instance inst = gen::uniform_instance(params, seed);
+  const Time horizon = inst.last_departure();
+
+  const std::vector<std::string> policies{"MoveToFront", "FirstFit",
+                                          "NextFit", "WorstFit"};
+  std::vector<SimResult> results;
+  for (const auto& name : policies) {
+    results.push_back(simulate(inst, name, {.record_timeline = true}));
+  }
+
+  auto open_at = [](const SimResult& r, Time t) -> std::size_t {
+    std::size_t open = 0;
+    for (const auto& [when, count] : r.timeline) {
+      if (when > t) break;
+      open = count;
+    }
+    return open;
+  };
+
+  std::cout << "=== Open bins over time: online policies vs exact OPT(t) "
+               "(n=" << params.n << ", d=" << params.d << ") ===\n\n";
+  harness::Table t([&] {
+    std::vector<std::string> hdr{"t", "ceil||s(R,t)||", "OPT(R,t)"};
+    for (const auto& p : policies) hdr.push_back(p);
+    return hdr;
+  }());
+
+  for (std::size_t b = 0; b < buckets; ++b) {
+    const Time at =
+        horizon * (static_cast<Time>(b) + 0.5) / static_cast<Time>(buckets);
+    std::vector<RVec> active_sizes;
+    for (const Item& r : inst.items()) {
+      if (r.active_at(at)) active_sizes.push_back(r.size);
+    }
+    const auto opt_t = vbp_min_bins(active_sizes);
+    const double height = std::ceil(inst.load_at(at).linf() - 1e-9);
+    std::vector<std::string> row{harness::Table::num(at, 1),
+                                 harness::Table::num(height, 0),
+                                 std::to_string(opt_t.bins) +
+                                     (opt_t.exact ? "" : "?")};
+    for (const auto& r : results) {
+      row.push_back(std::to_string(open_at(r, at)));
+    }
+    t.add_row(std::move(row));
+  }
+  std::cout << t.to_aligned_text() << '\n';
+
+  std::cout << "Costs: ";
+  for (std::size_t p = 0; p < policies.size(); ++p) {
+    std::cout << policies[p] << "=" << harness::Table::num(results[p].cost, 1)
+              << (p + 1 < policies.size() ? ", " : "\n");
+  }
+  std::cout << "Reading: OPT(R,t) tracks ceil||s(R,t)|| closely (Lemma 1(i)\n"
+               "is tight per instant); online curves sit above because an\n"
+               "online algorithm cannot repack -- bins drained to a single\n"
+               "long item stay open. That residue is what accumulates into\n"
+               "the mu-dependence of every competitive ratio.\n";
+  return 0;
+}

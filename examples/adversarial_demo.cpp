@@ -1,0 +1,73 @@
+// Walk-through of the Section 6 adversarial constructions: builds each
+// lower-bound instance, runs the targeted algorithm and its peers on it,
+// and prints the resulting cost ratios next to the theory.
+//
+//   $ ./example_adversarial_demo [--k=16] [--mu=10] [--d=2]
+#include <iostream>
+
+#include "core/bounds.hpp"
+#include "core/simulator.hpp"
+#include "gen/adversarial.hpp"
+#include "harness/cli.hpp"
+#include "harness/table.hpp"
+#include "opt/offline_opt.hpp"
+
+namespace {
+
+using namespace dvbp;
+
+void show(const char* title, const gen::AdversarialInstance& adv,
+          std::initializer_list<const char*> policies, double theory_lb) {
+  std::cout << "--- " << title << " ---\n";
+  std::cout << "items=" << adv.instance.size() << " d=" << adv.instance.dim()
+            << " mu=" << adv.instance.mu()
+            << "  (targets " << adv.target << ")\n";
+  const double opt_ub = offline_ffd_cost(adv.instance);
+  harness::Table t({"policy", "cost", "bins", "cost/OPT_ub"});
+  for (const char* name : policies) {
+    const SimResult r = simulate(adv.instance, name);
+    t.add_row({name, harness::Table::num(r.cost, 1),
+               std::to_string(r.bins_opened),
+               harness::Table::num(r.cost / opt_ub, 2)});
+  }
+  std::cout << t.to_aligned_text();
+  std::cout << "offline OPT <= " << harness::Table::num(opt_ub, 1)
+            << " | theory: CR(" << adv.target << ") >= "
+            << harness::Table::num(theory_lb, 1) << " asymptotically; this "
+            << "finite instance certifies >= "
+            << harness::Table::num(adv.predicted_ratio(), 2) << "\n\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const harness::Args args(argc, argv);
+  const auto k = static_cast<std::size_t>(args.get_int("k", 16));
+  const double mu = args.get_double("mu", 10.0);
+  const auto d = static_cast<std::size_t>(args.get_int("d", 2));
+  const double dd = static_cast<double>(d);
+
+  std::cout << "=== Section 6 lower-bound constructions, live ===\n\n";
+
+  show("Theorem 5: Any Fit needs (mu+1)d", gen::anyfit_lower_bound(k, d, mu),
+       {"FirstFit", "MoveToFront", "BestFit", "WorstFit"},
+       bounds::any_fit_lower(mu, dd));
+
+  show("Theorem 6: Next Fit needs 2*mu*d",
+       gen::nextfit_lower_bound(k % 2 ? k + 1 : k, d, mu),
+       {"NextFit", "FirstFit"}, bounds::next_fit_lower(mu, dd));
+
+  show("Theorem 8: Move To Front needs 2*mu (d=1)",
+       gen::mtf_lower_bound(k, mu), {"MoveToFront", "FirstFit", "BestFit"},
+       2.0 * mu);
+
+  show("Theorem 7: Best Fit is unbounded (lure gadget)",
+       gen::bestfit_unbounded(30), {"BestFit", "FirstFit"},
+       bounds::best_fit_lower(mu, dd));
+
+  std::cout << "Takeaway: each construction traps exactly the algorithm it\n"
+               "targets while other policies escape cheaply -- worst cases\n"
+               "are policy-specific, which is why the paper pairs the\n"
+               "theory with the average-case study of Figure 4.\n";
+  return 0;
+}

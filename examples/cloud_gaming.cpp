@@ -1,0 +1,96 @@
+// Cloud gaming scenario (paper Sec. 1): a gaming service rents GPU servers
+// from a public cloud and dispatches play sessions to them online. Session
+// durations are unknown when a player connects (non-clairvoyant); demands
+// are multi-dimensional (GPU, CPU, bandwidth). The service pays per server
+// usage time, so the dispatch policy directly sets the monthly bill.
+//
+//   $ ./example_cloud_gaming [--sessions=2000] [--seed=7] [--hours=mu]
+#include <cmath>
+#include <iostream>
+
+#include "cloud/billing.hpp"
+#include "cloud/cluster.hpp"
+#include "core/policies/registry.hpp"
+#include "harness/cli.hpp"
+#include "harness/table.hpp"
+#include "stats/rng.hpp"
+
+namespace {
+
+using namespace dvbp;
+
+// Synthesizes a day of play sessions: arrivals cluster in the evening,
+// session lengths are heavy-tailed (most players stop quickly, some play
+// for hours), and each game title has its own GPU/CPU/bandwidth profile.
+std::vector<cloud::Job> make_sessions(std::size_t n, std::uint64_t seed) {
+  Xoshiro256pp rng(seed);
+  // Demand profiles per title: {GPU%, vCPU, Mbps}.
+  const RVec profiles[] = {
+      RVec{25.0, 2.0, 15.0},  // casual title
+      RVec{50.0, 4.0, 30.0},  // AAA title
+      RVec{100.0, 8.0, 50.0},  // 4K streaming tier
+  };
+  std::vector<cloud::Job> jobs;
+  jobs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    // Arrivals over a 24h day (minutes), biased toward the evening peak.
+    const double u = rng.uniform();
+    const double hour = (u < 0.6) ? rng.uniform(17.0, 23.0)   // evening
+                                  : rng.uniform(0.0, 24.0);   // background
+    const Time arrival = hour * 60.0;
+    // Session length: log-normal-ish, 5 minutes to ~4 hours.
+    double minutes = 5.0 + 25.0 * std::exp(rng.normal(0.0, 1.0));
+    if (minutes > 240.0) minutes = 240.0;
+    const auto& profile =
+        profiles[static_cast<std::size_t>(rng.uniform_int(0, 2))];
+    jobs.push_back({"session-" + std::to_string(i), arrival,
+                    arrival + minutes, profile});
+  }
+  return jobs;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const harness::Args args(argc, argv);
+  const auto n = static_cast<std::size_t>(args.get_int("sessions", 2000));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 7));
+
+  // One rented server type: 4 GPUs (400%), 32 vCPU, 250 Mbps uplink.
+  cloud::ServerSpec spec;
+  spec.name = "gpu.4x";
+  spec.resource_names = {"GPU%", "vCPU", "Mbps"};
+  spec.capacity = RVec{400.0, 32.0, 250.0};
+
+  const std::vector<cloud::Job> sessions = make_sessions(n, seed);
+  // Pay-as-you-go: $3.80 per started hour (60 simulated minutes).
+  const cloud::QuantizedBilling billing(/*quantum=*/60.0,
+                                        /*rate_per_quantum=*/3.80);
+
+  std::cout << "=== Cloud gaming dispatch: " << n << " sessions onto "
+            << spec.name << " servers ===\n\n";
+
+  harness::Table t({"policy", "servers rented", "peak concurrent",
+                    "usage (server-min)", "bill ($)", "utilization"});
+  double worst_bill = 0.0;
+  double best_bill = 1e18;
+  for (const std::string& name : standard_policy_names()) {
+    PolicyPtr policy = make_policy(name, seed);
+    const cloud::ClusterReport report =
+        cloud::run_cluster(spec, sessions, *policy, billing);
+    t.add_row({name, std::to_string(report.servers_rented),
+               std::to_string(report.peak_concurrent),
+               harness::Table::num(report.total_usage_time, 0),
+               harness::Table::num(report.total_bill, 2),
+               harness::Table::num(report.avg_utilization, 3)});
+    worst_bill = std::max(worst_bill, report.total_bill);
+    best_bill = std::min(best_bill, report.total_bill);
+  }
+  std::cout << t.to_aligned_text() << '\n';
+  std::cout << "Choosing the best policy over the worst saves "
+            << harness::Table::num(
+                   100.0 * (worst_bill - best_bill) / worst_bill, 1)
+            << "% of the daily rental bill.\n"
+            << "(Paper Sec. 7 recommendation: Move To Front.)\n";
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Quickstart: build a tiny DVBP instance by hand, run the four headline
+// Any Fit algorithms on it, and compare against the exact offline optimum.
+//
+//   $ ./example_quickstart
+#include <iostream>
+
+#include "core/instance.hpp"
+#include "core/policies/registry.hpp"
+#include "core/simulator.hpp"
+#include "opt/lower_bounds.hpp"
+#include "opt/offline_opt.hpp"
+
+int main() {
+  using namespace dvbp;
+
+  // Five jobs with 2-dimensional demands (say, CPU and memory fractions).
+  // Bins (servers) have unit capacity per dimension.
+  Instance inst(2);
+  inst.add(/*arrival=*/0.0, /*departure=*/4.0, RVec{0.5, 0.3});
+  inst.add(0.0, 2.0, RVec{0.5, 0.6});
+  inst.add(1.0, 3.0, RVec{0.4, 0.5});
+  inst.add(2.0, 6.0, RVec{0.3, 0.3});
+  inst.add(3.0, 6.0, RVec{0.6, 0.2});
+
+  std::cout << "Instance: " << inst << ", span=" << inst.span()
+            << ", mu=" << inst.mu() << "\n\n";
+
+  for (const std::string& name : standard_policy_names()) {
+    const SimResult result = simulate(inst, name);
+    std::cout << name << ": cost=" << result.cost
+              << " bins=" << result.bins_opened
+              << " peak-open=" << result.max_open_bins << '\n';
+  }
+
+  const LowerBounds lbs = lower_bounds(inst);
+  std::cout << "\nLower bounds on OPT (Lemma 1): height=" << lbs.height
+            << " utilization=" << lbs.utilization << " span=" << lbs.span
+            << '\n';
+
+  const OfflineOptResult opt = offline_opt(inst);
+  std::cout << "Exact offline OPT (eq. 2): " << opt.cost
+            << (opt.exact ? "" : " (node limit hit; upper bound)") << '\n';
+  return 0;
+}

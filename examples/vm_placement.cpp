@@ -1,0 +1,113 @@
+// VM placement scenario (paper Sec. 1, provider view): a cloud provider
+// places incoming VM requests on physical servers; every active server
+// burns power, so minimizing total server usage time cuts operating cost
+// ([15]: 1% packing efficiency ~ $100M/year at Azure scale).
+//
+// Demands are 4-dimensional (vCPU, memory, disk bandwidth, network) drawn
+// from a catalog of VM flavors, which makes sizes *correlated* across
+// dimensions -- the regime where vector packing differs most from 1-D.
+//
+//   $ ./example_vm_placement [--vms=3000] [--seed=11]
+#include <algorithm>
+#include <iostream>
+
+#include "cloud/billing.hpp"
+#include "cloud/cluster.hpp"
+#include "core/policies/registry.hpp"
+#include "harness/cli.hpp"
+#include "harness/table.hpp"
+#include "opt/lower_bounds.hpp"
+#include "stats/rng.hpp"
+
+namespace {
+
+using namespace dvbp;
+
+struct Flavor {
+  const char* name;
+  RVec demand;  // vCPU, GiB, disk MB/s, net Mbps
+  double weight;
+};
+
+std::vector<cloud::Job> make_vm_trace(std::size_t n, std::uint64_t seed) {
+  const Flavor flavors[] = {
+      {"small", RVec{2.0, 8.0, 50.0, 100.0}, 0.45},
+      {"medium", RVec{8.0, 32.0, 150.0, 400.0}, 0.30},
+      {"large", RVec{16.0, 64.0, 300.0, 800.0}, 0.15},
+      {"mem-heavy", RVec{4.0, 96.0, 100.0, 200.0}, 0.06},
+      {"net-heavy", RVec{4.0, 16.0, 100.0, 1500.0}, 0.04},
+  };
+  Xoshiro256pp rng(seed);
+  std::vector<cloud::Job> jobs;
+  jobs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double u = rng.uniform();
+    double acc = 0.0;
+    const Flavor* pick = &flavors[0];
+    for (const Flavor& f : flavors) {
+      acc += f.weight;
+      if (u <= acc) {
+        pick = &f;
+        break;
+      }
+    }
+    const Time arrival = static_cast<Time>(rng.uniform_int(0, 10000));
+    // Lifetimes from minutes-scale batch jobs to long-lived services.
+    const Time life = static_cast<Time>(rng.uniform_int(10, 2000));
+    jobs.push_back(
+        {std::string(pick->name) + "-" + std::to_string(i), arrival,
+         arrival + life, pick->demand});
+  }
+  return jobs;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const harness::Args args(argc, argv);
+  const auto n = static_cast<std::size_t>(args.get_int("vms", 3000));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 11));
+
+  cloud::ServerSpec spec;
+  spec.name = "rack-std";
+  spec.resource_names = {"vCPU", "GiB", "diskMBps", "netMbps"};
+  spec.capacity = RVec{64.0, 256.0, 1000.0, 4000.0};
+
+  const std::vector<cloud::Job> vms = make_vm_trace(n, seed);
+  const cloud::ContinuousBilling power(/*rate=*/1.0);  // server-minutes
+
+  std::cout << "=== VM placement: " << n << " VM requests onto " << spec.name
+            << " hosts (d=4) ===\n\n";
+
+  // Build the normalized instance once to report the Lemma 1 floor.
+  Instance normalized(spec.capacity.dim());
+  {
+    std::vector<cloud::Job> sorted = vms;
+    std::stable_sort(sorted.begin(), sorted.end(),
+                     [](const cloud::Job& a, const cloud::Job& b) {
+                       return a.arrival < b.arrival;
+                     });
+    for (const cloud::Job& j : sorted) {
+      normalized.add(j.arrival, j.departure, spec.normalize(j.demand));
+    }
+  }
+  const double lb = lb_height(normalized);
+
+  harness::Table t({"policy", "hosts used", "peak hosts",
+                    "server-minutes", "vs lower bound", "utilization"});
+  for (const std::string& name : standard_policy_names()) {
+    PolicyPtr policy = make_policy(name, seed);
+    const cloud::ClusterReport report =
+        cloud::run_cluster(spec, vms, *policy, power);
+    t.add_row({name, std::to_string(report.servers_rented),
+               std::to_string(report.peak_concurrent),
+               harness::Table::num(report.total_usage_time, 0),
+               harness::Table::num(report.total_usage_time / lb, 4) + "x",
+               harness::Table::num(report.avg_utilization, 3)});
+  }
+  std::cout << t.to_aligned_text() << '\n';
+  std::cout << "'vs lower bound' divides by the Lemma 1(i) floor on any\n"
+               "possible schedule: the gap is the most a better policy\n"
+               "could still save.\n";
+  return 0;
+}

@@ -1,0 +1,24 @@
+# Gnuplot script regenerating the Figure 4 panels from bench_fig4 CSV.
+#
+#   ./build/bench/bench_fig4 --trials=1000 --csv > fig4.csv
+#   gnuplot -e "csv='fig4.csv'" scripts/plot_fig4.gp
+#
+# Produces fig4_d<1|2|5>.png: mean cost/LB vs mu per algorithm, one panel
+# per dimension (log-x like the paper's mu range 1..200).
+if (!exists("csv")) csv = "fig4.csv"
+
+set datafile separator ","
+set key outside right
+set xlabel "mu (max item duration)"
+set ylabel "cost / LB_{height}"
+set logscale x
+set grid
+set term pngcairo size 900,600
+
+do for [dval in "1 2 5"] {
+    set output sprintf("fig4_d%s.png", dval)
+    set title sprintf("Average-case performance, d = %s", dval)
+    plot for [alg in "MoveToFront FirstFit BestFit NextFit LastFit RandomFit WorstFit"] \
+        csv using (column(2) == dval+0 && strcol(4) eq alg ? column(3) : 1/0):5 \
+        with linespoints title alg
+}

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Full reproduction pipeline: build, test, and regenerate every experiment.
+# Usage: scripts/reproduce.sh [--paper]   (--paper uses 1000 trials for
+# Figure 4, matching the paper's setting, instead of the 200-trial default)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+TRIALS=200
+if [[ "${1:-}" == "--paper" ]]; then
+  TRIALS=1000
+fi
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build --output-on-failure
+
+echo
+echo "==================== experiments ===================="
+./build/bench/bench_table1
+./build/bench/bench_fig4 --trials="${TRIALS}" --print-params
+./build/bench/bench_bounds
+./build/bench/bench_ablation
+./build/bench/bench_clairvoyant
+./build/bench/bench_augmentation
+./build/bench/bench_sensitivity
+./build/bench/bench_timeline
+./build/bench/bench_micro

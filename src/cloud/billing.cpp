@@ -1,0 +1,24 @@
+#include "cloud/billing.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace dvbp::cloud {
+
+QuantizedBilling::QuantizedBilling(double quantum, double rate_per_quantum)
+    : quantum_(quantum), rate_(rate_per_quantum) {
+  if (!(quantum > 0.0)) {
+    throw std::invalid_argument("QuantizedBilling: quantum must be > 0");
+  }
+}
+
+double QuantizedBilling::charge(const Interval& usage) const {
+  const double len = usage.length();
+  if (len <= 0.0) return 0.0;
+  // Guard the epsilon so that an exactly-full quantum is not double-billed
+  // due to floating division noise.
+  const double quanta = std::ceil(len / quantum_ - 1e-9);
+  return rate_ * std::max(1.0, quanta);
+}
+
+}  // namespace dvbp::cloud

@@ -1,0 +1,51 @@
+// Billing models for rented servers. The paper's objective (eq. (1)) is the
+// continuous usage time; real "pay-as-you-go" clouds bill in quanta (e.g.
+// per started hour, per minute) [26]. QuantizedBilling lets the examples
+// show how the DVBP usage-time objective tracks actual rental bills.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/interval.hpp"
+
+namespace dvbp::cloud {
+
+class BillingModel {
+ public:
+  virtual ~BillingModel() = default;
+  virtual std::string_view name() const noexcept = 0;
+  /// Cost of renting one server for the given usage period.
+  virtual double charge(const Interval& usage) const = 0;
+};
+
+/// cost = rate * usage length. Exactly the paper's objective when rate = 1.
+class ContinuousBilling final : public BillingModel {
+ public:
+  explicit ContinuousBilling(double rate_per_unit_time = 1.0)
+      : rate_(rate_per_unit_time) {}
+  std::string_view name() const noexcept override { return "continuous"; }
+  double charge(const Interval& usage) const override {
+    return rate_ * usage.length();
+  }
+  double rate() const noexcept { return rate_; }
+
+ private:
+  double rate_;
+};
+
+/// cost = rate * quantum * ceil(usage length / quantum): every started
+/// billing quantum is charged in full.
+class QuantizedBilling final : public BillingModel {
+ public:
+  QuantizedBilling(double quantum, double rate_per_quantum);
+  std::string_view name() const noexcept override { return "quantized"; }
+  double charge(const Interval& usage) const override;
+  double quantum() const noexcept { return quantum_; }
+
+ private:
+  double quantum_;
+  double rate_;
+};
+
+}  // namespace dvbp::cloud

@@ -1,0 +1,54 @@
+#include "cloud/cluster.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dvbp::cloud {
+
+ClusterReport run_cluster(const ServerSpec& spec, std::vector<Job> jobs,
+                          Policy& policy, const BillingModel& billing) {
+  spec.validate();
+
+  // Jobs must be fed to the online algorithm in arrival order.
+  std::stable_sort(jobs.begin(), jobs.end(), [](const Job& a, const Job& b) {
+    return a.arrival < b.arrival;
+  });
+
+  Instance inst(spec.capacity.dim());
+  for (const Job& job : jobs) {
+    inst.add(job.arrival, job.departure, spec.normalize(job.demand));
+  }
+
+  const SimResult sim = simulate(inst, policy);
+
+  ClusterReport report;
+  report.servers_rented = sim.bins_opened;
+  report.peak_concurrent = sim.max_open_bins;
+  report.total_usage_time = sim.cost;
+  report.placement = sim.packing.assignment();
+
+  report.rentals.reserve(sim.packing.num_bins());
+  for (const BinRecord& bin : sim.packing.bins()) {
+    ServerRental rental;
+    rental.server = bin.id;
+    rental.usage = bin.usage();
+    rental.bill = billing.charge(rental.usage);
+    rental.jobs_served = bin.items.size();
+    report.total_bill += rental.bill;
+    report.rentals.push_back(rental);
+  }
+
+  // Utilization: integral of used normalized volume over integral of rented
+  // volume (one unit of volume per open server per unit time).
+  double used = 0.0;
+  const double d = static_cast<double>(inst.dim());
+  for (const Item& r : inst.items()) {
+    used += r.size.l1() / d * r.duration();
+  }
+  if (report.total_usage_time > 0.0) {
+    report.avg_utilization = used / report.total_usage_time;
+  }
+  return report;
+}
+
+}  // namespace dvbp::cloud

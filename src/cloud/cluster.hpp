@@ -1,0 +1,54 @@
+// Cluster: the application-facing front-end. Jobs with raw resource
+// demands are dispatched online onto rented servers of one spec using any
+// dvbp Policy; the report carries the rental ledger, the bill under a
+// chosen billing model, and utilization metrics.
+//
+// This is the layer the paper's motivating scenarios live in: VM placement
+// on physical servers (provider view) and cloud gaming session dispatch
+// onto rented servers (user view).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cloud/billing.hpp"
+#include "cloud/server.hpp"
+#include "core/policies/policy.hpp"
+#include "core/simulator.hpp"
+
+namespace dvbp::cloud {
+
+struct Job {
+  std::string name;      ///< free-form label ("player-42", "vm-web-3")
+  Time arrival = 0.0;
+  Time departure = 0.0;
+  RVec demand;           ///< raw units, same dimension as the ServerSpec
+};
+
+struct ServerRental {
+  BinId server = kNoBin;
+  Interval usage;
+  double bill = 0.0;
+  std::size_t jobs_served = 0;
+};
+
+struct ClusterReport {
+  std::size_t servers_rented = 0;    ///< total distinct rentals
+  std::size_t peak_concurrent = 0;   ///< max servers active at once
+  double total_usage_time = 0.0;     ///< the DVBP objective, eq. (1)
+  double total_bill = 0.0;           ///< under the billing model
+  /// Time-average fraction of rented capacity actually used (mean over
+  /// dimensions of demand-volume / capacity-volume).
+  double avg_utilization = 0.0;
+  std::vector<ServerRental> rentals;
+  /// job index -> server that served it.
+  std::vector<BinId> placement;
+};
+
+/// Dispatches `jobs` in arrival order with `policy` onto servers of `spec`,
+/// billing each rental with `billing`. Throws std::invalid_argument for
+/// jobs that could never fit a server.
+ClusterReport run_cluster(const ServerSpec& spec, std::vector<Job> jobs,
+                          Policy& policy, const BillingModel& billing);
+
+}  // namespace dvbp::cloud

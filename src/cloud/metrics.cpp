@@ -1,0 +1,60 @@
+#include "cloud/metrics.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/event.hpp"
+
+namespace dvbp::cloud {
+
+double StepSeries::time_average() const noexcept {
+  if (steps.size() < 2) return steps.empty() ? 0.0 : steps.back().second;
+  double weighted = 0.0;
+  double total = 0.0;
+  for (std::size_t i = 0; i + 1 < steps.size(); ++i) {
+    const double len = steps[i + 1].first - steps[i].first;
+    weighted += steps[i].second * len;
+    total += len;
+  }
+  return total > 0.0 ? weighted / total : steps.back().second;
+}
+
+double StepSeries::peak() const noexcept {
+  double p = 0.0;
+  for (const auto& [t, v] : steps) p = std::max(p, v);
+  return p;
+}
+
+StepSeries open_bin_series(const SimResult& sim) {
+  if (sim.timeline.empty()) {
+    throw std::invalid_argument(
+        "open_bin_series: run the simulation with record_timeline");
+  }
+  StepSeries s;
+  s.steps.reserve(sim.timeline.size());
+  for (const auto& [t, n] : sim.timeline) {
+    s.steps.emplace_back(t, static_cast<double>(n));
+  }
+  return s;
+}
+
+StepSeries utilization_series(const Instance& inst, const SimResult& sim) {
+  if (sim.timeline.empty()) {
+    throw std::invalid_argument(
+        "utilization_series: run the simulation with record_timeline");
+  }
+  StepSeries s;
+  s.steps.reserve(sim.timeline.size());
+  const double d = static_cast<double>(inst.dim());
+  for (const auto& [t, n] : sim.timeline) {
+    if (n == 0) {
+      s.steps.emplace_back(t, 0.0);
+      continue;
+    }
+    const double used = inst.load_at(t).l1() / d;
+    s.steps.emplace_back(t, used / static_cast<double>(n));
+  }
+  return s;
+}
+
+}  // namespace dvbp::cloud

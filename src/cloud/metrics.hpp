@@ -1,0 +1,29 @@
+// Timeline metrics over a finished simulation: open-server counts and
+// utilization as piecewise-constant time series, plus summary statistics.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "core/instance.hpp"
+#include "core/simulator.hpp"
+
+namespace dvbp::cloud {
+
+/// A right-open step function: value of step i holds on [t_i, t_{i+1}).
+struct StepSeries {
+  std::vector<std::pair<Time, double>> steps;
+
+  /// Time-average of the series over its support (0 when empty/degenerate).
+  double time_average() const noexcept;
+  double peak() const noexcept;
+};
+
+/// Open-bin counts over time. Requires SimOptions::record_timeline.
+StepSeries open_bin_series(const SimResult& sim);
+
+/// Fraction of open capacity in use over time (mean over dimensions of
+/// total active demand / number of open bins). Requires record_timeline.
+StepSeries utilization_series(const Instance& inst, const SimResult& sim);
+
+}  // namespace dvbp::cloud

@@ -1,0 +1,38 @@
+#include "cloud/server.hpp"
+
+#include <stdexcept>
+
+namespace dvbp::cloud {
+
+void ServerSpec::validate() const {
+  if (capacity.dim() == 0) {
+    throw std::invalid_argument("ServerSpec: empty capacity");
+  }
+  if (!resource_names.empty() && resource_names.size() != capacity.dim()) {
+    throw std::invalid_argument(
+        "ServerSpec: resource_names/capacity dimension mismatch");
+  }
+  for (std::size_t j = 0; j < capacity.dim(); ++j) {
+    if (!(capacity[j] > 0.0)) {
+      throw std::invalid_argument("ServerSpec: non-positive capacity");
+    }
+  }
+}
+
+RVec ServerSpec::normalize(const RVec& demand) const {
+  if (demand.dim() != capacity.dim()) {
+    throw std::invalid_argument("ServerSpec::normalize: dimension mismatch");
+  }
+  RVec out(demand.dim());
+  for (std::size_t j = 0; j < demand.dim(); ++j) {
+    out[j] = demand[j] / capacity[j];
+    if (out[j] > 1.0 + kCapacityEps) {
+      throw std::invalid_argument(
+          "ServerSpec::normalize: demand exceeds capacity in dimension " +
+          std::to_string(j));
+    }
+  }
+  return out;
+}
+
+}  // namespace dvbp::cloud

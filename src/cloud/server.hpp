@@ -1,0 +1,28 @@
+// Server specification: the physical/rented machine type of the cloud
+// scenarios (paper Sec. 1 motivation). A cluster rents identical servers of
+// one spec; job demands in raw units are normalized against the capacity
+// vector to obtain the unit-bin DVBP instance.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/rvec.hpp"
+
+namespace dvbp::cloud {
+
+struct ServerSpec {
+  std::string name;         ///< e.g. "gpu.4xlarge"
+  std::vector<std::string> resource_names;  ///< e.g. {"vCPU","GiB","Gbps"}
+  RVec capacity;            ///< per-resource capacity, raw units (> 0 each)
+
+  /// Throws std::invalid_argument when capacity/resource names disagree or
+  /// any capacity is non-positive.
+  void validate() const;
+
+  /// demand (raw units) -> normalized size in [0,1]^d. Throws when the
+  /// demand exceeds capacity in some dimension.
+  RVec normalize(const RVec& demand) const;
+};
+
+}  // namespace dvbp::cloud

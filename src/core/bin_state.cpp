@@ -1,0 +1,29 @@
+#include "core/bin_state.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace dvbp {
+
+void BinState::add(const Item& item) {
+  assert(fits(item.size) && "BinState::add called without fits()");
+  load_ += item.size;
+  active_.push_back(item.id);
+  ++total_packed_;
+  latest_departure_ = std::max(latest_departure_, item.departure);
+}
+
+bool BinState::remove(const Item& item, const std::vector<Item>& all_items) {
+  auto it = std::find(active_.begin(), active_.end(), item.id);
+  assert(it != active_.end() && "BinState::remove: item not in bin");
+  active_.erase(it);
+  load_ -= item.size;
+  load_.clamp_nonnegative();
+  latest_departure_ = 0.0;
+  for (ItemId id : active_) {
+    latest_departure_ = std::max(latest_departure_, all_items[id].departure);
+  }
+  return active_.empty();
+}
+
+}  // namespace dvbp

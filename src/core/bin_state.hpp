@@ -1,0 +1,61 @@
+// BinState: the mutable state of one open bin during a simulation.
+//
+// A bin is opened when it receives its first item, stays open while it holds
+// an active item, and closes (permanently; paper Sec. 2.1) when its last
+// item departs. Load is maintained incrementally; the final subtraction is
+// clamped to remove floating residue.
+#pragma once
+
+#include <vector>
+
+#include "core/item.hpp"
+#include "core/rvec.hpp"
+#include "core/types.hpp"
+
+namespace dvbp {
+
+class BinState {
+ public:
+  BinState(BinId id, std::size_t dim, Time opened_at, double capacity = 1.0)
+      : id_(id), opened_at_(opened_at), capacity_(capacity), load_(dim) {}
+
+  BinId id() const noexcept { return id_; }
+  Time opened_at() const noexcept { return opened_at_; }
+  const RVec& load() const noexcept { return load_; }
+  std::size_t num_active() const noexcept { return active_.size(); }
+  bool is_empty() const noexcept { return active_.empty(); }
+  const std::vector<ItemId>& active_items() const noexcept { return active_; }
+  /// Count of every item ever packed here (for diagnostics).
+  std::size_t total_packed() const noexcept { return total_packed_; }
+  /// Latest departure among currently-active items (clairvoyant policies).
+  Time latest_departure() const noexcept { return latest_departure_; }
+
+  /// Per-dimension capacity (1.0 in the paper's model; > 1 under resource
+  /// augmentation).
+  double capacity() const noexcept { return capacity_; }
+
+  /// True when `size` can be added without exceeding the bin's capacity in
+  /// any dimension (with the library-wide tolerance).
+  bool fits(const RVec& size) const noexcept {
+    return load_.fits_with_capacity(size, capacity_);
+  }
+
+  /// Adds an item. Precondition: fits(item.size).
+  void add(const Item& item);
+
+  /// Removes a departing item; returns true if the bin became empty.
+  /// `all_items` is the instance item list, used to recompute the latest
+  /// departure among survivors.
+  bool remove(const Item& item, const std::vector<Item>& all_items);
+
+ private:
+  BinId id_;
+  Time opened_at_;
+  double capacity_;
+  RVec load_;
+  std::vector<ItemId> active_;
+  std::size_t total_packed_ = 0;
+  Time latest_departure_ = 0.0;
+};
+
+}  // namespace dvbp

@@ -1,0 +1,21 @@
+#include "core/bounds.hpp"
+
+namespace dvbp::bounds {
+
+std::vector<TableRow> table1(double mu, double d) {
+  std::vector<TableRow> rows;
+  rows.push_back({"AnyFit", any_fit_lower(mu, 1), kUnbounded,
+                  any_fit_lower(mu, d), kUnbounded});
+  rows.push_back({"MoveToFront", move_to_front_lower(mu, 1),
+                  move_to_front_upper(mu, 1), move_to_front_lower(mu, d),
+                  move_to_front_upper(mu, d)});
+  rows.push_back({"FirstFit", first_fit_lower(mu, 1), first_fit_upper(mu, 1),
+                  first_fit_lower(mu, d), first_fit_upper(mu, d)});
+  rows.push_back({"NextFit", next_fit_lower(mu, 1), next_fit_upper(mu, 1),
+                  next_fit_lower(mu, d), next_fit_upper(mu, d)});
+  rows.push_back({"BestFit", best_fit_lower(mu, 1), best_fit_upper(mu, 1),
+                  best_fit_lower(mu, d), best_fit_upper(mu, d)});
+  return rows;
+}
+
+}  // namespace dvbp::bounds

@@ -1,0 +1,62 @@
+// Closed-form competitive-ratio bounds from Table 1 of the paper, as
+// functions of mu (max/min duration ratio) and d (dimension). bench_table1
+// prints these next to empirically measured ratios on the adversarial
+// constructions.
+#pragma once
+
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace dvbp::bounds {
+
+inline constexpr double kUnbounded = std::numeric_limits<double>::infinity();
+
+/// Thm 5: any Any Fit packing algorithm has CR >= (mu+1)d.
+constexpr double any_fit_lower(double mu, double d) { return (mu + 1) * d; }
+
+/// Thm 2: CR(MoveToFront) <= (2mu+1)d + 1.
+constexpr double move_to_front_upper(double mu, double d) {
+  return (2 * mu + 1) * d + 1;
+}
+
+/// Thm 8: CR(MoveToFront) >= max{2mu, (mu+1)d}.
+constexpr double move_to_front_lower(double mu, double d) {
+  const double a = 2 * mu;
+  const double b = (mu + 1) * d;
+  return a > b ? a : b;
+}
+
+/// Thm 3: CR(FirstFit) <= (mu+2)d + 1.
+constexpr double first_fit_upper(double mu, double d) {
+  return (mu + 2) * d + 1;
+}
+
+/// Thm 5 applied to First Fit: CR(FirstFit) >= (mu+1)d.
+constexpr double first_fit_lower(double mu, double d) {
+  return any_fit_lower(mu, d);
+}
+
+/// Thm 4: CR(NextFit) <= 2*mu*d + 1.
+constexpr double next_fit_upper(double mu, double d) { return 2 * mu * d + 1; }
+
+/// Thm 6: CR(NextFit) >= 2*mu*d.
+constexpr double next_fit_lower(double mu, double d) { return 2 * mu * d; }
+
+/// Thm 7 ([22]): CR(BestFit) is unbounded, already for d = 1.
+constexpr double best_fit_lower(double, double) { return kUnbounded; }
+constexpr double best_fit_upper(double, double) { return kUnbounded; }
+
+/// One row of Table 1.
+struct TableRow {
+  std::string algorithm;
+  double lower_1d;   ///< lower bound at d = 1
+  double upper_1d;   ///< upper bound at d = 1
+  double lower_dd;   ///< lower bound at the given d
+  double upper_dd;   ///< upper bound at the given d
+};
+
+/// Materializes Table 1 for concrete (mu, d).
+std::vector<TableRow> table1(double mu, double d);
+
+}  // namespace dvbp::bounds

@@ -1,0 +1,146 @@
+#include "core/dispatcher.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/simulator.hpp"  // PolicyViolation
+
+namespace dvbp {
+
+Dispatcher::Dispatcher(std::size_t dim, Policy& policy, double bin_capacity)
+    : dim_(dim), policy_(policy), capacity_(bin_capacity) {
+  if (dim_ == 0) {
+    throw std::invalid_argument("Dispatcher: dim must be >= 1");
+  }
+  if (capacity_ < 1.0) {
+    throw std::invalid_argument("Dispatcher: bin_capacity must be >= 1");
+  }
+  policy_.reset();
+}
+
+void Dispatcher::check_time(Time now) {
+  if (started_ && now < now_ - kTimeEps) {
+    throw std::invalid_argument("Dispatcher: time went backwards");
+  }
+  started_ = true;
+  now_ = std::max(now_, now);
+}
+
+Dispatcher::Admission Dispatcher::arrive(Time now, RVec size,
+                                         Time expected_departure) {
+  check_time(now);
+  if (size.dim() != dim_) {
+    throw std::invalid_argument("Dispatcher::arrive: dimension mismatch");
+  }
+  if (!size.is_nonnegative() || !size.fits_in_capacity(1.0)) {
+    throw std::invalid_argument(
+        "Dispatcher::arrive: size outside [0,1]^d");
+  }
+  if (!(expected_departure > now)) {
+    throw std::invalid_argument(
+        "Dispatcher::arrive: expected departure must exceed arrival");
+  }
+
+  const JobId job = static_cast<JobId>(items_.size());
+  items_.emplace_back(job, now, expected_departure, std::move(size));
+  const Item& item = items_.back();
+  ++active_jobs_;
+
+  views_.clear();
+  views_.reserve(open_order_.size());
+  for (std::size_t idx : open_order_) {
+    const BinState& b = bins_[idx];
+    views_.push_back(BinView{b.id(), &b.load(), b.opened_at(),
+                             b.num_active(), b.latest_departure(),
+                             b.capacity()});
+  }
+  const BinId chosen =
+      policy_.select_bin(now, item, std::span<const BinView>(views_));
+
+  Admission admission;
+  admission.job = job;
+  if (chosen == kNoBin) {
+    const BinId id = static_cast<BinId>(bins_.size());
+    bins_.emplace_back(id, dim_, now, capacity_);
+    records_.push_back(BinRecord{id, now, now, {}});
+    open_order_.push_back(bins_.size() - 1);
+    bins_.back().add(item);
+    records_.back().items.push_back(job);
+    assignment_.push_back(id);
+    policy_.on_open(now, id, item);
+    admission.bin = id;
+    admission.opened_new_bin = true;
+    return admission;
+  }
+
+  auto it = std::find_if(
+      open_order_.begin(), open_order_.end(),
+      [&](std::size_t idx) { return bins_[idx].id() == chosen; });
+  if (it == open_order_.end()) {
+    throw PolicyViolation("Dispatcher: policy selected a bin that is not "
+                          "open");
+  }
+  BinState& bin = bins_[*it];
+  if (!bin.fits(item.size)) {
+    throw PolicyViolation(
+        "Dispatcher: policy selected a bin that cannot hold the job");
+  }
+  bin.add(item);
+  records_[bin.id()].items.push_back(job);
+  assignment_.push_back(bin.id());
+  policy_.on_pack(now, bin.id(), item);
+  admission.bin = bin.id();
+  return admission;
+}
+
+void Dispatcher::depart(Time now, JobId job) {
+  check_time(now);
+  if (job >= items_.size()) {
+    throw std::invalid_argument("Dispatcher::depart: unknown job");
+  }
+  const BinId bin_id = assignment_[job];
+  if (bin_id == kNoBin) {
+    throw std::invalid_argument("Dispatcher::depart: job already departed");
+  }
+  // Patch the actual departure so latest-departure bookkeeping is honest.
+  items_[job].departure = now;
+
+  auto it = std::find_if(
+      open_order_.begin(), open_order_.end(),
+      [&](std::size_t idx) { return bins_[idx].id() == bin_id; });
+  if (it == open_order_.end()) {
+    throw std::logic_error("Dispatcher::depart: bin not open");
+  }
+  BinState& bin = bins_[*it];
+  const bool emptied = bin.remove(items_[job], items_);
+  assignment_[job] = kNoBin;
+  --active_jobs_;
+  if (emptied) {
+    records_[bin_id].closed = now;
+    open_order_.erase(it);
+  }
+  policy_.on_depart(now, bin_id, items_[job], emptied);
+}
+
+BinId Dispatcher::bin_of(JobId job) const {
+  if (job >= assignment_.size()) {
+    throw std::invalid_argument("Dispatcher::bin_of: unknown job");
+  }
+  return assignment_[job];
+}
+
+double Dispatcher::cost_so_far(Time at) const {
+  double total = 0.0;
+  std::vector<char> open(records_.size(), 0);
+  for (std::size_t idx : open_order_) open[bins_[idx].id()] = 1;
+  for (const BinRecord& rec : records_) {
+    if (open[rec.id]) {
+      total += std::max(0.0, at - rec.opened);
+    } else {
+      total += rec.usage_time();
+    }
+  }
+  return total;
+}
+
+}  // namespace dvbp

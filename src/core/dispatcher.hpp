@@ -1,0 +1,91 @@
+// Dispatcher: the live, streaming counterpart of simulate().
+//
+// simulate() replays a complete Instance; a real service does not have one
+// -- requests arrive and depart over wall-clock time. Dispatcher wraps a
+// Policy behind an incremental interface: call arrive() when a job shows
+// up (placement is returned immediately and is irrevocable, per the
+// paper's model), depart() when it finishes. Departure times need not be
+// known at arrival; clairvoyant policies may be fed an expected departure.
+//
+// Feeding an Instance's event stream through a Dispatcher reproduces
+// simulate() exactly (differential-tested), so all competitive-ratio
+// guarantees carry over verbatim.
+#pragma once
+
+#include <limits>
+#include <vector>
+
+#include "core/bin_state.hpp"
+#include "core/packing.hpp"
+#include "core/policies/policy.hpp"
+#include "core/types.hpp"
+
+namespace dvbp {
+
+/// Identifier the caller uses to refer to a live job.
+using JobId = ItemId;
+
+class Dispatcher {
+ public:
+  /// `policy` is borrowed (not owned) and reset(); it must outlive the
+  /// dispatcher. `bin_capacity` >= 1 enables resource augmentation.
+  Dispatcher(std::size_t dim, Policy& policy, double bin_capacity = 1.0);
+
+  struct Admission {
+    JobId job = kNoItem;
+    BinId bin = kNoBin;
+    bool opened_new_bin = false;
+  };
+
+  /// Admits a job of the given size at time `now` (monotonically
+  /// nondecreasing across all calls). `expected_departure` is only shown
+  /// to clairvoyant policies; pass the default when unknown. Throws
+  /// std::invalid_argument on bad sizes or time regressions.
+  Admission arrive(Time now, RVec size,
+                   Time expected_departure =
+                       std::numeric_limits<Time>::infinity());
+
+  /// Marks `job` finished at `now`. Throws std::invalid_argument for
+  /// unknown/already-departed jobs or time regressions.
+  void depart(Time now, JobId job);
+
+  // --- Introspection ---------------------------------------------------
+
+  std::size_t dim() const noexcept { return dim_; }
+  std::size_t open_bins() const noexcept { return open_order_.size(); }
+  std::size_t bins_opened() const noexcept { return records_.size(); }
+  std::size_t jobs_admitted() const noexcept { return items_.size(); }
+  std::size_t jobs_active() const noexcept { return active_jobs_; }
+  Time last_event_time() const noexcept { return now_; }
+
+  /// Bin currently hosting `job` (kNoBin after departure).
+  BinId bin_of(JobId job) const;
+
+  /// Total usage time accrued up to `at`: closed bins in full, open bins
+  /// from their opening until `at`. This is the objective of eq. (1),
+  /// metered live.
+  double cost_so_far(Time at) const;
+
+  /// Usage records of every bin ever opened (open bins report their
+  /// opening time with `closed` == opened; consult open_bins()).
+  const std::vector<BinRecord>& records() const noexcept { return records_; }
+
+ private:
+  void check_time(Time now);
+
+  std::size_t dim_;
+  Policy& policy_;
+  double capacity_;
+  Time now_ = 0.0;
+  bool started_ = false;
+
+  std::vector<Item> items_;          // by JobId; departure patched on depart
+  std::vector<BinId> assignment_;    // JobId -> bin (kNoBin once departed)
+  std::vector<BinState> bins_;       // every bin ever opened, by id
+  std::vector<std::size_t> open_order_;  // indices into bins_, opening order
+  std::vector<BinRecord> records_;
+  std::vector<BinView> views_;  // scratch
+  std::size_t active_jobs_ = 0;
+};
+
+}  // namespace dvbp

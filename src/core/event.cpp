@@ -1,0 +1,30 @@
+#include "core/event.hpp"
+
+#include <algorithm>
+
+namespace dvbp {
+
+std::vector<Event> build_event_stream(const Instance& inst) {
+  std::vector<Event> events;
+  events.reserve(inst.size() * 2);
+  for (const Item& r : inst.items()) {
+    events.push_back({r.arrival, EventKind::kArrival, r.id});
+    events.push_back({r.departure, EventKind::kDeparture, r.id});
+  }
+  std::sort(events.begin(), events.end(), EventOrder{});
+  return events;
+}
+
+std::vector<Time> event_times(const Instance& inst) {
+  std::vector<Time> times;
+  times.reserve(inst.size() * 2);
+  for (const Item& r : inst.items()) {
+    times.push_back(r.arrival);
+    times.push_back(r.departure);
+  }
+  std::sort(times.begin(), times.end());
+  times.erase(std::unique(times.begin(), times.end()), times.end());
+  return times;
+}
+
+}  // namespace dvbp

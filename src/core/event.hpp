@@ -1,0 +1,47 @@
+// Event stream: the arrival/departure timeline an online algorithm observes.
+//
+// Ordering realizes the half-open interval semantics of the paper: at a
+// shared timestamp, departures are processed before arrivals (an item with
+// I(r) = [0,1) has already left when an item arriving at t=1 must be
+// placed). Arrivals at the same instant keep instance order.
+#pragma once
+
+#include <vector>
+
+#include "core/instance.hpp"
+#include "core/types.hpp"
+
+namespace dvbp {
+
+enum class EventKind : std::uint8_t {
+  kDeparture = 0,  // sorts before arrivals at equal timestamps
+  kArrival = 1,
+};
+
+struct Event {
+  Time time = 0.0;
+  EventKind kind = EventKind::kArrival;
+  ItemId item = kNoItem;
+
+  friend bool operator==(const Event&, const Event&) = default;
+};
+
+/// Strict weak ordering: by time, then departures first, then by item id
+/// (instance order for arrivals; deterministic for departures).
+struct EventOrder {
+  bool operator()(const Event& a, const Event& b) const noexcept {
+    if (a.time != b.time) return a.time < b.time;
+    if (a.kind != b.kind) return a.kind < b.kind;
+    return a.item < b.item;
+  }
+};
+
+/// Builds the sorted event stream (2 events per item).
+std::vector<Event> build_event_stream(const Instance& inst);
+
+/// The sorted distinct event timestamps of an instance. The load vector
+/// s(R, t) is piecewise constant between consecutive entries; integrals in
+/// the OPT lower bounds sweep these segments.
+std::vector<Time> event_times(const Instance& inst);
+
+}  // namespace dvbp

@@ -1,0 +1,39 @@
+// Instance analytics: the summary a practitioner wants before choosing a
+// dispatch policy -- duration spread (mu drives every bound in the paper),
+// load/concurrency profile (how many servers the workload inherently
+// needs), and size statistics per dimension.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/instance.hpp"
+
+namespace dvbp {
+
+struct InstanceStats {
+  std::size_t n = 0;
+  std::size_t dim = 0;
+  double span = 0.0;
+  double mu = 0.0;              ///< max/min duration ratio
+  double min_duration = 0.0;
+  double max_duration = 0.0;
+  double mean_duration = 0.0;
+  std::size_t peak_concurrency = 0;    ///< max simultaneously-active items
+  double mean_concurrency = 0.0;       ///< time-averaged over the span
+  double peak_height = 0.0;            ///< max ||s(R,t)||_inf over time
+  double mean_height = 0.0;            ///< time-averaged over the span
+  std::vector<double> mean_size;       ///< per-dimension mean item size
+  std::vector<double> max_size;        ///< per-dimension max item size
+  double utilization_bound = 0.0;      ///< Lemma 1(ii)
+  double height_bound = 0.0;           ///< Lemma 1(i)
+
+  /// Multi-line human-readable report.
+  std::string report() const;
+};
+
+/// Computes the full profile in one event sweep. Empty instances yield a
+/// zeroed struct.
+InstanceStats analyze(const Instance& inst);
+
+}  // namespace dvbp

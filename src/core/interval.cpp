@@ -1,0 +1,25 @@
+#include "core/interval.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+namespace dvbp {
+
+Interval Interval::hull(const Interval& other) const noexcept {
+  if (empty()) return other;
+  if (other.empty()) return *this;
+  return Interval(std::min(lo, other.lo), std::max(hi, other.hi));
+}
+
+std::string Interval::to_string() const {
+  std::ostringstream os;
+  os << *this;
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Interval& iv) {
+  return os << '[' << iv.lo << ", " << iv.hi << ')';
+}
+
+}  // namespace dvbp

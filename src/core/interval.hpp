@@ -1,0 +1,55 @@
+// Half-open time intervals [lo, hi), matching the paper's item active
+// intervals I(r) = [a(r), e(r)).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/types.hpp"
+
+namespace dvbp {
+
+struct Interval {
+  Time lo = 0.0;
+  Time hi = 0.0;
+
+  Interval() = default;
+  Interval(Time lo_, Time hi_) : lo(lo_), hi(hi_) {}
+
+  /// Length l(I); empty/degenerate intervals have length 0.
+  Time length() const noexcept { return hi > lo ? hi - lo : 0.0; }
+
+  bool empty() const noexcept { return hi <= lo; }
+
+  /// Membership under half-open semantics: lo <= t < hi.
+  bool contains(Time t) const noexcept { return lo <= t && t < hi; }
+
+  /// True when the half-open intervals share at least one point.
+  bool overlaps(const Interval& other) const noexcept {
+    return lo < other.hi && other.lo < hi;
+  }
+
+  /// True when `other` is fully inside this interval.
+  bool covers(const Interval& other) const noexcept {
+    return lo <= other.lo && other.hi <= hi;
+  }
+
+  /// Intersection; empty when disjoint.
+  Interval intersect(const Interval& other) const noexcept {
+    return Interval(lo > other.lo ? lo : other.lo,
+                    hi < other.hi ? hi : other.hi);
+  }
+
+  /// Smallest interval containing both (the convex hull).
+  Interval hull(const Interval& other) const noexcept;
+
+  bool operator==(const Interval& other) const noexcept {
+    return lo == other.lo && hi == other.hi;
+  }
+
+  std::string to_string() const;
+};
+
+std::ostream& operator<<(std::ostream& os, const Interval& iv);
+
+}  // namespace dvbp

@@ -1,0 +1,50 @@
+#include "core/interval_set.hpp"
+
+#include <algorithm>
+
+namespace dvbp {
+
+void IntervalSet::add(Interval iv) {
+  if (iv.empty()) return;
+  // Find the first part whose hi >= iv.lo: everything before it is strictly
+  // to the left and unaffected.
+  auto first = std::lower_bound(
+      parts_.begin(), parts_.end(), iv.lo,
+      [](const Interval& p, Time lo) { return p.hi < lo; });
+  // Absorb all parts that touch or overlap [iv.lo, iv.hi).
+  auto it = first;
+  while (it != parts_.end() && it->lo <= iv.hi) {
+    iv.lo = std::min(iv.lo, it->lo);
+    iv.hi = std::max(iv.hi, it->hi);
+    ++it;
+  }
+  const auto idx = static_cast<std::size_t>(first - parts_.begin());
+  parts_.erase(first, it);
+  parts_.insert(parts_.begin() + static_cast<std::ptrdiff_t>(idx), iv);
+}
+
+Time IntervalSet::measure() const noexcept {
+  Time total = 0.0;
+  for (const Interval& p : parts_) total += p.length();
+  return total;
+}
+
+bool IntervalSet::contains(Time t) const noexcept {
+  auto it = std::upper_bound(
+      parts_.begin(), parts_.end(), t,
+      [](Time v, const Interval& p) { return v < p.lo; });
+  if (it == parts_.begin()) return false;
+  --it;
+  return it->contains(t);
+}
+
+Interval IntervalSet::hull() const noexcept {
+  if (parts_.empty()) return Interval{};
+  return Interval(parts_.front().lo, parts_.back().hi);
+}
+
+void IntervalSet::merge(const IntervalSet& other) {
+  for (const Interval& p : other.parts_) add(p);
+}
+
+}  // namespace dvbp

@@ -1,0 +1,50 @@
+// IntervalSet: a union of disjoint half-open intervals, kept sorted.
+//
+// Used to compute span(R) -- the total measure of time at least one item is
+// active (paper Sec. 2) -- and per-bin usage periods in packings.
+#pragma once
+
+#include <vector>
+
+#include "core/interval.hpp"
+
+namespace dvbp {
+
+class IntervalSet {
+ public:
+  IntervalSet() = default;
+
+  /// Insert an interval, merging with any intervals it touches or overlaps.
+  /// Adjacent intervals ([0,1) + [1,2)) merge into one.
+  void add(Interval iv);
+
+  /// Total measure of the union.
+  Time measure() const noexcept;
+
+  /// Number of maximal disjoint intervals.
+  std::size_t count() const noexcept { return parts_.size(); }
+
+  bool empty() const noexcept { return parts_.empty(); }
+
+  /// True if t lies in some interval of the set.
+  bool contains(Time t) const noexcept;
+
+  /// Convex hull [min lo, max hi); empty interval when the set is empty.
+  Interval hull() const noexcept;
+
+  const std::vector<Interval>& parts() const noexcept { return parts_; }
+
+  /// Union with another set.
+  void merge(const IntervalSet& other);
+
+  void clear() noexcept { parts_.clear(); }
+
+  bool operator==(const IntervalSet& other) const noexcept {
+    return parts_ == other.parts_;
+  }
+
+ private:
+  std::vector<Interval> parts_;  // sorted by lo, pairwise disjoint
+};
+
+}  // namespace dvbp

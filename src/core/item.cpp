@@ -1,0 +1,19 @@
+#include "core/item.hpp"
+
+#include <ostream>
+#include <sstream>
+
+namespace dvbp {
+
+std::string Item::to_string() const {
+  std::ostringstream os;
+  os << *this;
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Item& item) {
+  return os << "Item{id=" << item.id << ", I=[" << item.arrival << ", "
+            << item.departure << "), s=" << item.size << '}';
+}
+
+}  // namespace dvbp

@@ -1,0 +1,136 @@
+#include "core/packing.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "core/event.hpp"
+
+namespace dvbp {
+
+double Packing::cost() const noexcept {
+  double total = 0.0;
+  for (const BinRecord& b : bins_) total += b.usage_time();
+  return total;
+}
+
+std::size_t Packing::open_bins_at(Time t) const noexcept {
+  std::size_t n = 0;
+  for (const BinRecord& b : bins_) {
+    if (b.usage().contains(t)) ++n;
+  }
+  return n;
+}
+
+std::string Packing::to_gantt_csv(const Instance& inst) const {
+  std::ostringstream os;
+  os << "kind,bin,item,start,end\n";
+  for (const BinRecord& b : bins_) {
+    os << "bin," << b.id << ",," << b.opened << ',' << b.closed << '\n';
+    for (ItemId r : b.items) {
+      os << "item," << b.id << ',' << r << ',' << inst[r].arrival << ','
+         << inst[r].departure << '\n';
+    }
+  }
+  return os.str();
+}
+
+std::optional<std::string> Packing::validate(const Instance& inst) const {
+  std::ostringstream err;
+  if (assignment_.size() != inst.size()) {
+    return "assignment size != instance size";
+  }
+
+  // Cross-check the item <-> bin maps.
+  std::vector<std::size_t> seen(inst.size(), 0);
+  for (std::size_t bi = 0; bi < bins_.size(); ++bi) {
+    const BinRecord& b = bins_[bi];
+    if (b.id != static_cast<BinId>(bi)) {
+      err << "bin " << bi << ": id mismatch";
+      return err.str();
+    }
+    if (b.items.empty()) {
+      err << "bin " << bi << ": no items";
+      return err.str();
+    }
+    for (ItemId r : b.items) {
+      if (r >= inst.size()) {
+        err << "bin " << bi << ": unknown item " << r;
+        return err.str();
+      }
+      ++seen[r];
+      if (assignment_[r] != b.id) {
+        err << "item " << r << ": assignment disagrees with bin " << bi;
+        return err.str();
+      }
+    }
+  }
+  for (std::size_t r = 0; r < seen.size(); ++r) {
+    if (seen[r] != 1) {
+      err << "item " << r << ": packed " << seen[r] << " times";
+      return err.str();
+    }
+  }
+
+  // Usage period: [first arrival, last departure] of the bin's items, and
+  // every item's interval must sit inside it.
+  for (const BinRecord& b : bins_) {
+    Time first_arrival = inst[b.items.front()].arrival;
+    Time last_departure = 0.0;
+    for (ItemId r : b.items) {
+      first_arrival = std::min(first_arrival, inst[r].arrival);
+      last_departure = std::max(last_departure, inst[r].departure);
+    }
+    if (!time_eq(b.opened, first_arrival)) {
+      err << "bin " << b.id << ": opened=" << b.opened
+          << " != first arrival " << first_arrival;
+      return err.str();
+    }
+    if (!time_eq(b.closed, last_departure)) {
+      err << "bin " << b.id << ": closed=" << b.closed
+          << " != last departure " << last_departure;
+      return err.str();
+    }
+  }
+
+  // Capacity audit: the load of each bin is piecewise constant between event
+  // times; check at every event timestamp (segment start).
+  const std::vector<Time> times = event_times(inst);
+  for (const BinRecord& b : bins_) {
+    for (Time t : times) {
+      if (!b.usage().contains(t)) continue;
+      RVec load(inst.dim());
+      for (ItemId r : b.items) {
+        if (inst[r].active_at(t)) load += inst[r].size;
+      }
+      if (!load.fits_in_capacity(1.0, 1e-7)) {
+        err << "bin " << b.id << ": overload at t=" << t
+            << " load=" << load.to_string();
+        return err.str();
+      }
+    }
+  }
+
+  // No idle gaps: a bin's active item set must be non-empty throughout its
+  // usage period (checked at event times inside the period).
+  for (const BinRecord& b : bins_) {
+    for (Time t : times) {
+      if (!b.usage().contains(t)) continue;
+      bool any = false;
+      for (ItemId r : b.items) {
+        if (inst[r].active_at(t)) {
+          any = true;
+          break;
+        }
+      }
+      if (!any) {
+        err << "bin " << b.id << ": idle at t=" << t
+            << " inside usage period";
+        return err.str();
+      }
+    }
+  }
+
+  return std::nullopt;
+}
+
+}  // namespace dvbp

@@ -1,0 +1,15 @@
+#include "core/policies/any_fit.hpp"
+
+namespace dvbp {
+
+BinId AnyFitPolicy::select_bin(Time now, const Item& item,
+                               std::span<const BinView> open_bins) {
+  fitting_.clear();
+  for (const BinView& b : open_bins) {
+    if (b.fits(item.size)) fitting_.push_back(b);
+  }
+  if (fitting_.empty()) return kNoBin;
+  return choose(now, item, std::span<const BinView>(fitting_));
+}
+
+}  // namespace dvbp

@@ -1,0 +1,31 @@
+// AnyFitPolicy: base class enforcing the Any Fit property (paper Sec. 2.2):
+// a new bin is opened only when the arriving item fits in none of the open
+// bins. Concrete subclasses implement choose() over the non-empty set of
+// fitting bins.
+//
+// Next Fit is NOT derived from this base: it restricts its list L to a
+// single current bin (it may open a new bin even though some released bin
+// could hold the item), so it implements Policy directly.
+#pragma once
+
+#include <vector>
+
+#include "core/policies/policy.hpp"
+
+namespace dvbp {
+
+class AnyFitPolicy : public Policy {
+ public:
+  BinId select_bin(Time now, const Item& item,
+                   std::span<const BinView> open_bins) final;
+
+ protected:
+  /// Pick a bin from `fitting` (non-empty; preserves opening order).
+  virtual BinId choose(Time now, const Item& item,
+                       std::span<const BinView> fitting) = 0;
+
+ private:
+  std::vector<BinView> fitting_;  // scratch, reused across arrivals
+};
+
+}  // namespace dvbp

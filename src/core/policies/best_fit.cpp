@@ -1,0 +1,45 @@
+#include "core/policies/best_fit.hpp"
+
+#include <stdexcept>
+
+namespace dvbp {
+
+std::string_view load_measure_name(LoadMeasure m) noexcept {
+  switch (m) {
+    case LoadMeasure::kLinf:
+      return "Linf";
+    case LoadMeasure::kL1:
+      return "L1";
+    case LoadMeasure::kL2:
+      return "L2";
+  }
+  return "?";
+}
+
+double measure_load(const RVec& load, LoadMeasure m) {
+  switch (m) {
+    case LoadMeasure::kLinf:
+      return load.linf();
+    case LoadMeasure::kL1:
+      return load.l1();
+    case LoadMeasure::kL2:
+      return load.lp(2.0);
+  }
+  throw std::invalid_argument("measure_load: unknown measure");
+}
+
+BinId BestFitPolicy::choose(Time, const Item&,
+                            std::span<const BinView> fitting) {
+  BinId best = fitting.front().id;
+  double best_load = measure_load(*fitting.front().load, measure_);
+  for (std::size_t i = 1; i < fitting.size(); ++i) {
+    const double w = measure_load(*fitting[i].load, measure_);
+    if (w > best_load) {
+      best_load = w;
+      best = fitting[i].id;
+    }
+  }
+  return best;
+}
+
+}  // namespace dvbp

@@ -1,0 +1,62 @@
+// Clairvoyant extensions (paper Sec. 8, future-work direction): policies
+// that may read the departure time of the arriving item. Included to
+// quantify, on the Sec. 7 workload, how much duration information is worth
+// (bench E11).
+//
+//  * MinExtensionFit: place the item where it extends the bin's projected
+//    usage period the least (extension = max(0, e(r) - latest departure in
+//    bin)); ties broken toward the most-loaded bin. With exact departures
+//    this directly attacks the usage-time objective.
+//  * NoisyMinExtensionFit: same rule, but the policy sees a *predicted*
+//    departure: duration multiplied by exp(sigma * N(0,1)). sigma = 0
+//    recovers the clairvoyant policy; growing sigma models an ML duration
+//    predictor of decreasing quality.
+#pragma once
+
+#include <string>
+
+#include "core/policies/any_fit.hpp"
+#include "core/policies/best_fit.hpp"
+#include "stats/rng.hpp"
+
+namespace dvbp {
+
+class MinExtensionFitPolicy : public AnyFitPolicy {
+ public:
+  explicit MinExtensionFitPolicy(LoadMeasure tie_measure = LoadMeasure::kLinf)
+      : tie_measure_(tie_measure) {}
+
+  std::string_view name() const noexcept override { return "MinExtensionFit"; }
+  bool is_clairvoyant() const noexcept override { return true; }
+
+ protected:
+  BinId choose(Time now, const Item& item,
+               std::span<const BinView> fitting) override;
+
+  /// Departure time the policy believes; overridden by the noisy variant.
+  virtual Time perceived_departure(const Item& item);
+
+ private:
+  LoadMeasure tie_measure_;
+};
+
+class NoisyMinExtensionFitPolicy final : public MinExtensionFitPolicy {
+ public:
+  /// `sigma` is the stddev of the multiplicative log-normal duration error.
+  NoisyMinExtensionFitPolicy(double sigma, std::uint64_t seed = 0xFACEu);
+
+  std::string_view name() const noexcept override { return name_; }
+  void reset() override;
+  double sigma() const noexcept { return sigma_; }
+
+ protected:
+  Time perceived_departure(const Item& item) override;
+
+ private:
+  double sigma_;
+  std::uint64_t seed_;
+  Xoshiro256pp rng_;
+  std::string name_;
+};
+
+}  // namespace dvbp

@@ -1,0 +1,54 @@
+#include "core/policies/class_fit.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace dvbp {
+
+BinId ClassRestrictedFitPolicy::select_bin(
+    Time, const Item& item, std::span<const BinView> open_bins) {
+  const std::int64_t cls = item_class(item);
+  for (const BinView& b : open_bins) {  // opening order = First Fit
+    auto it = bin_class_.find(b.id);
+    if (it != bin_class_.end() && it->second == cls && b.fits(item.size)) {
+      return b.id;
+    }
+  }
+  return kNoBin;
+}
+
+void ClassRestrictedFitPolicy::on_open(Time, BinId bin, const Item& first) {
+  bin_class_[bin] = item_class(first);
+}
+
+void ClassRestrictedFitPolicy::on_depart(Time, BinId bin, const Item&,
+                                         bool closed) {
+  if (closed) bin_class_.erase(bin);
+}
+
+void ClassRestrictedFitPolicy::reset() { bin_class_.clear(); }
+
+HarmonicFitPolicy::HarmonicFitPolicy(std::int64_t max_class)
+    : max_class_(max_class) {
+  if (max_class_ < 1) {
+    throw std::invalid_argument("HarmonicFit: max_class >= 1");
+  }
+  name_ = "HarmonicFit[" + std::to_string(max_class_) + "]";
+}
+
+std::int64_t HarmonicFitPolicy::item_class(const Item& item) const {
+  const double s = item.size.linf();
+  if (s <= 1.0 / static_cast<double>(max_class_)) return max_class_;
+  // Class c satisfies 1/(c+1) < s <= 1/c; floor(1/s) computes it, with the
+  // boundary nudged so s = 1/c lands in class c, not c+1.
+  const auto cls = static_cast<std::int64_t>(std::floor(1.0 / s + 1e-9));
+  return cls < 1 ? 1 : cls;
+}
+
+std::int64_t DurationClassFitPolicy::item_class(const Item& item) const {
+  // Geometric duration classes: [2^k, 2^{k+1}) share a class.
+  return static_cast<std::int64_t>(
+      std::floor(std::log2(std::max(item.duration(), 1e-12))));
+}
+
+}  // namespace dvbp

@@ -1,0 +1,12 @@
+#include "core/policies/first_fit.hpp"
+
+namespace dvbp {
+
+BinId FirstFitPolicy::choose(Time, const Item&,
+                             std::span<const BinView> fitting) {
+  // Bins are presented in opening order; the first fitting one is the
+  // earliest opened.
+  return fitting.front().id;
+}
+
+}  // namespace dvbp

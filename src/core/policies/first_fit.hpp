@@ -1,0 +1,19 @@
+// First Fit: place the item in the earliest-opened bin that can hold it
+// (paper Sec. 2.2). CR bounds: lower (mu+1)d (Thm 5), upper (mu+2)d+1
+// (Thm 3).
+#pragma once
+
+#include "core/policies/any_fit.hpp"
+
+namespace dvbp {
+
+class FirstFitPolicy final : public AnyFitPolicy {
+ public:
+  std::string_view name() const noexcept override { return "FirstFit"; }
+
+ protected:
+  BinId choose(Time now, const Item& item,
+               std::span<const BinView> fitting) override;
+};
+
+}  // namespace dvbp

@@ -1,0 +1,10 @@
+#include "core/policies/last_fit.hpp"
+
+namespace dvbp {
+
+BinId LastFitPolicy::choose(Time, const Item&,
+                            std::span<const BinView> fitting) {
+  return fitting.back().id;
+}
+
+}  // namespace dvbp

@@ -1,0 +1,19 @@
+// Last Fit: place the item in the most recently *opened* bin that can hold
+// it (paper Sec. 7). Contrast with Move To Front, which uses the most
+// recently *used* bin.
+#pragma once
+
+#include "core/policies/any_fit.hpp"
+
+namespace dvbp {
+
+class LastFitPolicy final : public AnyFitPolicy {
+ public:
+  std::string_view name() const noexcept override { return "LastFit"; }
+
+ protected:
+  BinId choose(Time now, const Item& item,
+               std::span<const BinView> fitting) override;
+};
+
+}  // namespace dvbp

@@ -1,0 +1,69 @@
+#include "core/policies/move_to_front.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace dvbp {
+
+BinId MoveToFrontPolicy::choose(Time, const Item&,
+                                std::span<const BinView> fitting) {
+  // Walk the MRU list and return the first bin that is in the fitting set.
+  for (BinId bin : mru_) {
+    for (const BinView& b : fitting) {
+      if (b.id == bin) return bin;
+    }
+  }
+  // Every open fitting bin must be tracked in the MRU list.
+  assert(false && "MoveToFront: fitting bin missing from MRU list");
+  return fitting.front().id;
+}
+
+void MoveToFrontPolicy::on_open(Time now, BinId bin, const Item& first) {
+  mru_.push_front(bin);
+  record(now, first.id);
+}
+
+void MoveToFrontPolicy::on_pack(Time now, BinId bin, const Item& item) {
+  move_to_front(now, bin, item.id);
+}
+
+void MoveToFrontPolicy::on_depart(Time now, BinId bin, const Item&,
+                                  bool closed) {
+  if (!closed) return;
+  const bool was_leader = !mru_.empty() && mru_.front() == bin;
+  mru_.remove(bin);
+  if (was_leader) record(now, kNoItem);
+}
+
+void MoveToFrontPolicy::reset() {
+  mru_.clear();
+  history_.clear();
+}
+
+void MoveToFrontPolicy::move_to_front(Time now, BinId bin, ItemId cause) {
+  if (!mru_.empty() && mru_.front() == bin) return;
+  auto it = std::find(mru_.begin(), mru_.end(), bin);
+  assert(it != mru_.end() && "MoveToFront: unknown bin");
+  mru_.erase(it);
+  mru_.push_front(bin);
+  record(now, cause);
+}
+
+void MoveToFrontPolicy::record(Time now, ItemId cause) {
+  if (!record_history_) return;
+  const BinId leader = mru_.empty() ? kNoBin : mru_.front();
+  if (!history_.empty() && history_.back().leader == leader) return;
+  if (!history_.empty() && history_.back().time == now) {
+    history_.back().leader = leader;
+    history_.back().cause = cause;
+    // Collapse if the overwrite made it a no-op transition.
+    if (history_.size() >= 2 &&
+        history_[history_.size() - 2].leader == leader) {
+      history_.pop_back();
+    }
+    return;
+  }
+  history_.push_back({now, leader, cause});
+}
+
+}  // namespace dvbp

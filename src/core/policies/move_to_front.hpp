@@ -1,0 +1,69 @@
+// Move To Front: bins are kept in most-recent-usage order; the item goes to
+// the first bin in that order that can hold it, which is then moved to the
+// front (paper Sec. 2.2). CR: at most (2mu+1)d+1 (Thm 2), at least
+// max{2mu, (mu+1)d} (Thm 8).
+//
+// The policy optionally records its *leader history* -- which bin is at the
+// front of the list at each moment -- which the analysis of Thm 2
+// decomposes usage periods with (leading vs non-leading intervals). The
+// bench for E9 uses this instrumentation.
+#pragma once
+
+#include <list>
+#include <utility>
+#include <vector>
+
+#include "core/policies/any_fit.hpp"
+
+namespace dvbp {
+
+class MoveToFrontPolicy final : public AnyFitPolicy {
+ public:
+  explicit MoveToFrontPolicy(bool record_leader_history = false)
+      : record_history_(record_leader_history) {}
+
+  std::string_view name() const noexcept override { return "MoveToFront"; }
+
+  void on_open(Time now, BinId bin, const Item& first) override;
+  void on_pack(Time now, BinId bin, const Item& item) override;
+  void on_depart(Time now, BinId bin, const Item& item, bool closed) override;
+  void reset() override;
+
+  /// The MRU order (front = leader = most recently used).
+  const std::list<BinId>& mru_order() const noexcept { return mru_; }
+
+  /// One leader transition. `cause` is the item whose packing made the new
+  /// bin the leader, or kNoItem when the previous leader closed (its last
+  /// item departed) and the next MRU bin inherited leadership. This is the
+  /// raw material of the Theorem 2 analysis: a bin's non-leading interval
+  /// Q_{i,j} starts at a transition away from bin i with cause r_{i,j}.
+  struct LeaderChange {
+    Time time = 0.0;
+    BinId leader = kNoBin;  ///< kNoBin: no open bin at all
+    ItemId cause = kNoItem;
+
+    friend bool operator==(const LeaderChange&, const LeaderChange&) =
+        default;
+  };
+
+  /// Leader transitions, recorded when enabled. Same-instant flips are
+  /// collapsed to the final leader (zero-length leading intervals carry no
+  /// cost).
+  const std::vector<LeaderChange>& leader_history() const noexcept {
+    return history_;
+  }
+
+ protected:
+  BinId choose(Time now, const Item& item,
+               std::span<const BinView> fitting) override;
+
+ private:
+  void move_to_front(Time now, BinId bin, ItemId cause);
+  void record(Time now, ItemId cause);
+
+  std::list<BinId> mru_;
+  bool record_history_;
+  std::vector<LeaderChange> history_;
+};
+
+}  // namespace dvbp

@@ -1,0 +1,32 @@
+#include "core/policies/next_fit.hpp"
+
+namespace dvbp {
+
+BinId NextFitPolicy::select_bin(Time now, const Item& item,
+                                std::span<const BinView> open_bins) {
+  if (current_ == kNoBin) return kNoBin;
+  for (const BinView& b : open_bins) {
+    if (b.id != current_) continue;
+    if (b.fits(item.size)) return current_;
+    // Current bin cannot hold the item: release it and ask for a new bin.
+    releases_.push_back({current_, now, item.id});
+    current_ = kNoBin;
+    return kNoBin;
+  }
+  // The current bin closed (emptied) without being released.
+  current_ = kNoBin;
+  return kNoBin;
+}
+
+void NextFitPolicy::on_open(Time, BinId bin, const Item&) { current_ = bin; }
+
+void NextFitPolicy::on_depart(Time, BinId bin, const Item&, bool closed) {
+  if (closed && bin == current_) current_ = kNoBin;
+}
+
+void NextFitPolicy::reset() {
+  current_ = kNoBin;
+  releases_.clear();
+}
+
+}  // namespace dvbp

@@ -1,0 +1,10 @@
+#include "core/policies/policy.hpp"
+
+namespace dvbp {
+
+void Policy::on_open(Time, BinId, const Item&) {}
+void Policy::on_pack(Time, BinId, const Item&) {}
+void Policy::on_depart(Time, BinId, const Item&, bool) {}
+void Policy::reset() {}
+
+}  // namespace dvbp

@@ -1,0 +1,12 @@
+#include "core/policies/random_fit.hpp"
+
+namespace dvbp {
+
+BinId RandomFitPolicy::choose(Time, const Item&,
+                              std::span<const BinView> fitting) {
+  const auto idx = static_cast<std::size_t>(rng_.uniform_int(
+      0, static_cast<std::int64_t>(fitting.size()) - 1));
+  return fitting[idx].id;
+}
+
+}  // namespace dvbp

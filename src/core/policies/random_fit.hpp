@@ -1,0 +1,29 @@
+// Random Fit: place the item in a fitting bin chosen uniformly at random
+// (paper Sec. 7). Deterministic under a fixed seed.
+#pragma once
+
+#include "core/policies/any_fit.hpp"
+#include "stats/rng.hpp"
+
+namespace dvbp {
+
+class RandomFitPolicy final : public AnyFitPolicy {
+ public:
+  explicit RandomFitPolicy(std::uint64_t seed = 0xD1CEu)
+      : seed_(seed), rng_(seed) {}
+
+  std::string_view name() const noexcept override { return "RandomFit"; }
+
+  /// reset() re-seeds so repeated runs of the same instance are identical.
+  void reset() override { rng_ = Xoshiro256pp(seed_); }
+
+ protected:
+  BinId choose(Time now, const Item& item,
+               std::span<const BinView> fitting) override;
+
+ private:
+  std::uint64_t seed_;
+  Xoshiro256pp rng_;
+};
+
+}  // namespace dvbp

@@ -1,0 +1,76 @@
+#include "core/policies/registry.hpp"
+
+#include <memory>
+#include <stdexcept>
+
+#include "core/policies/best_fit.hpp"
+#include "core/policies/clairvoyant.hpp"
+#include "core/policies/class_fit.hpp"
+#include "core/policies/first_fit.hpp"
+#include "core/policies/last_fit.hpp"
+#include "core/policies/move_to_front.hpp"
+#include "core/policies/next_fit.hpp"
+#include "core/policies/random_fit.hpp"
+#include "core/policies/worst_fit.hpp"
+
+namespace dvbp {
+
+std::vector<std::string> standard_policy_names() {
+  return {"MoveToFront", "FirstFit", "BestFit", "NextFit",
+          "LastFit",     "RandomFit", "WorstFit"};
+}
+
+PolicyPtr make_policy(std::string_view name, std::uint64_t seed) {
+  if (name == "MoveToFront") return std::make_unique<MoveToFrontPolicy>();
+  if (name == "FirstFit") return std::make_unique<FirstFitPolicy>();
+  if (name == "NextFit") return std::make_unique<NextFitPolicy>();
+  if (name == "LastFit") return std::make_unique<LastFitPolicy>();
+  if (name == "RandomFit") return std::make_unique<RandomFitPolicy>(seed);
+  if (name == "BestFit" || name == "BestFit:Linf") {
+    return std::make_unique<BestFitPolicy>(LoadMeasure::kLinf);
+  }
+  if (name == "BestFit:L1") {
+    return std::make_unique<BestFitPolicy>(LoadMeasure::kL1);
+  }
+  if (name == "BestFit:L2") {
+    return std::make_unique<BestFitPolicy>(LoadMeasure::kL2);
+  }
+  if (name == "WorstFit" || name == "WorstFit:Linf") {
+    return std::make_unique<WorstFitPolicy>(LoadMeasure::kLinf);
+  }
+  if (name == "WorstFit:L1") {
+    return std::make_unique<WorstFitPolicy>(LoadMeasure::kL1);
+  }
+  if (name == "WorstFit:L2") {
+    return std::make_unique<WorstFitPolicy>(LoadMeasure::kL2);
+  }
+  if (name == "MinExtensionFit") {
+    return std::make_unique<MinExtensionFitPolicy>();
+  }
+  if (name == "HarmonicFit") return std::make_unique<HarmonicFitPolicy>();
+  constexpr std::string_view kHarmonic = "HarmonicFit:";
+  if (name.substr(0, kHarmonic.size()) == kHarmonic) {
+    const auto k = std::stoll(std::string(name.substr(kHarmonic.size())));
+    return std::make_unique<HarmonicFitPolicy>(k);
+  }
+  if (name == "DurationClassFit") {
+    return std::make_unique<DurationClassFitPolicy>();
+  }
+  constexpr std::string_view kNoisy = "NoisyMinExtensionFit:";
+  if (name.substr(0, kNoisy.size()) == kNoisy) {
+    const double sigma = std::stod(std::string(name.substr(kNoisy.size())));
+    return std::make_unique<NoisyMinExtensionFitPolicy>(sigma, seed);
+  }
+  throw std::invalid_argument("make_policy: unknown policy '" +
+                              std::string(name) + "'");
+}
+
+std::vector<PolicyPtr> make_standard_policies(std::uint64_t seed) {
+  std::vector<PolicyPtr> out;
+  for (const std::string& n : standard_policy_names()) {
+    out.push_back(make_policy(n, seed));
+  }
+  return out;
+}
+
+}  // namespace dvbp

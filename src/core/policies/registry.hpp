@@ -1,0 +1,29 @@
+// Policy registry: construct policies by name. The bench binaries and
+// examples use this to let the user pick algorithms on the command line.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/policies/policy.hpp"
+
+namespace dvbp {
+
+/// Names accepted by make_policy, in the paper's Sec. 7 presentation order.
+std::vector<std::string> standard_policy_names();
+
+/// Constructs a policy by name. Accepted names (case sensitive):
+///   MoveToFront | FirstFit | BestFit | NextFit | LastFit | RandomFit |
+///   WorstFit | BestFit:L1 | BestFit:L2 | WorstFit:L1 | WorstFit:L2 |
+///   HarmonicFit | HarmonicFit:<K> | MinExtensionFit |
+///   NoisyMinExtensionFit:<sigma> | DurationClassFit
+/// `seed` feeds the randomized policies. Throws std::invalid_argument for
+/// unknown names.
+PolicyPtr make_policy(std::string_view name, std::uint64_t seed = 0xD1CEu);
+
+/// The seven Sec. 7 algorithms, freshly constructed.
+std::vector<PolicyPtr> make_standard_policies(std::uint64_t seed = 0xD1CEu);
+
+}  // namespace dvbp

@@ -1,0 +1,19 @@
+#include "core/policies/worst_fit.hpp"
+
+namespace dvbp {
+
+BinId WorstFitPolicy::choose(Time, const Item&,
+                             std::span<const BinView> fitting) {
+  BinId best = fitting.front().id;
+  double best_load = measure_load(*fitting.front().load, measure_);
+  for (std::size_t i = 1; i < fitting.size(); ++i) {
+    const double w = measure_load(*fitting[i].load, measure_);
+    if (w < best_load) {
+      best_load = w;
+      best = fitting[i].id;
+    }
+  }
+  return best;
+}
+
+}  // namespace dvbp

@@ -1,0 +1,32 @@
+// Worst Fit: place the item in the *least* loaded fitting bin (paper
+// Sec. 7). Spreads items thin; included as the experimental strawman.
+#pragma once
+
+#include <string>
+
+#include "core/policies/any_fit.hpp"
+#include "core/policies/best_fit.hpp"
+
+namespace dvbp {
+
+class WorstFitPolicy final : public AnyFitPolicy {
+ public:
+  explicit WorstFitPolicy(LoadMeasure measure = LoadMeasure::kLinf)
+      : measure_(measure),
+        name_(std::string("WorstFit[") +
+              std::string(load_measure_name(measure)) + "]") {}
+
+  std::string_view name() const noexcept override { return name_; }
+  LoadMeasure measure() const noexcept { return measure_; }
+
+ protected:
+  /// Least-loaded fitting bin; ties broken toward the earliest opened.
+  BinId choose(Time now, const Item& item,
+               std::span<const BinView> fitting) override;
+
+ private:
+  LoadMeasure measure_;
+  std::string name_;
+};
+
+}  // namespace dvbp

@@ -1,0 +1,187 @@
+#include "core/rvec.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace dvbp {
+
+RVec::RVec(std::size_t dim) { resize_uninitialized(dim); }
+
+RVec::RVec(std::size_t dim, double fill) {
+  resize_uninitialized(dim);
+  std::fill(data(), data() + dim_, fill);
+}
+
+RVec::RVec(std::initializer_list<double> components) {
+  resize_uninitialized(components.size());
+  std::copy(components.begin(), components.end(), data());
+}
+
+RVec::RVec(const RVec& other) {
+  resize_uninitialized(other.dim_);
+  std::copy(other.data(), other.data() + dim_, data());
+}
+
+RVec::RVec(RVec&& other) noexcept
+    : dim_(other.dim_), inline_(other.inline_), heap_(std::move(other.heap_)) {
+  other.dim_ = 0;
+}
+
+RVec& RVec::operator=(const RVec& other) {
+  if (this == &other) return *this;
+  resize_uninitialized(other.dim_);
+  std::copy(other.data(), other.data() + dim_, data());
+  return *this;
+}
+
+RVec& RVec::operator=(RVec&& other) noexcept {
+  if (this == &other) return *this;
+  dim_ = other.dim_;
+  inline_ = other.inline_;
+  heap_ = std::move(other.heap_);
+  other.dim_ = 0;
+  return *this;
+}
+
+void RVec::resize_uninitialized(std::size_t dim) {
+  dim_ = dim;
+  if (dim_ > kInlineDim) {
+    heap_.resize(dim_);
+  } else {
+    heap_.clear();
+    inline_.fill(0.0);
+  }
+}
+
+RVec RVec::axis(std::size_t dim, std::size_t axis, double value, double rest) {
+  if (axis >= dim) throw std::out_of_range("RVec::axis: axis >= dim");
+  RVec v(dim, rest);
+  v[axis] = value;
+  return v;
+}
+
+RVec& RVec::operator+=(const RVec& rhs) {
+  assert(dim_ == rhs.dim_ && "RVec dimension mismatch");
+  double* a = data();
+  const double* b = rhs.data();
+  for (std::size_t i = 0; i < dim_; ++i) a[i] += b[i];
+  return *this;
+}
+
+RVec& RVec::operator-=(const RVec& rhs) {
+  assert(dim_ == rhs.dim_ && "RVec dimension mismatch");
+  double* a = data();
+  const double* b = rhs.data();
+  for (std::size_t i = 0; i < dim_; ++i) a[i] -= b[i];
+  return *this;
+}
+
+RVec& RVec::operator*=(double c) noexcept {
+  double* a = data();
+  for (std::size_t i = 0; i < dim_; ++i) a[i] *= c;
+  return *this;
+}
+
+bool RVec::operator==(const RVec& rhs) const noexcept {
+  if (dim_ != rhs.dim_) return false;
+  return std::equal(data(), data() + dim_, rhs.data());
+}
+
+double RVec::linf() const noexcept {
+  double m = 0.0;
+  const double* a = data();
+  for (std::size_t i = 0; i < dim_; ++i) m = std::max(m, a[i]);
+  return m;
+}
+
+double RVec::l1() const noexcept {
+  double s = 0.0;
+  const double* a = data();
+  for (std::size_t i = 0; i < dim_; ++i) s += a[i];
+  return s;
+}
+
+double RVec::lp(double p) const {
+  if (p < 1.0) throw std::invalid_argument("RVec::lp: p must be >= 1");
+  double s = 0.0;
+  const double* a = data();
+  for (std::size_t i = 0; i < dim_; ++i) s += std::pow(a[i], p);
+  return std::pow(s, 1.0 / p);
+}
+
+bool RVec::is_nonnegative(double eps) const noexcept {
+  const double* a = data();
+  for (std::size_t i = 0; i < dim_; ++i) {
+    if (a[i] < -eps) return false;
+  }
+  return true;
+}
+
+bool RVec::fits_in_capacity(double cap, double eps) const noexcept {
+  const double* a = data();
+  for (std::size_t i = 0; i < dim_; ++i) {
+    if (a[i] > cap + eps) return false;
+  }
+  return true;
+}
+
+bool RVec::fits_with(const RVec& add, double eps) const noexcept {
+  assert(dim_ == add.dim_ && "RVec dimension mismatch");
+  const double* a = data();
+  const double* b = add.data();
+  for (std::size_t i = 0; i < dim_; ++i) {
+    if (a[i] + b[i] > 1.0 + eps) return false;
+  }
+  return true;
+}
+
+bool RVec::fits_with_capacity(const RVec& add, double cap,
+                              double eps) const noexcept {
+  assert(dim_ == add.dim_ && "RVec dimension mismatch");
+  const double* a = data();
+  const double* b = add.data();
+  for (std::size_t i = 0; i < dim_; ++i) {
+    if (a[i] + b[i] > cap + eps) return false;
+  }
+  return true;
+}
+
+void RVec::clamp_nonnegative() noexcept {
+  double* a = data();
+  for (std::size_t i = 0; i < dim_; ++i) a[i] = std::max(a[i], 0.0);
+}
+
+void RVec::max_with(const RVec& other) {
+  assert(dim_ == other.dim_ && "RVec dimension mismatch");
+  double* a = data();
+  const double* b = other.data();
+  for (std::size_t i = 0; i < dim_; ++i) a[i] = std::max(a[i], b[i]);
+}
+
+std::string RVec::to_string() const {
+  std::ostringstream os;
+  os << *this;
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const RVec& v) {
+  os << '(';
+  for (std::size_t i = 0; i < v.dim(); ++i) {
+    if (i) os << ", ";
+    os << v[i];
+  }
+  return os << ')';
+}
+
+RVec sum(const std::vector<RVec>& vs) {
+  if (vs.empty()) return RVec{};
+  RVec total(vs.front().dim());
+  for (const RVec& v : vs) total += v;
+  return total;
+}
+
+}  // namespace dvbp

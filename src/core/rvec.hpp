@@ -1,0 +1,127 @@
+// RVec: a small d-dimensional non-negative resource vector.
+//
+// This is the size/load type of the DVBP problem (paper Sec. 2): item sizes
+// s(r) in [0,1]^d and bin loads. Dimensions encountered in practice are tiny
+// (the paper evaluates d in {1,2,5}), so RVec keeps the components inline for
+// d <= kInlineDim and only falls back to the heap beyond that. All hot-loop
+// operations (+=, -=, fits_with) are allocation-free.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <initializer_list>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace dvbp {
+
+class RVec {
+ public:
+  /// Components stored inline; covers every dimension the paper evaluates.
+  static constexpr std::size_t kInlineDim = 8;
+
+  /// Zero vector of dimension 0. Useful as a placeholder only.
+  RVec() noexcept = default;
+
+  /// Zero vector of dimension `dim`.
+  explicit RVec(std::size_t dim);
+
+  /// Vector of dimension `dim` with every component equal to `fill`.
+  RVec(std::size_t dim, double fill);
+
+  /// Vector from an explicit component list, e.g. RVec{0.5, 0.25}.
+  RVec(std::initializer_list<double> components);
+
+  RVec(const RVec& other);
+  RVec(RVec&& other) noexcept;
+  RVec& operator=(const RVec& other);
+  RVec& operator=(RVec&& other) noexcept;
+  ~RVec() = default;
+
+  /// Named constructors.
+  static RVec zeros(std::size_t dim) { return RVec(dim); }
+  static RVec ones(std::size_t dim) { return RVec(dim, 1.0); }
+  /// Unit-ish vector: `value` in dimension `axis`, `rest` elsewhere.
+  static RVec axis(std::size_t dim, std::size_t axis, double value,
+                   double rest = 0.0);
+
+  std::size_t dim() const noexcept { return dim_; }
+  bool empty() const noexcept { return dim_ == 0; }
+
+  double operator[](std::size_t i) const noexcept { return data()[i]; }
+  double& operator[](std::size_t i) noexcept { return data()[i]; }
+
+  const double* data() const noexcept {
+    return dim_ <= kInlineDim ? inline_.data() : heap_.data();
+  }
+  double* data() noexcept {
+    return dim_ <= kInlineDim ? inline_.data() : heap_.data();
+  }
+
+  const double* begin() const noexcept { return data(); }
+  const double* end() const noexcept { return data() + dim_; }
+
+  RVec& operator+=(const RVec& rhs);
+  RVec& operator-=(const RVec& rhs);
+  RVec& operator*=(double c) noexcept;
+
+  friend RVec operator+(RVec lhs, const RVec& rhs) { return lhs += rhs; }
+  friend RVec operator-(RVec lhs, const RVec& rhs) { return lhs -= rhs; }
+  friend RVec operator*(RVec lhs, double c) { return lhs *= c; }
+  friend RVec operator*(double c, RVec rhs) { return rhs *= c; }
+
+  bool operator==(const RVec& rhs) const noexcept;
+  bool operator!=(const RVec& rhs) const noexcept { return !(*this == rhs); }
+
+  /// L-infinity norm: max component (Sec. 2, used throughout the analysis).
+  double linf() const noexcept;
+  /// L1 norm: sum of components.
+  double l1() const noexcept;
+  /// General Lp norm for p >= 1.
+  double lp(double p) const;
+
+  /// True when every component is >= 0 (valid resource demand).
+  bool is_nonnegative(double eps = 0.0) const noexcept;
+
+  /// True when every component is <= `cap` + eps (fits in a bin of uniform
+  /// capacity `cap`; bins have capacity 1 after normalization).
+  bool fits_in_capacity(double cap = 1.0,
+                        double eps = kCapacityEps) const noexcept;
+
+  /// True when (*this + add) fits in a unit bin, i.e. for every dimension j,
+  /// (*this)[j] + add[j] <= 1 + eps. This is the hot-path feasibility test.
+  bool fits_with(const RVec& add, double eps = kCapacityEps) const noexcept;
+
+  /// Capacity-augmented variant: (*this + add) <= cap per dimension. Used
+  /// by the resource-augmentation analysis (online bins of size 1+beta).
+  bool fits_with_capacity(const RVec& add, double cap,
+                          double eps = kCapacityEps) const noexcept;
+
+  /// Component-wise clamp to [0, +inf). Bin loads are maintained by adding
+  /// and subtracting item sizes; clamping removes -1e-17-style residue after
+  /// the last item departs.
+  void clamp_nonnegative() noexcept;
+
+  /// Component-wise maximum, in place.
+  void max_with(const RVec& other);
+
+  /// "(0.50, 0.25)" -- for diagnostics and test failure messages.
+  std::string to_string() const;
+
+ private:
+  void resize_uninitialized(std::size_t dim);
+
+  std::size_t dim_ = 0;
+  std::array<double, kInlineDim> inline_{};
+  std::vector<double> heap_;
+};
+
+std::ostream& operator<<(std::ostream& os, const RVec& v);
+
+/// Sum of a range of vectors (all the same dimension).
+RVec sum(const std::vector<RVec>& vs);
+
+}  // namespace dvbp

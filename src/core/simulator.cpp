@@ -1,0 +1,169 @@
+#include "core/simulator.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "core/bin_state.hpp"
+#include "core/event.hpp"
+#include "core/policies/registry.hpp"
+
+namespace dvbp {
+
+namespace {
+
+/// Engine-internal mutable run state, kept out of the public header.
+class Engine {
+ public:
+  Engine(const Instance& inst, Policy& policy, const SimOptions& opts)
+      : inst_(inst), policy_(policy), opts_(opts),
+        assignment_(inst.size(), kNoBin) {}
+
+  SimResult run() {
+    policy_.reset();
+    const std::vector<Event> events = build_event_stream(inst_);
+    for (const Event& ev : events) {
+      if (ev.kind == EventKind::kDeparture) {
+        handle_departure(ev);
+      } else {
+        handle_arrival(ev);
+      }
+      if (opts_.record_timeline) note_timeline(ev.time);
+    }
+    assert(open_order_.empty() && "bins remain open after all departures");
+    return finish();
+  }
+
+ private:
+  void handle_arrival(const Event& ev) {
+    const Item& item = inst_[ev.item];
+    views_.clear();
+    views_.reserve(open_order_.size());
+    for (std::size_t idx : open_order_) {
+      const BinState& b = bins_[idx];
+      views_.push_back(BinView{b.id(), &b.load(), b.opened_at(),
+                               b.num_active(), b.latest_departure(),
+                               b.capacity()});
+    }
+    const BinId chosen =
+        policy_.select_bin(ev.time, item, std::span<const BinView>(views_));
+    if (chosen == kNoBin) {
+      open_bin(ev.time, item);
+    } else {
+      pack_into(ev.time, chosen, item);
+    }
+    max_open_ = std::max(max_open_, open_order_.size());
+  }
+
+  void open_bin(Time now, const Item& item) {
+    const BinId id = static_cast<BinId>(bins_.size());
+    bins_.emplace_back(id, inst_.dim(), now, opts_.bin_capacity);
+    records_.push_back(BinRecord{id, now, now, {}});
+    open_order_.push_back(bins_.size() - 1);
+    BinState& bin = bins_.back();
+    if (!bin.fits(item.size)) {
+      throw PolicyViolation("item does not fit even in an empty bin");
+    }
+    bin.add(item);
+    records_.back().items.push_back(item.id);
+    assignment_[item.id] = id;
+    policy_.on_open(now, id, item);
+  }
+
+  void pack_into(Time now, BinId chosen, const Item& item) {
+    auto it = std::find_if(open_order_.begin(), open_order_.end(),
+                           [&](std::size_t idx) {
+                             return bins_[idx].id() == chosen;
+                           });
+    if (it == open_order_.end()) {
+      throw PolicyViolation("policy '" + std::string(policy_.name()) +
+                            "' selected bin that is not open");
+    }
+    BinState& bin = bins_[*it];
+    if (!bin.fits(item.size)) {
+      throw PolicyViolation("policy '" + std::string(policy_.name()) +
+                            "' selected a bin that cannot hold the item");
+    }
+    bin.add(item);
+    records_[bin.id()].items.push_back(item.id);
+    assignment_[item.id] = bin.id();
+    policy_.on_pack(now, bin.id(), item);
+  }
+
+  void handle_departure(const Event& ev) {
+    const Item& item = inst_[ev.item];
+    const BinId bin_id = assignment_[item.id];
+    assert(bin_id != kNoBin && "departure before arrival");
+    auto it = std::find_if(open_order_.begin(), open_order_.end(),
+                           [&](std::size_t idx) {
+                             return bins_[idx].id() == bin_id;
+                           });
+    assert(it != open_order_.end() && "departure from a closed bin");
+    BinState& bin = bins_[*it];
+    const bool emptied = bin.remove(item, inst_.items());
+    if (emptied) {
+      records_[bin_id].closed = ev.time;
+      open_order_.erase(it);
+    }
+    policy_.on_depart(ev.time, bin_id, item, emptied);
+  }
+
+  void note_timeline(Time t) {
+    if (!timeline_.empty() && timeline_.back().first == t) {
+      timeline_.back().second = open_order_.size();
+    } else {
+      timeline_.emplace_back(t, open_order_.size());
+    }
+  }
+
+  SimResult finish() {
+    SimResult result;
+    result.bins_opened = bins_.size();
+    result.max_open_bins = max_open_;
+    result.packing = Packing(std::move(assignment_), std::move(records_));
+    result.cost = result.packing.cost();
+    result.timeline = std::move(timeline_);
+    if (opts_.audit) {
+      if (auto err = result.packing.validate(inst_)) {
+        throw std::logic_error("simulate: packing audit failed: " + *err);
+      }
+    }
+    return result;
+  }
+
+  const Instance& inst_;
+  Policy& policy_;
+  const SimOptions& opts_;
+
+  std::vector<BinState> bins_;        // every bin ever opened, by id
+  std::vector<std::size_t> open_order_;  // indices of open bins, opening order
+  std::vector<BinRecord> records_;
+  std::vector<BinId> assignment_;
+  std::vector<BinView> views_;  // scratch
+  std::size_t max_open_ = 0;
+  std::vector<std::pair<Time, std::size_t>> timeline_;
+};
+
+}  // namespace
+
+SimResult simulate(const Instance& inst, Policy& policy, SimOptions opts) {
+  if (auto err = inst.validate()) {
+    throw std::invalid_argument("simulate: invalid instance: " + *err);
+  }
+  if (opts.bin_capacity < 1.0) {
+    throw std::invalid_argument("simulate: bin_capacity must be >= 1");
+  }
+  if (opts.audit && opts.bin_capacity != 1.0) {
+    throw std::invalid_argument(
+        "simulate: audit assumes unit bins; disable it under augmentation");
+  }
+  Engine engine(inst, policy, opts);
+  return engine.run();
+}
+
+SimResult simulate(const Instance& inst, std::string_view policy_name,
+                   SimOptions opts, std::uint64_t policy_seed) {
+  PolicyPtr policy = make_policy(policy_name, policy_seed);
+  return simulate(inst, *policy, opts);
+}
+
+}  // namespace dvbp

@@ -1,0 +1,44 @@
+// Fundamental scalar types and tolerances shared across the dvbp library.
+//
+// Time is modelled as a double; every built-in workload generator emits
+// integral timestamps, so the only rounding concerns are accumulated sums of
+// interval lengths. Tolerances used in capacity and interval comparisons are
+// centralized here so the whole library agrees on what "fits" means.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace dvbp {
+
+/// Simulation time. Half-open item intervals [a(r), e(r)) per the paper.
+using Time = double;
+
+/// Index of an item within an Instance (also its arrival-order tiebreak).
+using ItemId = std::uint32_t;
+
+/// Identifier of a bin within a simulation run. Bins are never reopened, so
+/// ids increase monotonically with opening time.
+using BinId = std::uint32_t;
+
+/// Sentinel returned by a policy to request opening a fresh bin.
+inline constexpr BinId kNoBin = std::numeric_limits<BinId>::max();
+
+/// Sentinel for "no item".
+inline constexpr ItemId kNoItem = std::numeric_limits<ItemId>::max();
+
+/// Additive slack used when testing whether an item fits in a bin. Item
+/// sizes are normalized to [0,1]; generators use sizes no finer than ~1e-6,
+/// so 1e-9 absorbs floating error without changing feasibility decisions.
+inline constexpr double kCapacityEps = 1e-9;
+
+/// Tolerance for comparing timestamps / interval endpoints.
+inline constexpr double kTimeEps = 1e-9;
+
+/// Returns true when `a` and `b` are equal up to kTimeEps.
+constexpr bool time_eq(Time a, Time b) noexcept {
+  const double diff = a > b ? a - b : b - a;
+  return diff <= kTimeEps;
+}
+
+}  // namespace dvbp

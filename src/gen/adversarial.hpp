@@ -1,0 +1,57 @@
+// Adversarial instance constructions from Section 6 of the paper, plus a
+// Best Fit gadget witnessing Theorem 7. Each generator returns the instance
+// together with the quantities its proof predicts (bins forced open, online
+// cost, an upper bound on OPT), which the tests assert against simulation
+// and bench_table1 reports next to the Table 1 bounds.
+#pragma once
+
+#include <string>
+
+#include "core/instance.hpp"
+
+namespace dvbp::gen {
+
+struct AdversarialInstance {
+  Instance instance;
+  std::string target;            ///< algorithm family the gadget attacks
+  std::size_t predicted_bins = 0;  ///< bins the target algorithm must open
+  double predicted_online_cost = 0.0;  ///< lower bound on the target's cost
+  double predicted_opt_upper = 0.0;    ///< upper bound on OPT(R)
+  /// predicted_online_cost / predicted_opt_upper: a certified lower bound
+  /// on the target's competitive ratio.
+  double predicted_ratio() const {
+    return predicted_online_cost / predicted_opt_upper;
+  }
+};
+
+/// Theorem 5 construction: forces ANY Any Fit algorithm (with a full open
+/// list; Next Fit has its own gadget below) to open d*k bins, each kept
+/// alive for ~mu+1 by one small long item, while OPT pays ~k + mu + 1.
+/// Ratio -> (mu+1)d as k grows.
+///
+/// `delta` is how long before the R0 departures the R1 items arrive (the
+/// paper's "just before any items of R0 depart"); it must lie in (0, 1).
+AdversarialInstance anyfit_lower_bound(std::size_t k, std::size_t d,
+                                       double mu, double delta = 0.01);
+
+/// Theorem 6 construction against Next Fit: NF opens 1 + (k-1)d bins, each
+/// holding a duration-mu item, while OPT pays mu + k/2. Ratio -> 2*mu*d.
+/// `k` must be even and >= 2.
+AdversarialInstance nextfit_lower_bound(std::size_t k, std::size_t d,
+                                        double mu);
+
+/// Theorem 8 construction against Move To Front (d = 1): 4n items at time
+/// 0; MTF opens 2n bins each holding a long small item; OPT pays mu + n.
+/// Ratio -> 2*mu.
+AdversarialInstance mtf_lower_bound(std::size_t n, double mu);
+
+/// Best Fit unboundedness gadget (Thm 7 / [22] in spirit): k phases; in
+/// phase i a near-full filler bin lures the long-lived tiny item i into a
+/// bin that immediately empties around it, leaving k perpetually-open
+/// nearly-empty bins. cost(BF) ~ k^2/2 while OPT ~ 3k/2, so the ratio grows
+/// ~ k/3 without bound (mu grows with k; First Fit stays near OPT on the
+/// same instance). `k` <= 40 (tiny sizes shrink geometrically and must stay
+/// well above the capacity tolerance).
+AdversarialInstance bestfit_unbounded(std::size_t k);
+
+}  // namespace dvbp::gen

@@ -1,0 +1,63 @@
+#include <stdexcept>
+
+#include "gen/adversarial.hpp"
+
+namespace dvbp::gen {
+
+// Theorem 5. Items R0 = {1..2dk} arrive at time 0 in label order with
+// active interval [0, 1):
+//   even labels (group G0): size (d*eps - eps') * 1^d
+//   odd label 2m-1 in group G_i (i = ceil(m/k)): size (1 - d*eps) in
+//     dimension i, eps elsewhere.
+// Every Any Fit algorithm packs them pairwise into dk bins, each loaded at
+// exactly 1 - eps' in one dimension. R1 = dk items of size eps' * 1^d
+// arriving just before the R0 departures with duration mu; each fits (and
+// exactly fills) one distinct bin, pinning all dk bins open for ~mu more.
+//
+// Parameter choice: eps = 1/(2 d^2 k) satisfies d^2*eps*k < 1 and
+// eps(1+d) < 1; eps' = eps/4 satisfies eps' < eps and d*eps > 2*eps'.
+AdversarialInstance anyfit_lower_bound(std::size_t k, std::size_t d,
+                                       double mu, double delta) {
+  if (k < 1) throw std::invalid_argument("anyfit_lower_bound: k >= 1");
+  if (d < 1) throw std::invalid_argument("anyfit_lower_bound: d >= 1");
+  if (mu < 1.0) throw std::invalid_argument("anyfit_lower_bound: mu >= 1");
+  if (!(delta > 0.0 && delta < 1.0)) {
+    throw std::invalid_argument("anyfit_lower_bound: delta in (0,1)");
+  }
+  const double dd = static_cast<double>(d);
+  const double eps = 1.0 / (2.0 * dd * dd * static_cast<double>(k));
+  const double eps_p = eps / 4.0;
+  if (eps * (1.0 + dd) >= 1.0) {
+    throw std::invalid_argument("anyfit_lower_bound: k too small for d");
+  }
+
+  AdversarialInstance out;
+  out.target = "AnyFit";
+  Instance inst(d);
+
+  // R0: labels 1..2dk in order; label 2m-1 is the m-th odd item.
+  for (std::size_t m = 1; m <= d * k; ++m) {
+    const std::size_t group = (m - 1) / k;  // 0-based group index i-1
+    inst.add(0.0, 1.0,
+             RVec::axis(d, group, 1.0 - dd * eps, eps));  // odd label 2m-1
+    inst.add(0.0, 1.0, RVec(d, dd * eps - eps_p));        // even label 2m
+  }
+  // R1: dk fillers of size eps' * 1^d arriving delta before the departures.
+  const Time r1_arrival = 1.0 - delta;
+  for (std::size_t i = 0; i < d * k; ++i) {
+    inst.add(r1_arrival, r1_arrival + mu, RVec(d, eps_p));
+  }
+
+  out.instance = std::move(inst);
+  out.predicted_bins = d * k;
+  // Each of the dk bins opens at 0 and holds an R1 item until 1-delta+mu.
+  out.predicted_online_cost =
+      static_cast<double>(d * k) * (mu + 1.0 - delta);
+  // OPT: one bin B0 for all of G0 and R1 (usage 1-delta+mu... from 0), plus
+  // k bins holding one odd item per group each (usage 1).
+  out.predicted_opt_upper =
+      static_cast<double>(k) + (mu + 1.0 - delta);
+  return out;
+}
+
+}  // namespace dvbp::gen

@@ -1,0 +1,60 @@
+#include <stdexcept>
+
+#include "gen/adversarial.hpp"
+
+namespace dvbp::gen {
+
+// Best Fit lure gadget (witnesses Theorem 7 / [22]).
+//
+// Phase i (at time i-1, for i = 1..k):
+//   filler f_i: size 1 - s_i, active [i-1, i-0.5)
+//   tiny   t_i: size s_i, active [i-0.75, k+1)
+// with s_i = 0.2 * 0.75^(i-1), strictly decreasing.
+//
+// Why Best Fit loses: when f_i arrives, the open bins hold exactly the
+// tinies t_1..t_{i-1}; none can take it (s_j + 1 - s_i > 1 because
+// s_j > s_i), so f_i opens bin B_i. When t_i arrives 0.25 later, B_i (load
+// ~1) is the most-loaded bin that still fits it exactly, so Best Fit puts
+// t_i there -- and when f_i departs, t_i is stranded alone in B_i until the
+// horizon k+1. Result: k bins open from phase start to k+1,
+// cost(BF) = sum_i (k+1-(i-1)) ... >= k^2/2.
+//
+// Why OPT doesn't: all tinies fit together in one bin
+// (sum s_i < 0.8 < 1) open for ~k+1, and the fillers reuse a second bin
+// back-to-back (they never overlap), costing k * 0.5. OPT <= (k+1) + k/2.
+// First Fit recovers the same behaviour online: it stacks every tiny into
+// the earliest tiny bin.
+//
+// The ratio grows ~ k/3, i.e. without bound as k -> infinity (mu grows with
+// k; no function of d or the input length caps it, matching Thm 7).
+AdversarialInstance bestfit_unbounded(std::size_t k) {
+  if (k < 1) throw std::invalid_argument("bestfit_unbounded: k >= 1");
+  if (k > 40) {
+    // s_i decays geometrically; beyond ~40 phases the tiny-size gaps fall
+    // toward the capacity tolerance and the gadget's strict inequalities
+    // degrade.
+    throw std::invalid_argument("bestfit_unbounded: k <= 40");
+  }
+
+  AdversarialInstance out;
+  out.target = "BestFit";
+  Instance inst(1);
+  const Time horizon = static_cast<Time>(k) + 1.0;
+  double tiny = 0.2;
+  double online_cost = 0.0;
+  for (std::size_t i = 1; i <= k; ++i) {
+    const Time phase = static_cast<Time>(i - 1);
+    inst.add(phase, phase + 0.5, RVec{1.0 - tiny});       // filler f_i
+    inst.add(phase + 0.25, horizon, RVec{tiny});          // tiny t_i
+    online_cost += horizon - phase;  // bin B_i open [phase, horizon)
+    tiny *= 0.75;
+  }
+
+  out.instance = std::move(inst);
+  out.predicted_bins = k;
+  out.predicted_online_cost = online_cost;
+  out.predicted_opt_upper = horizon + static_cast<double>(k) * 0.5;
+  return out;
+}
+
+}  // namespace dvbp::gen

@@ -1,0 +1,33 @@
+#include <stdexcept>
+
+#include "gen/adversarial.hpp"
+
+namespace dvbp::gen {
+
+// Theorem 8 (d = 1). 4n items arrive at time 0 in label order: odd labels
+// have size 1/2 and duration 1; even labels have size 1/(2n) and duration
+// mu. Move To Front pairs them into 2n bins (each freshly-opened bin is the
+// leader and grabs the next small item), and every bin holds a duration-mu
+// item. OPT packs the 2n small items into one bin (cost mu) and pairs the
+// 1/2-size items into n bins (cost 1 each).
+AdversarialInstance mtf_lower_bound(std::size_t n, double mu) {
+  if (n < 1) throw std::invalid_argument("mtf_lower_bound: n >= 1");
+  if (mu < 1.0) throw std::invalid_argument("mtf_lower_bound: mu >= 1");
+
+  AdversarialInstance out;
+  out.target = "MoveToFront";
+  Instance inst(1);
+  const double small = 1.0 / (2.0 * static_cast<double>(n));
+  for (std::size_t i = 0; i < 2 * n; ++i) {
+    inst.add(0.0, 1.0, RVec{0.5});    // odd label
+    inst.add(0.0, mu, RVec{small});   // even label
+  }
+
+  out.instance = std::move(inst);
+  out.predicted_bins = 2 * n;
+  out.predicted_online_cost = static_cast<double>(2 * n) * mu;
+  out.predicted_opt_upper = mu + static_cast<double>(n);
+  return out;
+}
+
+}  // namespace dvbp::gen

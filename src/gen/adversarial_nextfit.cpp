@@ -1,0 +1,45 @@
+#include <stdexcept>
+
+#include "gen/adversarial.hpp"
+
+namespace dvbp::gen {
+
+// Theorem 6. Items {1..2dk} arrive at time 0 in label order:
+//   even labels: size eps' * 1^d, active [0, mu)
+//   odd label 2m-1 in group G_i: size (1/2 - d*eps) in dimension i, eps
+//     elsewhere, active [0, 1).
+// Next Fit packs pairwise; a phase boundary lets the current bin absorb the
+// first pair of the next group, so NF opens 1 + (k-1)d bins, each pinned
+// open for mu by an even item. OPT packs all evens in one bin (cost mu) and
+// the odds two-per-bin in k/2 bins (cost 1 each).
+//
+// Parameter choice: eps' = 1/(2dk) gives eps'*d*k = 1/2 < 1;
+// eps = eps'/(4d) gives eps' > 2*d*eps.
+AdversarialInstance nextfit_lower_bound(std::size_t k, std::size_t d,
+                                        double mu) {
+  if (k < 2 || k % 2 != 0) {
+    throw std::invalid_argument("nextfit_lower_bound: k must be even >= 2");
+  }
+  if (d < 1) throw std::invalid_argument("nextfit_lower_bound: d >= 1");
+  if (mu < 1.0) throw std::invalid_argument("nextfit_lower_bound: mu >= 1");
+  const double dd = static_cast<double>(d);
+  const double eps_p = 1.0 / (2.0 * dd * static_cast<double>(k));
+  const double eps = eps_p / (4.0 * dd);
+
+  AdversarialInstance out;
+  out.target = "NextFit";
+  Instance inst(d);
+  for (std::size_t m = 1; m <= d * k; ++m) {
+    const std::size_t group = (m - 1) / k;
+    inst.add(0.0, 1.0, RVec::axis(d, group, 0.5 - dd * eps, eps));
+    inst.add(0.0, mu, RVec(d, eps_p));
+  }
+
+  out.instance = std::move(inst);
+  out.predicted_bins = 1 + (k - 1) * d;
+  out.predicted_online_cost = static_cast<double>(out.predicted_bins) * mu;
+  out.predicted_opt_upper = mu + static_cast<double>(k) / 2.0;
+  return out;
+}
+
+}  // namespace dvbp::gen

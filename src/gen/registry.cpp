@@ -1,0 +1,49 @@
+#include "gen/registry.hpp"
+
+#include <stdexcept>
+
+#include "gen/traces.hpp"
+
+namespace dvbp::gen {
+
+std::vector<std::string> generator_names() {
+  return {"uniform", "zipf", "bursty", "correlated", "diurnal"};
+}
+
+GeneratorFn make_generator(std::string_view name, const UniformParams& base,
+                           std::uint64_t seed) {
+  if (name == "uniform") {
+    return [base, seed](std::uint64_t trial) {
+      Xoshiro256pp rng = Xoshiro256pp::for_trial(seed, trial);
+      return uniform_instance(base, rng);
+    };
+  }
+  if (name == "zipf") {
+    return [base, seed](std::uint64_t trial) {
+      Xoshiro256pp rng = Xoshiro256pp::for_trial(seed, trial);
+      return zipf_duration_instance({base, 1.2}, rng);
+    };
+  }
+  if (name == "bursty") {
+    return [base, seed](std::uint64_t trial) {
+      Xoshiro256pp rng = Xoshiro256pp::for_trial(seed, trial);
+      return bursty_arrival_instance({base, 10, 5}, rng);
+    };
+  }
+  if (name == "diurnal") {
+    return [base, seed](std::uint64_t trial) {
+      Xoshiro256pp rng = Xoshiro256pp::for_trial(seed, trial);
+      return diurnal_arrival_instance({base, 0.8, 0.0, 0.0}, rng);
+    };
+  }
+  if (name == "correlated") {
+    return [base, seed](std::uint64_t trial) {
+      Xoshiro256pp rng = Xoshiro256pp::for_trial(seed, trial);
+      return correlated_size_instance({base, 0.8}, rng);
+    };
+  }
+  throw std::invalid_argument("make_generator: unknown generator '" +
+                              std::string(name) + "'");
+}
+
+}  // namespace dvbp::gen

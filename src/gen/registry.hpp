@@ -1,0 +1,32 @@
+// Generator registry: construct workload generators by name, so bench
+// binaries and examples can select them on the command line.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/instance.hpp"
+#include "gen/uniform.hpp"
+
+namespace dvbp::gen {
+
+/// A seeded instance factory: trial index -> instance.
+using GeneratorFn = std::function<Instance(std::uint64_t trial)>;
+
+/// Names accepted by make_generator.
+std::vector<std::string> generator_names();
+
+/// Builds a generator over the given base parameters:
+///   "uniform"     -- the Sec. 7 / Table 2 model
+///   "zipf"        -- Zipf(1.2) durations
+///   "bursty"      -- 10 bursts of width 5
+///   "correlated"  -- rho = 0.8 correlated sizes
+///   "diurnal"     -- sinusoidal arrival intensity (amplitude 0.8)
+/// Throws std::invalid_argument for unknown names.
+GeneratorFn make_generator(std::string_view name, const UniformParams& base,
+                           std::uint64_t seed);
+
+}  // namespace dvbp::gen

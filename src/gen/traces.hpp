@@ -1,0 +1,63 @@
+// Extension workloads beyond the paper's uniform model (Sec. 7). These keep
+// the same (n, T, mu, B) envelope but vary the distributional shape, to
+// probe how robust the Figure 4 ranking is:
+//
+//  * Zipf durations: heavy-tailed session lengths (cloud-gaming-like);
+//  * bursty arrivals: arrivals clustered into bursts (flash crowds);
+//  * correlated sizes: one dominant resource per item, others correlated
+//    with it (VM-shaped demands) -- stresses the multi-dimensional packing.
+#pragma once
+
+#include <cstdint>
+
+#include "core/instance.hpp"
+#include "gen/uniform.hpp"
+#include "stats/rng.hpp"
+
+namespace dvbp::gen {
+
+/// Durations ~ Zipf(alpha) over {1..mu} (alpha > 0; larger = heavier head,
+/// i.e. more short jobs); sizes/arrivals as in the uniform model.
+struct ZipfDurationParams {
+  UniformParams base;
+  double alpha = 1.2;
+};
+Instance zipf_duration_instance(const ZipfDurationParams& params,
+                                Xoshiro256pp& rng);
+
+/// Arrivals grouped into `bursts` clusters at uniform-random centers; each
+/// item's arrival is its cluster center plus uniform jitter in
+/// [0, burst_width]. Durations/sizes as in the uniform model.
+struct BurstyArrivalParams {
+  UniformParams base;
+  std::size_t bursts = 10;
+  std::int64_t burst_width = 5;
+};
+Instance bursty_arrival_instance(const BurstyArrivalParams& params,
+                                 Xoshiro256pp& rng);
+
+/// Arrivals follow a diurnal (sinusoidal) intensity over the span:
+/// rate(t) proportional to 1 + amplitude * sin(2*pi*t/period + phase).
+/// Models the day/night cycle of interactive cloud workloads; sizes and
+/// durations as in the uniform model.
+struct DiurnalArrivalParams {
+  UniformParams base;
+  double amplitude = 0.8;  ///< in [0, 1): peak/trough rate contrast
+  double period = 0.0;     ///< 0 selects one full cycle over the span
+  double phase = 0.0;
+};
+Instance diurnal_arrival_instance(const DiurnalArrivalParams& params,
+                                  Xoshiro256pp& rng);
+
+/// Each item picks a dominant dimension with a uniform size in {1..B};
+/// every other dimension gets rho * dominant + (1-rho) * fresh uniform,
+/// rounded to the {1..B} grid. rho = 0 recovers independent sizes; rho = 1
+/// makes demands fully proportional.
+struct CorrelatedSizeParams {
+  UniformParams base;
+  double rho = 0.8;
+};
+Instance correlated_size_instance(const CorrelatedSizeParams& params,
+                                  Xoshiro256pp& rng);
+
+}  // namespace dvbp::gen

@@ -1,0 +1,40 @@
+// The Section 7 synthetic workload, parameterized exactly as Table 2:
+//
+//   d   number of dimensions            {1, 2, 5}
+//   n   sequence length                 1000
+//   mu  max item duration (integral)    {1, 2, 5, 10, 100, 200}
+//   T   sequence span                   1000
+//   B   bin size (integral)             100
+//
+// Each item draws an integral size uniformly from {1,...,B}^d (normalized
+// by B to fit the unit bin), an integral arrival uniformly from [0, T-mu],
+// and an integral duration uniformly from [1, mu]. Items are emitted in
+// arrival order.
+#pragma once
+
+#include <cstdint>
+
+#include "core/instance.hpp"
+#include "stats/rng.hpp"
+
+namespace dvbp::gen {
+
+struct UniformParams {
+  std::size_t d = 1;       ///< dimensions
+  std::size_t n = 1000;    ///< items
+  std::int64_t mu = 10;    ///< max duration (min is 1)
+  std::int64_t span = 1000;  ///< T: arrivals fall in [0, T - mu]
+  std::int64_t bin_size = 100;  ///< B: sizes in {1..B}/B
+
+  /// Throws std::invalid_argument when inconsistent (e.g. mu > span).
+  void validate() const;
+};
+
+/// Generates one random instance. Deterministic in (params, rng state).
+Instance uniform_instance(const UniformParams& params, Xoshiro256pp& rng);
+
+/// Convenience: fresh RNG derived from (seed, trial).
+Instance uniform_instance(const UniformParams& params, std::uint64_t seed,
+                          std::uint64_t trial = 0);
+
+}  // namespace dvbp::gen

@@ -1,0 +1,88 @@
+#include "harness/cli.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace dvbp::harness {
+
+Args::Args(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) == 0) {
+      const auto eq = arg.find('=');
+      if (eq == std::string::npos) {
+        flags_[arg.substr(2)] = "true";
+      } else {
+        flags_[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+      }
+    } else {
+      positional_.push_back(arg);
+    }
+  }
+}
+
+bool Args::has(const std::string& key) const { return flags_.count(key) > 0; }
+
+std::string Args::get(const std::string& key,
+                      const std::string& fallback) const {
+  auto it = flags_.find(key);
+  return it == flags_.end() ? fallback : it->second;
+}
+
+std::int64_t Args::get_int(const std::string& key,
+                           std::int64_t fallback) const {
+  auto it = flags_.find(key);
+  if (it == flags_.end()) return fallback;
+  try {
+    return std::stoll(it->second);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("--" + key + " expects an integer, got '" +
+                                it->second + "'");
+  }
+}
+
+double Args::get_double(const std::string& key, double fallback) const {
+  auto it = flags_.find(key);
+  if (it == flags_.end()) return fallback;
+  try {
+    return std::stod(it->second);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("--" + key + " expects a number, got '" +
+                                it->second + "'");
+  }
+}
+
+bool Args::get_bool(const std::string& key, bool fallback) const {
+  auto it = flags_.find(key);
+  if (it == flags_.end()) return fallback;
+  return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+std::vector<std::string> Args::get_list(const std::string& key) const {
+  std::vector<std::string> out;
+  auto it = flags_.find(key);
+  if (it == flags_.end()) return out;
+  std::istringstream is(it->second);
+  std::string tok;
+  while (std::getline(is, tok, ',')) {
+    if (!tok.empty()) out.push_back(tok);
+  }
+  return out;
+}
+
+std::vector<std::int64_t> Args::get_int_list(
+    const std::string& key, const std::vector<std::int64_t>& fallback) const {
+  if (!has(key)) return fallback;
+  std::vector<std::int64_t> out;
+  for (const std::string& tok : get_list(key)) {
+    try {
+      out.push_back(std::stoll(tok));
+    } catch (const std::exception&) {
+      throw std::invalid_argument("--" + key +
+                                  " expects integers, got '" + tok + "'");
+    }
+  }
+  return out;
+}
+
+}  // namespace dvbp::harness

@@ -1,0 +1,36 @@
+// Minimal command-line parsing shared by the bench binaries and examples:
+// flags of the form --key=value or --flag, everything else positional.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace dvbp::harness {
+
+class Args {
+ public:
+  Args(int argc, const char* const* argv);
+
+  bool has(const std::string& key) const;
+  std::string get(const std::string& key, const std::string& fallback) const;
+  std::int64_t get_int(const std::string& key, std::int64_t fallback) const;
+  double get_double(const std::string& key, double fallback) const;
+  bool get_bool(const std::string& key, bool fallback = false) const;
+
+  /// Comma-separated list value, e.g. --mu=1,2,5.
+  std::vector<std::string> get_list(const std::string& key) const;
+  std::vector<std::int64_t> get_int_list(
+      const std::string& key, const std::vector<std::int64_t>& fallback) const;
+
+  const std::vector<std::string>& positional() const noexcept {
+    return positional_;
+  }
+
+ private:
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace dvbp::harness

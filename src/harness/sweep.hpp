@@ -1,0 +1,39 @@
+// Monte-Carlo policy sweeps: run many random instances, evaluate a set of
+// policies on each, and report cost/LB ratios per policy -- the machinery
+// behind the Figure 4 regeneration. Trials run in parallel on a thread
+// pool; every trial derives its own RNG stream, so results are identical
+// regardless of thread count.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gen/registry.hpp"
+#include "stats/descriptive.hpp"
+
+namespace dvbp::harness {
+
+struct SweepConfig {
+  std::size_t trials = 200;
+  std::uint64_t seed = 20230419;  ///< the paper's arXiv date, for fun
+  std::size_t threads = 0;        ///< 0 = hardware concurrency
+  /// Normalize by the Lemma 1(i) height bound (the paper's choice). When
+  /// false, raw costs are reported.
+  bool normalize_by_lb = true;
+};
+
+struct PolicyCell {
+  std::string policy;
+  RunningStats ratio;      ///< cost / LB_height per trial (or raw cost)
+  RunningStats bins;       ///< bins opened per trial
+  RunningStats max_open;   ///< peak simultaneously-open bins per trial
+};
+
+/// Runs `config.trials` instances from `generate` and evaluates every
+/// policy in `policies` on each instance.
+std::vector<PolicyCell> run_policy_sweep(
+    const gen::GeneratorFn& generate, const std::vector<std::string>& policies,
+    const SweepConfig& config);
+
+}  // namespace dvbp::harness

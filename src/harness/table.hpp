@@ -1,0 +1,34 @@
+// Table builder for bench output: aligned text for the console, Markdown
+// for EXPERIMENTS.md, CSV for downstream plotting.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace dvbp::harness {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Append a row; must have exactly as many cells as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Formats a double with `precision` significant decimals; infinity
+  /// renders as "inf".
+  static std::string num(double value, int precision = 3);
+  /// "m +- s" cell.
+  static std::string mean_pm(double mean, double dev, int precision = 3);
+
+  std::size_t rows() const noexcept { return rows_.size(); }
+
+  std::string to_aligned_text() const;
+  std::string to_markdown() const;
+  std::string to_csv() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace dvbp::harness

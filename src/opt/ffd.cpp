@@ -1,0 +1,50 @@
+#include "opt/ffd.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace dvbp {
+
+std::size_t ffd_pack(const std::vector<RVec>& sizes,
+                     std::vector<std::size_t>* assignment) {
+  if (sizes.empty()) {
+    if (assignment) assignment->clear();
+    return 0;
+  }
+  std::vector<std::size_t> order(sizes.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return sizes[a].linf() > sizes[b].linf();
+                   });
+
+  std::vector<RVec> bins;  // loads
+  if (assignment) assignment->assign(sizes.size(), 0);
+  for (std::size_t idx : order) {
+    const RVec& s = sizes[idx];
+    if (!s.fits_in_capacity(1.0)) {
+      throw std::invalid_argument("ffd_pack: item exceeds unit capacity");
+    }
+    bool placed = false;
+    for (std::size_t b = 0; b < bins.size(); ++b) {
+      if (bins[b].fits_with(s)) {
+        bins[b] += s;
+        if (assignment) (*assignment)[idx] = b;
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) {
+      bins.push_back(s);
+      if (assignment) (*assignment)[idx] = bins.size() - 1;
+    }
+  }
+  return bins.size();
+}
+
+std::size_t ffd_bin_count(const std::vector<RVec>& sizes) {
+  return ffd_pack(sizes, nullptr);
+}
+
+}  // namespace dvbp

@@ -1,0 +1,23 @@
+// First Fit Decreasing for (static) vector bin packing: sort sizes by
+// decreasing L_inf norm, then First Fit. Classic VBP heuristic (cf.
+// Panigrahy et al. [25]); used as the upper bound that primes the exact
+// branch-and-bound solver, and as a fast stand-in for OPT(R,t) on instances
+// too large for the exact solver.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/rvec.hpp"
+
+namespace dvbp {
+
+/// Number of unit bins FFD uses to pack `sizes`. Every size must fit in a
+/// unit bin (throws std::invalid_argument otherwise).
+std::size_t ffd_bin_count(const std::vector<RVec>& sizes);
+
+/// As above, also reporting the assignment: result[i] = bin index of item i.
+std::size_t ffd_pack(const std::vector<RVec>& sizes,
+                     std::vector<std::size_t>* assignment);
+
+}  // namespace dvbp

@@ -1,0 +1,54 @@
+#include "opt/lower_bounds.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/event.hpp"
+
+namespace dvbp {
+
+namespace {
+
+/// ceil with protection against 3.0000000001-style floating noise created
+/// by summing many item sizes.
+double robust_ceil(double x) { return std::ceil(x - 1e-9); }
+
+}  // namespace
+
+double lb_height(const Instance& inst) {
+  if (inst.empty()) return 0.0;
+  const std::vector<Event> events = build_event_stream(inst);
+  RVec load(inst.dim());
+  double total = 0.0;
+  Time prev = events.front().time;
+  for (const Event& ev : events) {
+    if (ev.time > prev) {
+      total += robust_ceil(load.linf()) * (ev.time - prev);
+      prev = ev.time;
+    }
+    if (ev.kind == EventKind::kArrival) {
+      load += inst[ev.item].size;
+    } else {
+      load -= inst[ev.item].size;
+      load.clamp_nonnegative();
+    }
+  }
+  return total;
+}
+
+double lb_utilization(const Instance& inst) {
+  if (inst.empty()) return 0.0;
+  return inst.total_utilization() / static_cast<double>(inst.dim());
+}
+
+double lb_span(const Instance& inst) { return inst.span(); }
+
+double LowerBounds::best() const noexcept {
+  return std::max({height, utilization, span});
+}
+
+LowerBounds lower_bounds(const Instance& inst) {
+  return LowerBounds{lb_height(inst), lb_utilization(inst), lb_span(inst)};
+}
+
+}  // namespace dvbp

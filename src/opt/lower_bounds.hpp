@@ -1,0 +1,37 @@
+// Lower bounds on the optimal offline cost OPT(R) -- Lemma 1 of the paper.
+//
+//   (i)   LB_height = integral of ceil(||s(R,t)||_inf) dt   (the tightest)
+//   (ii)  LB_util   = (1/d) * sum_r ||s(r)||_inf * l(I(r))
+//   (iii) LB_span   = span(R)
+//
+// The paper's experiments normalize algorithm cost by (i); bench_fig4 does
+// the same. s(R,t) is piecewise constant between event timestamps, so (i)
+// is an exact sweep, not a numerical quadrature.
+#pragma once
+
+#include "core/instance.hpp"
+
+namespace dvbp {
+
+struct LowerBounds {
+  double height = 0.0;       ///< Lemma 1 (i)
+  double utilization = 0.0;  ///< Lemma 1 (ii)
+  double span = 0.0;         ///< Lemma 1 (iii)
+
+  /// The best (largest) of the three; still a lower bound on OPT.
+  double best() const noexcept;
+};
+
+/// Lemma 1 (i). Exact event sweep; O(n log n + n*d).
+double lb_height(const Instance& inst);
+
+/// Lemma 1 (ii).
+double lb_utilization(const Instance& inst);
+
+/// Lemma 1 (iii).
+double lb_span(const Instance& inst);
+
+/// All three in one sweep.
+LowerBounds lower_bounds(const Instance& inst);
+
+}  // namespace dvbp

@@ -1,0 +1,43 @@
+// Offline packing WITHOUT repacking: each item is assigned to one bin for
+// its whole life (as online algorithms must), but the assignment may use
+// full knowledge of the future. This sits strictly between the online
+// policies and the paper's OPT (which may repack continuously, eq. (2)):
+//
+//   OPT(repack) <= OPT(no-repack) <= cost(any online policy).
+//
+// Computing OPT(no-repack) exactly is NP-hard; this module provides a
+// first-fit-by-duration seed plus steepest-descent local search (move one
+// item to another feasible bin when it lowers total usage time), which is
+// a strong practical upper bound. The gap between the two offline optima
+// quantifies the value of migration/repacking; the gap between
+// OPT(no-repack) and the online costs quantifies the value of
+// clairvoyance alone.
+#pragma once
+
+#include <cstdint>
+
+#include "core/instance.hpp"
+#include "core/packing.hpp"
+
+namespace dvbp {
+
+struct NoRepackOptions {
+  /// Local-search sweeps over all items; each sweep is O(n * bins * n).
+  std::size_t max_sweeps = 50;
+  /// Random restarts beyond the deterministic seed assignment.
+  std::size_t restarts = 3;
+  std::uint64_t seed = 0xBEEF;
+};
+
+struct NoRepackResult {
+  Packing packing;     ///< best assignment found (validates clean)
+  double cost = 0.0;
+  std::size_t sweeps = 0;   ///< local-search sweeps actually performed
+  std::size_t moves = 0;    ///< improving moves applied
+};
+
+/// Heuristic offline no-repacking packing of `inst`.
+NoRepackResult offline_norepack(const Instance& inst,
+                                const NoRepackOptions& opts = {});
+
+}  // namespace dvbp

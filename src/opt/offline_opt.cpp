@@ -1,0 +1,98 @@
+#include "opt/offline_opt.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/event.hpp"
+#include "opt/ffd.hpp"
+
+namespace dvbp {
+
+namespace {
+
+/// FNV-1a over the sorted active-item ids. Used only as the hash of the
+/// memo key; equality compares the full id vectors, so collisions cannot
+/// corrupt results.
+struct IdSetHash {
+  std::uint64_t operator()(const std::vector<ItemId>& sorted_ids) const {
+    std::uint64_t h = 1469598103934665603ULL;
+    for (ItemId id : sorted_ids) {
+      h ^= id;
+      h *= 1099511628211ULL;
+    }
+    h ^= sorted_ids.size();
+    h *= 1099511628211ULL;
+    return h;
+  }
+};
+
+/// Sweeps event segments calling `count_bins(active ids)` per segment.
+template <typename CountFn>
+OfflineOptResult sweep(const Instance& inst, CountFn&& count_bins) {
+  OfflineOptResult result;
+  if (inst.empty()) return result;
+
+  const std::vector<Event> events = build_event_stream(inst);
+  std::vector<ItemId> active;  // kept sorted
+  std::unordered_map<std::vector<ItemId>, std::size_t, IdSetHash> cache;
+
+  Time prev = events.front().time;
+  for (const Event& ev : events) {
+    if (ev.time > prev) {
+      if (!active.empty()) {
+        ++result.segments;
+        result.max_active = std::max(result.max_active, active.size());
+        auto it = cache.find(active);
+        std::size_t bins;
+        if (it != cache.end()) {
+          bins = it->second;
+        } else {
+          bins = count_bins(active, result);
+          cache.emplace(active, bins);
+        }
+        result.cost += static_cast<double>(bins) * (ev.time - prev);
+      }
+      prev = ev.time;
+    }
+    if (ev.kind == EventKind::kArrival) {
+      active.insert(std::lower_bound(active.begin(), active.end(), ev.item),
+                    ev.item);
+    } else {
+      active.erase(std::lower_bound(active.begin(), active.end(), ev.item));
+    }
+  }
+  return result;
+}
+
+std::vector<RVec> sizes_of(const Instance& inst,
+                           const std::vector<ItemId>& ids) {
+  std::vector<RVec> sizes;
+  sizes.reserve(ids.size());
+  for (ItemId id : ids) sizes.push_back(inst[id].size);
+  return sizes;
+}
+
+}  // namespace
+
+OfflineOptResult offline_opt(const Instance& inst, const VbpOptions& opts) {
+  return sweep(inst, [&](const std::vector<ItemId>& active,
+                         OfflineOptResult& r) -> std::size_t {
+    const VbpResult v = vbp_min_bins(sizes_of(inst, active), opts);
+    ++r.vbp_calls;
+    if (!v.exact) r.exact = false;
+    return v.bins;
+  });
+}
+
+double offline_ffd_cost(const Instance& inst) {
+  return sweep(inst, [&](const std::vector<ItemId>& active,
+                         OfflineOptResult& r) -> std::size_t {
+           ++r.vbp_calls;
+           return ffd_bin_count(sizes_of(inst, active));
+         })
+      .cost;
+}
+
+}  // namespace dvbp

@@ -1,0 +1,36 @@
+// Exact (and heuristic) offline optimum for MinUsageTime DVBP.
+//
+// The offline optimum may repack items at any instant (paper Sec. 2.2), so
+// by eq. (2): OPT(R) = integral over t of OPT(R,t) dt, where OPT(R,t) is
+// the optimal vector-bin-packing number of the items active at t. The load
+// is piecewise constant between event timestamps, so the integral is a
+// finite sum over event segments; each segment's VBP is solved exactly
+// (vbp_exact) with memoization across segments that share an active set.
+//
+// Exact OPT is exponential in the worst case -- keep active sets per
+// segment under ~24 items (tests and bench_bounds do). offline_ffd_cost is
+// the polynomial fallback: an *upper* bound on OPT using FFD per segment.
+#pragma once
+
+#include <cstdint>
+
+#include "core/instance.hpp"
+#include "opt/vbp_exact.hpp"
+
+namespace dvbp {
+
+struct OfflineOptResult {
+  double cost = 0.0;          ///< OPT(R) when exact, else an upper bound
+  bool exact = true;          ///< false iff some segment hit the node limit
+  std::size_t segments = 0;   ///< event segments integrated
+  std::size_t max_active = 0; ///< peak simultaneously-active items
+  std::uint64_t vbp_calls = 0;  ///< distinct VBP instances actually solved
+};
+
+/// Exact OPT(R) via eq. (2).
+OfflineOptResult offline_opt(const Instance& inst, const VbpOptions& opts = {});
+
+/// Upper bound on OPT(R): per-segment FFD instead of exact VBP.
+double offline_ffd_cost(const Instance& inst);
+
+}  // namespace dvbp

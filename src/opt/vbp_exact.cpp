@@ -1,0 +1,132 @@
+#include "opt/vbp_exact.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "opt/ffd.hpp"
+
+namespace dvbp {
+
+namespace {
+
+constexpr double kLoadEq = 1e-12;
+
+bool loads_equal(const RVec& a, const RVec& b) noexcept {
+  for (std::size_t j = 0; j < a.dim(); ++j) {
+    const double diff = a[j] - b[j];
+    if (diff > kLoadEq || diff < -kLoadEq) return false;
+  }
+  return true;
+}
+
+class Solver {
+ public:
+  Solver(std::vector<RVec> sizes, const VbpOptions& opts)
+      : sizes_(std::move(sizes)), opts_(opts), dim_(sizes_.front().dim()) {
+    // Largest-first order shrinks the search tree dramatically.
+    std::stable_sort(sizes_.begin(), sizes_.end(),
+                     [](const RVec& a, const RVec& b) {
+                       return a.linf() > b.linf();
+                     });
+    // Suffix demand totals for the residual lower bound.
+    suffix_.assign(sizes_.size() + 1, RVec(dim_));
+    for (std::size_t i = sizes_.size(); i-- > 0;) {
+      suffix_[i] = suffix_[i + 1];
+      suffix_[i] += sizes_[i];
+    }
+  }
+
+  VbpResult solve() {
+    best_ = ffd_bin_count(sizes_);
+    const auto lb0 = static_cast<std::size_t>(
+        std::ceil(suffix_[0].linf() - 1e-9));
+    if (best_ <= std::max<std::size_t>(lb0, 1) || sizes_.size() <= 1) {
+      return {best_, true, nodes_};  // FFD already optimal
+    }
+    bins_.clear();
+    dfs(0);
+    return {best_, !aborted_, nodes_};
+  }
+
+ private:
+  void dfs(std::size_t i) {
+    if (aborted_) return;
+    if (++nodes_ > opts_.node_limit) {
+      aborted_ = true;
+      return;
+    }
+    if (i == sizes_.size()) {
+      best_ = std::min(best_, bins_.size());
+      return;
+    }
+    if (bins_.size() >= best_) return;  // can't improve
+    if (bins_.size() + residual_lb(i) >= best_) return;
+
+    const RVec& s = sizes_[i];
+    // Try each existing bin, skipping bins whose load equals an
+    // already-tried bin's load (placing into either is symmetric).
+    for (std::size_t b = 0; b < bins_.size(); ++b) {
+      if (!bins_[b].fits_with(s)) continue;
+      bool duplicate = false;
+      for (std::size_t c = 0; c < b; ++c) {
+        if (loads_equal(bins_[b], bins_[c])) {
+          duplicate = true;
+          break;
+        }
+      }
+      if (duplicate) continue;
+      bins_[b] += s;
+      dfs(i + 1);
+      bins_[b] -= s;
+      bins_[b].clamp_nonnegative();
+      if (aborted_) return;
+    }
+    // One canonical "new bin" branch. Opening beyond best_-1 bins cannot
+    // lead to an improvement (bin counts never decrease down the tree).
+    if (bins_.size() + 1 < best_) {
+      bins_.push_back(s);
+      dfs(i + 1);
+      bins_.pop_back();
+    }
+  }
+
+  /// Lower bound on *additional* bins needed for items i.. given current
+  /// open-bin slack: demand exceeding total free capacity, per dimension.
+  std::size_t residual_lb(std::size_t i) const {
+    double worst = 0.0;
+    for (std::size_t j = 0; j < dim_; ++j) {
+      double free_cap = 0.0;
+      for (const RVec& b : bins_) free_cap += 1.0 - b[j];
+      worst = std::max(worst, suffix_[i][j] - free_cap);
+    }
+    if (worst <= 0.0) return 0;
+    return static_cast<std::size_t>(std::ceil(worst - 1e-9));
+  }
+
+  std::vector<RVec> sizes_;
+  const VbpOptions& opts_;
+  std::size_t dim_;
+  std::vector<RVec> suffix_;
+  std::vector<RVec> bins_;
+  std::size_t best_ = 0;
+  std::uint64_t nodes_ = 0;
+  bool aborted_ = false;
+};
+
+}  // namespace
+
+VbpResult vbp_min_bins(const std::vector<RVec>& sizes,
+                       const VbpOptions& opts) {
+  if (sizes.empty()) return {0, true, 0};
+  for (const RVec& s : sizes) {
+    if (!s.fits_in_capacity(1.0)) {
+      throw std::invalid_argument("vbp_min_bins: item exceeds unit capacity");
+    }
+  }
+  Solver solver(sizes, opts);
+  return solver.solve();
+}
+
+}  // namespace dvbp

@@ -1,0 +1,35 @@
+// Exact vector bin packing: the minimum number of unit bins that hold a set
+// of d-dimensional sizes. NP-hard; solved by depth-first branch-and-bound
+// with FFD priming, symmetry breaking (identical-load bins are tried once;
+// at most one "open a new bin" branch per item), and a residual-demand lower
+// bound for pruning.
+//
+// This powers the exact offline optimum via eq. (2) of the paper:
+// OPT(R,t) is exactly this quantity for the items active at t.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/rvec.hpp"
+
+namespace dvbp {
+
+struct VbpOptions {
+  /// Abort knob: stop branching after this many search nodes and report the
+  /// best packing found so far (result.exact = false).
+  std::uint64_t node_limit = 20'000'000;
+};
+
+struct VbpResult {
+  std::size_t bins = 0;       ///< min bins found (exact when `exact`)
+  bool exact = true;          ///< false iff node_limit was exhausted
+  std::uint64_t nodes = 0;    ///< search nodes expanded
+};
+
+/// Minimum number of unit bins packing `sizes`. Throws
+/// std::invalid_argument when some size does not fit a unit bin.
+VbpResult vbp_min_bins(const std::vector<RVec>& sizes,
+                       const VbpOptions& opts = {});
+
+}  // namespace dvbp

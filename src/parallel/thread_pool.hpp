@@ -1,0 +1,57 @@
+// A small fixed-size thread pool plus a chunked parallel_for.
+//
+// Used by the experiment harness to run independent Monte-Carlo trials
+// concurrently. Design follows the hpc-parallel guidance: explicit
+// parallelism, no shared mutable state in the hot path (each chunk works on
+// its own accumulator; reductions merge at the end), RAII shutdown.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dvbp {
+
+class ThreadPool {
+ public:
+  /// `threads == 0` selects std::thread::hardware_concurrency() (min 1).
+  explicit ThreadPool(std::size_t threads = 0);
+
+  /// Joins all workers; pending tasks are completed first.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t thread_count() const noexcept { return workers_.size(); }
+
+  /// Enqueue a task; the future reports completion / exceptions.
+  std::future<void> submit(std::function<void()> task);
+
+  /// Blocks until every task submitted so far has finished.
+  void wait_idle();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::packaged_task<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::condition_variable idle_cv_;
+  std::size_t in_flight_ = 0;
+  bool stop_ = false;
+};
+
+/// Runs fn(i) for i in [0, n), sharding contiguous chunks over the pool.
+/// Exceptions from any invocation are rethrown (first one wins).
+void parallel_for(ThreadPool& pool, std::size_t n,
+                  const std::function<void(std::size_t)>& fn,
+                  std::size_t min_chunk = 1);
+
+}  // namespace dvbp

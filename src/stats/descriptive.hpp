@@ -1,0 +1,48 @@
+// Descriptive statistics used by the experiment harness: streaming
+// mean/variance (Welford), min/max, and normal-approximation confidence
+// intervals. This is what turns per-trial cost ratios into the
+// "mean +- stddev" cells of Figure 4.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace dvbp {
+
+/// Single-pass accumulator (Welford's algorithm; numerically stable).
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+
+  /// Merge another accumulator (parallel reduction; Chan et al. update).
+  void merge(const RunningStats& other) noexcept;
+
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for n < 2.
+  double variance() const noexcept;
+  double stddev() const noexcept;
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+  double sum() const noexcept { return mean_ * static_cast<double>(n_); }
+  /// Standard error of the mean; 0 for n < 2.
+  double stderr_mean() const noexcept;
+  /// Half-width of a normal-approximation CI (z = 1.96 for 95%).
+  double ci_halfwidth(double z = 1.96) const noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Batch helpers over a sample vector.
+double mean(const std::vector<double>& xs);
+double sample_stddev(const std::vector<double>& xs);
+/// Linear-interpolation quantile, q in [0,1]. Sorts a copy.
+double quantile(std::vector<double> xs, double q);
+double median(std::vector<double> xs);
+
+}  // namespace dvbp

@@ -1,0 +1,64 @@
+#include "stats/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace dvbp {
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi), counts_(buckets, 0) {
+  if (!(hi > lo)) throw std::invalid_argument("Histogram: hi must be > lo");
+  if (buckets == 0) throw std::invalid_argument("Histogram: zero buckets");
+}
+
+void Histogram::add(double x) noexcept {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (x >= hi_) {
+    ++overflow_;
+    return;
+  }
+  const double frac = (x - lo_) / (hi_ - lo_);
+  auto idx = static_cast<std::size_t>(frac * static_cast<double>(counts_.size()));
+  idx = std::min(idx, counts_.size() - 1);
+  ++counts_[idx];
+}
+
+double Histogram::bucket_lo(std::size_t bucket) const {
+  if (bucket >= counts_.size()) throw std::out_of_range("bucket_lo");
+  const double w = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return lo_ + w * static_cast<double>(bucket);
+}
+
+double Histogram::bucket_hi(std::size_t bucket) const {
+  if (bucket >= counts_.size()) throw std::out_of_range("bucket_hi");
+  const double w = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return lo_ + w * static_cast<double>(bucket + 1);
+}
+
+std::string Histogram::render(std::size_t width) const {
+  std::size_t peak = 1;
+  for (std::size_t c : counts_) peak = std::max(peak, c);
+  std::ostringstream os;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    const auto bar =
+        static_cast<std::size_t>(std::llround(static_cast<double>(counts_[b]) /
+                                              static_cast<double>(peak) *
+                                              static_cast<double>(width)));
+    os << '[';
+    os.precision(4);
+    os << bucket_lo(b) << ", " << bucket_hi(b) << ") ";
+    os << std::string(bar, '#') << ' ' << counts_[b] << '\n';
+  }
+  if (underflow_ || overflow_) {
+    os << "underflow=" << underflow_ << " overflow=" << overflow_ << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace dvbp

@@ -1,0 +1,39 @@
+// Fixed-width histogram for diagnostic distributions (e.g. per-trial cost
+// ratios, bin-count distributions) with an ASCII renderer for bench output.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace dvbp {
+
+class Histogram {
+ public:
+  /// Buckets partition [lo, hi) uniformly; values outside are counted in
+  /// underflow/overflow.
+  Histogram(double lo, double hi, std::size_t buckets);
+
+  void add(double x) noexcept;
+
+  std::size_t bucket_count() const noexcept { return counts_.size(); }
+  std::size_t count(std::size_t bucket) const { return counts_.at(bucket); }
+  std::size_t underflow() const noexcept { return underflow_; }
+  std::size_t overflow() const noexcept { return overflow_; }
+  std::size_t total() const noexcept { return total_; }
+  double bucket_lo(std::size_t bucket) const;
+  double bucket_hi(std::size_t bucket) const;
+
+  /// Multi-line ASCII bar chart, widest bar = `width` characters.
+  std::string render(std::size_t width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t underflow_ = 0;
+  std::size_t overflow_ = 0;
+  std::size_t total_ = 0;
+};
+
+}  // namespace dvbp

@@ -1,0 +1,234 @@
+// Tests for the Section 6 adversarial constructions: simulation must
+// reproduce the exact bin-opening pattern each proof claims, the predicted
+// OPT upper bounds must be certified by the exact/FFD offline solvers, and
+// the resulting cost ratios must approach the theoretical lower bounds.
+#include "gen/adversarial.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/bounds.hpp"
+#include "core/simulator.hpp"
+#include "opt/lower_bounds.hpp"
+#include "opt/offline_opt.hpp"
+
+namespace dvbp {
+namespace {
+
+using gen::AdversarialInstance;
+
+// ---- Theorem 5: Any Fit lower bound (mu+1)d ------------------------------
+
+class AnyFitLbTest
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t,
+                                                 const char*>> {};
+
+TEST_P(AnyFitLbTest, ForcesDkBinsOnEveryAnyFitPolicy) {
+  const auto [k, d, policy] = GetParam();
+  const double mu = 10.0;
+  const AdversarialInstance adv = gen::anyfit_lower_bound(k, d, mu);
+  ASSERT_FALSE(adv.instance.validate().has_value());
+
+  const auto result = simulate(adv.instance, policy, {.audit = true});
+  // The proof's pattern: exactly dk bins, each pinned open by an R1 item.
+  EXPECT_EQ(result.bins_opened, adv.predicted_bins) << policy;
+  EXPECT_GE(result.cost + 1e-6, adv.predicted_online_cost) << policy;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, AnyFitLbTest,
+    ::testing::Combine(::testing::Values<std::size_t>(2, 5),
+                       ::testing::Values<std::size_t>(1, 2, 4),
+                       ::testing::Values("FirstFit", "BestFit", "WorstFit",
+                                         "MoveToFront", "LastFit",
+                                         "RandomFit")));
+
+TEST(AnyFitLb, OptUpperBoundIsAchievable) {
+  // Certify predicted_opt_upper with the FFD offline packer (an upper bound
+  // on OPT that must itself respect the prediction's slack).
+  const AdversarialInstance adv = gen::anyfit_lower_bound(3, 2, 5.0);
+  const double opt_ub = offline_ffd_cost(adv.instance);
+  // OPT (and hence its FFD upper bound on these structured instances)
+  // stays within the construction's claimed budget.
+  EXPECT_LE(opt_ub, adv.predicted_opt_upper * 1.05);
+}
+
+TEST(AnyFitLb, RatioApproachesTheorem5Bound) {
+  const double mu = 10.0;
+  const std::size_t d = 2;
+  double prev_ratio = 0.0;
+  for (std::size_t k : {2, 8, 32}) {
+    const AdversarialInstance adv = gen::anyfit_lower_bound(k, d, mu);
+    const double cost = simulate(adv.instance, "FirstFit").cost;
+    const double opt_ub = offline_ffd_cost(adv.instance);
+    const double ratio = cost / opt_ub;
+    EXPECT_GT(ratio, prev_ratio);  // monotone toward the bound
+    prev_ratio = ratio;
+  }
+  // At k=32 the ratio should be most of the way to (mu+1)d = 22.
+  EXPECT_GT(prev_ratio, 0.6 * bounds::any_fit_lower(mu, d));
+}
+
+TEST(AnyFitLb, ValidatesParameters) {
+  EXPECT_THROW(gen::anyfit_lower_bound(0, 1, 5.0), std::invalid_argument);
+  EXPECT_THROW(gen::anyfit_lower_bound(2, 0, 5.0), std::invalid_argument);
+  EXPECT_THROW(gen::anyfit_lower_bound(2, 1, 0.5), std::invalid_argument);
+  EXPECT_THROW(gen::anyfit_lower_bound(2, 1, 5.0, 1.5),
+               std::invalid_argument);
+}
+
+// ---- Theorem 6: Next Fit lower bound 2*mu*d -------------------------------
+
+class NextFitLbTest
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {
+};
+
+TEST_P(NextFitLbTest, ForcesPredictedBinCount) {
+  const auto [k, d] = GetParam();
+  const double mu = 8.0;
+  const AdversarialInstance adv = gen::nextfit_lower_bound(k, d, mu);
+  ASSERT_FALSE(adv.instance.validate().has_value());
+  const auto result = simulate(adv.instance, "NextFit", {.audit = true});
+  EXPECT_EQ(result.bins_opened, adv.predicted_bins);
+  EXPECT_GE(result.cost + 1e-6, adv.predicted_online_cost);
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, NextFitLbTest,
+                         ::testing::Combine(::testing::Values<std::size_t>(
+                                                2, 4, 8),
+                                            ::testing::Values<std::size_t>(
+                                                1, 2, 3)));
+
+TEST(NextFitLb, RatioApproachesTheorem6Bound) {
+  const double mu = 6.0;
+  const std::size_t d = 2;
+  const AdversarialInstance adv = gen::nextfit_lower_bound(48, d, mu);
+  const double cost = simulate(adv.instance, "NextFit").cost;
+  const double opt_ub = offline_ffd_cost(adv.instance);
+  // Finite-k prediction: (1+(k-1)d)mu / (mu + k/2); at k=48 this is ~19.
+  EXPECT_GE(cost / opt_ub, adv.predicted_ratio() * 0.99);
+  EXPECT_GT(cost / opt_ub, 0.6 * bounds::next_fit_lower(mu, d));
+}
+
+TEST(NextFitLb, OtherPoliciesEscapeTheTrap) {
+  // First Fit keeps all long items consolidated far better than Next Fit
+  // on the Thm 6 instance.
+  const AdversarialInstance adv = gen::nextfit_lower_bound(8, 2, 8.0);
+  const double nf = simulate(adv.instance, "NextFit").cost;
+  const double ff = simulate(adv.instance, "FirstFit").cost;
+  EXPECT_LT(ff * 2.0, nf);
+}
+
+TEST(NextFitLb, ValidatesParameters) {
+  EXPECT_THROW(gen::nextfit_lower_bound(3, 1, 5.0), std::invalid_argument);
+  EXPECT_THROW(gen::nextfit_lower_bound(0, 1, 5.0), std::invalid_argument);
+  EXPECT_THROW(gen::nextfit_lower_bound(2, 0, 5.0), std::invalid_argument);
+}
+
+// ---- Theorem 8: Move To Front 1-D lower bound 2*mu ------------------------
+
+TEST(MtfLb, Opens2nBinsPairwise) {
+  const AdversarialInstance adv = gen::mtf_lower_bound(5, 7.0);
+  ASSERT_FALSE(adv.instance.validate().has_value());
+  const auto result = simulate(adv.instance, "MoveToFront", {.audit = true});
+  EXPECT_EQ(result.bins_opened, 10u);
+  EXPECT_DOUBLE_EQ(result.cost, 10.0 * 7.0);
+  // Every bin holds exactly one odd (1/2) and one even (1/(2n)) item.
+  for (const BinRecord& bin : result.packing.bins()) {
+    EXPECT_EQ(bin.items.size(), 2u);
+  }
+}
+
+TEST(MtfLb, FirstFitConsolidatesTheSmallItems) {
+  // The same sequence is benign for First Fit: all small items go into the
+  // earliest bin, so FF pays ~ n + mu instead of 2*n*mu.
+  const std::size_t n = 5;
+  const double mu = 7.0;
+  const AdversarialInstance adv = gen::mtf_lower_bound(n, mu);
+  const auto ff = simulate(adv.instance, "FirstFit", {.audit = true});
+  EXPECT_LT(ff.cost, adv.predicted_online_cost / 2.0);
+}
+
+TEST(MtfLb, RatioApproachesTwoMu) {
+  const double mu = 9.0;
+  const AdversarialInstance adv = gen::mtf_lower_bound(40, mu);
+  const double cost = simulate(adv.instance, "MoveToFront").cost;
+  const double opt_ub = offline_ffd_cost(adv.instance);
+  EXPECT_GT(cost / opt_ub, 0.7 * 2.0 * mu);
+}
+
+TEST(MtfLb, PredictionMatchesSimulationExactly) {
+  const AdversarialInstance adv = gen::mtf_lower_bound(8, 4.0);
+  const auto result = simulate(adv.instance, "MoveToFront");
+  EXPECT_DOUBLE_EQ(result.cost, adv.predicted_online_cost);
+}
+
+// ---- Theorem 7: Best Fit unboundedness ------------------------------------
+
+TEST(BestFitGadget, LuresBestFitIntoKLoneBins) {
+  const std::size_t k = 10;
+  const AdversarialInstance adv = gen::bestfit_unbounded(k);
+  ASSERT_FALSE(adv.instance.validate().has_value());
+  const auto bf = simulate(adv.instance, "BestFit", {.audit = true});
+  EXPECT_EQ(bf.bins_opened, k);
+  EXPECT_NEAR(bf.cost, adv.predicted_online_cost, 1e-9);
+}
+
+TEST(BestFitGadget, FirstFitStaysNearOpt) {
+  const AdversarialInstance adv = gen::bestfit_unbounded(12);
+  const auto bf = simulate(adv.instance, "BestFit");
+  const auto ff = simulate(adv.instance, "FirstFit");
+  EXPECT_LT(ff.cost * 3.0, bf.cost);
+  EXPECT_LE(ff.cost, adv.predicted_opt_upper * 1.01);
+}
+
+TEST(BestFitGadget, RatioGrowsWithPhaseCount) {
+  double prev = 0.0;
+  for (std::size_t k : {5, 10, 20, 40}) {
+    const AdversarialInstance adv = gen::bestfit_unbounded(k);
+    const double cost = simulate(adv.instance, "BestFit").cost;
+    const double opt_ub = offline_ffd_cost(adv.instance);
+    const double ratio = cost / opt_ub;
+    EXPECT_GT(ratio, prev);
+    prev = ratio;
+  }
+  EXPECT_GT(prev, 8.0);  // k=40 drives the ratio past any small constant
+}
+
+TEST(BestFitGadget, ValidatesParameters) {
+  EXPECT_THROW(gen::bestfit_unbounded(0), std::invalid_argument);
+  EXPECT_THROW(gen::bestfit_unbounded(41), std::invalid_argument);
+}
+
+// ---- Cross-checks against the exact OPT on miniature gadgets ---------------
+
+TEST(Adversarial, PredictedOptUpperIsTrueUpperBound) {
+  // On instances small enough for the exact solver, predicted_opt_upper
+  // must dominate the true OPT.
+  {
+    const AdversarialInstance adv = gen::anyfit_lower_bound(2, 2, 3.0);
+    const auto opt = offline_opt(adv.instance);
+    ASSERT_TRUE(opt.exact);
+    EXPECT_LE(opt.cost, adv.predicted_opt_upper + 1e-9);
+  }
+  {
+    const AdversarialInstance adv = gen::nextfit_lower_bound(2, 2, 3.0);
+    const auto opt = offline_opt(adv.instance);
+    ASSERT_TRUE(opt.exact);
+    EXPECT_LE(opt.cost, adv.predicted_opt_upper + 1e-9);
+  }
+  {
+    const AdversarialInstance adv = gen::mtf_lower_bound(3, 3.0);
+    const auto opt = offline_opt(adv.instance);
+    ASSERT_TRUE(opt.exact);
+    EXPECT_LE(opt.cost, adv.predicted_opt_upper + 1e-9);
+  }
+  {
+    const AdversarialInstance adv = gen::bestfit_unbounded(6);
+    const auto opt = offline_opt(adv.instance);
+    ASSERT_TRUE(opt.exact);
+    EXPECT_LE(opt.cost, adv.predicted_opt_upper + 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace dvbp

@@ -1,0 +1,113 @@
+// Tests for the clairvoyant extensions (Sec. 8 future work): exact
+// duration knowledge should beat non-clairvoyant policies on alignment-
+// sensitive workloads, and prediction noise should degrade gracefully.
+#include <gtest/gtest.h>
+
+#include "core/policies/clairvoyant.hpp"
+#include "core/simulator.hpp"
+#include "gen/uniform.hpp"
+#include "harness/sweep.hpp"
+
+namespace dvbp {
+namespace {
+
+TEST(MinExtensionFit, PrefersBinThatNeedsNoExtension) {
+  Instance inst(1);
+  inst.add(0.0, 100.0, RVec{0.6});  // B0: lives long
+  inst.add(0.0, 2.0, RVec{0.6});    // B1: departs soon (0.6+0.6 > 1)
+  inst.add(1.0, 50.0, RVec{0.3});   // fits both; extending B1 costs ~48
+  const auto result = simulate(inst, "MinExtensionFit", {.audit = true});
+  EXPECT_EQ(result.packing.bin_of(2), 0u);
+}
+
+TEST(MinExtensionFit, TieBreaksTowardMostLoaded) {
+  Instance inst(1);
+  inst.add(0.0, 100.0, RVec{0.55});  // B0 load 0.55
+  inst.add(0.0, 100.0, RVec{0.6});   // B1 load 0.6 (doesn't fit B0)
+  inst.add(1.0, 50.0, RVec{0.2});    // zero extension on both
+  const auto result = simulate(inst, "MinExtensionFit");
+  EXPECT_EQ(result.packing.bin_of(2), 1u);
+}
+
+TEST(MinExtensionFit, IsAnyFit) {
+  // Never opens a bin when one fits.
+  Instance inst(1);
+  inst.add(0.0, 5.0, RVec{0.6});
+  inst.add(1.0, 2.0, RVec{0.4});
+  const auto result = simulate(inst, "MinExtensionFit");
+  EXPECT_EQ(result.bins_opened, 1u);
+}
+
+TEST(NoisyMinExtensionFit, SigmaZeroMatchesClairvoyant) {
+  gen::UniformParams params;
+  params.d = 2;
+  params.n = 300;
+  params.mu = 20;
+  params.span = 200;
+  params.bin_size = 10;
+  const Instance inst = gen::uniform_instance(params, 77);
+  const auto clair = simulate(inst, "MinExtensionFit");
+  const auto noisy0 = simulate(inst, "NoisyMinExtensionFit:0");
+  EXPECT_EQ(clair.packing.assignment(), noisy0.packing.assignment());
+}
+
+TEST(NoisyMinExtensionFit, DeterministicPerSeed) {
+  gen::UniformParams params;
+  params.d = 1;
+  params.n = 200;
+  params.mu = 10;
+  params.span = 100;
+  params.bin_size = 10;
+  const Instance inst = gen::uniform_instance(params, 3);
+  const auto a = simulate(inst, "NoisyMinExtensionFit:0.5", {}, 9);
+  const auto b = simulate(inst, "NoisyMinExtensionFit:0.5", {}, 9);
+  EXPECT_EQ(a.packing.assignment(), b.packing.assignment());
+}
+
+TEST(Clairvoyance, BeatsNonClairvoyantOnAlignmentWorkload) {
+  // Long-vs-short mix where alignment matters: average over trials of the
+  // usage cost; exact duration knowledge must help vs First Fit.
+  gen::UniformParams params;
+  params.d = 1;
+  params.n = 500;
+  params.mu = 50;
+  params.span = 300;
+  params.bin_size = 10;
+  const auto generate = gen::make_generator("uniform", params, 123);
+
+  harness::SweepConfig cfg;
+  cfg.trials = 10;
+  const auto cells = harness::run_policy_sweep(
+      generate, {"FirstFit", "MinExtensionFit"}, cfg);
+  EXPECT_LT(cells[1].ratio.mean(), cells[0].ratio.mean());
+}
+
+TEST(Clairvoyance, NoiseDegradesMonotonically) {
+  gen::UniformParams params;
+  params.d = 1;
+  params.n = 400;
+  params.mu = 50;
+  params.span = 300;
+  params.bin_size = 10;
+  const auto generate = gen::make_generator("uniform", params, 321);
+
+  harness::SweepConfig cfg;
+  cfg.trials = 12;
+  const auto cells = harness::run_policy_sweep(
+      generate,
+      {"NoisyMinExtensionFit:0", "NoisyMinExtensionFit:2.0"}, cfg);
+  // Heavy noise (sigma = 2: duration mis-estimated by e^{2N(0,1)}) should
+  // not beat exact knowledge.
+  EXPECT_LE(cells[0].ratio.mean(), cells[1].ratio.mean() + 0.01);
+}
+
+TEST(Clairvoyance, PolicyFlagsAreCorrect) {
+  EXPECT_TRUE(MinExtensionFitPolicy().is_clairvoyant());
+  EXPECT_TRUE(NoisyMinExtensionFitPolicy(0.1).is_clairvoyant());
+  NoisyMinExtensionFitPolicy noisy(0.25);
+  EXPECT_EQ(noisy.sigma(), 0.25);
+  EXPECT_NE(std::string(noisy.name()).find("0.25"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dvbp

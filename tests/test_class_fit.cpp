@@ -1,0 +1,191 @@
+// Tests for the class-restricted First Fit policies (HarmonicFit,
+// DurationClassFit) and for resource augmentation (SimOptions::bin_capacity).
+#include <gtest/gtest.h>
+
+#include "core/policies/class_fit.hpp"
+#include "core/policies/registry.hpp"
+#include "core/simulator.hpp"
+#include "gen/uniform.hpp"
+#include "opt/lower_bounds.hpp"
+
+namespace dvbp {
+namespace {
+
+// ---- HarmonicFit -----------------------------------------------------------
+
+TEST(HarmonicFit, ClassifiesBySizeReciprocal) {
+  HarmonicFitPolicy policy(10);
+  auto cls = [&](double s) {
+    // Access the classification via behaviour: one item of each size in an
+    // otherwise empty system opens a bin of that class.
+    Instance inst(1);
+    inst.add(0.0, 1.0, RVec{s});
+    simulate(inst, policy);
+    return 0;  // classification checked in the dedicated tests below
+  };
+  (void)cls;
+  // Direct check through a subclass-visible scenario: items of size 0.6
+  // (class 1) and 0.3 (class 3) never share bins even though they fit.
+  Instance inst(1);
+  inst.add(0.0, 10.0, RVec{0.6});
+  inst.add(0.0, 10.0, RVec{0.3});
+  const auto result = simulate(inst, policy);
+  EXPECT_EQ(result.bins_opened, 2u);
+  EXPECT_NE(result.packing.bin_of(0), result.packing.bin_of(1));
+}
+
+TEST(HarmonicFit, SameClassSharesBins) {
+  // Two 0.3-items (class 3) share; a third still fits (3 x 0.3 <= 1).
+  Instance inst(1);
+  inst.add(0.0, 10.0, RVec{0.3});
+  inst.add(0.0, 10.0, RVec{0.3});
+  inst.add(0.0, 10.0, RVec{0.3});
+  const auto result = simulate(inst, "HarmonicFit");
+  EXPECT_EQ(result.bins_opened, 1u);
+}
+
+TEST(HarmonicFit, BoundaryLandsInLowerClass) {
+  // s = 0.5 must be class 2 (1/(c+1) < s <= 1/c with c = 2), so two such
+  // items share a bin.
+  Instance inst(1);
+  inst.add(0.0, 10.0, RVec{0.5});
+  inst.add(0.0, 10.0, RVec{0.5});
+  const auto result = simulate(inst, "HarmonicFit");
+  EXPECT_EQ(result.bins_opened, 1u);
+}
+
+TEST(HarmonicFit, TinyItemsShareTheFinalClass) {
+  Instance inst(1);
+  inst.add(0.0, 10.0, RVec{0.001});
+  inst.add(0.0, 10.0, RVec{0.003});
+  const auto result = simulate(inst, "HarmonicFit:5");
+  EXPECT_EQ(result.bins_opened, 1u);
+}
+
+TEST(HarmonicFit, NotAnyFit) {
+  // An Any Fit algorithm would put the 0.3-item into the 0.6-bin; Harmonic
+  // opens a second bin. This is the defining difference.
+  Instance inst(1);
+  inst.add(0.0, 10.0, RVec{0.6});
+  inst.add(1.0, 2.0, RVec{0.3});
+  EXPECT_EQ(simulate(inst, "FirstFit").bins_opened, 1u);
+  EXPECT_EQ(simulate(inst, "HarmonicFit").bins_opened, 2u);
+}
+
+TEST(HarmonicFit, ValidatesMaxClass) {
+  EXPECT_THROW(HarmonicFitPolicy(0), std::invalid_argument);
+  EXPECT_NO_THROW(make_policy("HarmonicFit:3"));
+}
+
+TEST(HarmonicFit, AuditCleanOnRandomWorkload) {
+  gen::UniformParams params;
+  params.d = 2;
+  params.n = 300;
+  params.mu = 10;
+  params.span = 100;
+  params.bin_size = 10;
+  const Instance inst = gen::uniform_instance(params, 3);
+  const auto result = simulate(inst, "HarmonicFit", {.audit = true});
+  EXPECT_GE(result.cost, lb_height(inst) - 1e-9);
+}
+
+// ---- DurationClassFit -------------------------------------------------------
+
+TEST(DurationClassFit, SeparatesDurationScales) {
+  // Durations 1.5 (class 0) and 100 (class 6) never share a bin.
+  Instance inst(1);
+  inst.add(0.0, 1.5, RVec{0.2});
+  inst.add(0.0, 100.0, RVec{0.2});
+  const auto result = simulate(inst, "DurationClassFit");
+  EXPECT_EQ(result.bins_opened, 2u);
+}
+
+TEST(DurationClassFit, GroupsSimilarDurations) {
+  // 5 and 7 are both in [4, 8) -> class 2: share.
+  Instance inst(1);
+  inst.add(0.0, 5.0, RVec{0.4});
+  inst.add(0.0, 7.0, RVec{0.4});
+  const auto result = simulate(inst, "DurationClassFit");
+  EXPECT_EQ(result.bins_opened, 1u);
+}
+
+TEST(DurationClassFit, IsClairvoyant) {
+  EXPECT_TRUE(make_policy("DurationClassFit")->is_clairvoyant());
+}
+
+TEST(DurationClassFit, BinClassTrackingCleansUpOnClose) {
+  DurationClassFitPolicy policy;
+  Instance inst(1);
+  inst.add(0.0, 5.0, RVec{0.4});
+  inst.add(6.0, 11.0, RVec{0.4});  // same class, but first bin closed
+  const auto result = simulate(inst, policy);
+  EXPECT_EQ(result.bins_opened, 2u);
+  EXPECT_THROW(policy.bin_class(0), std::out_of_range);
+}
+
+TEST(DurationClassFit, HelpsOnStragglerWorkload) {
+  // Alternating long/short items of size 0.5: interleaved policies strand
+  // long items with short ones; duration classes keep them apart.
+  Instance inst(1);
+  for (int i = 0; i < 40; ++i) {
+    inst.add(0.0, 1.0, RVec{0.5});
+    inst.add(0.0, 64.0, RVec{0.5});
+  }
+  const double ff = simulate(inst, "FirstFit").cost;
+  const double dc = simulate(inst, "DurationClassFit").cost;
+  EXPECT_LE(dc, ff + 1e-9);
+}
+
+// ---- Resource augmentation ---------------------------------------------------
+
+TEST(Augmentation, LargerBinsNeverHurtFirstFit) {
+  gen::UniformParams params;
+  params.d = 2;
+  params.n = 300;
+  params.mu = 20;
+  params.span = 150;
+  params.bin_size = 10;
+  const Instance inst = gen::uniform_instance(params, 9);
+  const double base = simulate(inst, "FirstFit").cost;
+  const double augmented =
+      simulate(inst, "FirstFit", {.bin_capacity = 1.5}).cost;
+  EXPECT_LE(augmented, base + 1e-9);
+}
+
+TEST(Augmentation, CapacityTwoPacksConflictingPair) {
+  Instance inst(1);
+  inst.add(0.0, 2.0, RVec{0.7});
+  inst.add(0.0, 2.0, RVec{0.7});
+  EXPECT_EQ(simulate(inst, "FirstFit").bins_opened, 2u);
+  EXPECT_EQ(
+      simulate(inst, "FirstFit", {.bin_capacity = 1.5}).bins_opened, 1u);
+}
+
+TEST(Augmentation, ValidatesOptions) {
+  Instance inst(1);
+  inst.add(0.0, 1.0, RVec{0.5});
+  EXPECT_THROW(simulate(inst, "FirstFit", {.bin_capacity = 0.5}),
+               std::invalid_argument);
+  EXPECT_THROW(
+      simulate(inst, "FirstFit", {.audit = true, .bin_capacity = 1.5}),
+      std::invalid_argument);
+}
+
+TEST(Augmentation, CostStillAboveSpan) {
+  // Even infinite capacity cannot beat span(R): one bin must stay open.
+  gen::UniformParams params;
+  params.d = 1;
+  params.n = 100;
+  params.mu = 10;
+  params.span = 50;
+  params.bin_size = 10;
+  const Instance inst = gen::uniform_instance(params, 17);
+  const double cost =
+      simulate(inst, "FirstFit", {.bin_capacity = 100.0}).cost;
+  EXPECT_GE(cost + 1e-9, inst.span());
+  // And with capacity >= n * max size, FirstFit achieves exactly span.
+  EXPECT_NEAR(cost, inst.span(), 1e-9);
+}
+
+}  // namespace
+}  // namespace dvbp

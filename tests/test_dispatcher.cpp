@@ -1,0 +1,167 @@
+// Tests for the streaming Dispatcher: API semantics, misuse rejection,
+// live cost metering, and the differential guarantee that replaying an
+// Instance's event stream reproduces simulate() exactly for every policy.
+#include "core/dispatcher.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/event.hpp"
+#include "core/policies/registry.hpp"
+#include "core/simulator.hpp"
+#include "gen/uniform.hpp"
+
+namespace dvbp {
+namespace {
+
+TEST(Dispatcher, BasicLifecycle) {
+  PolicyPtr policy = make_policy("FirstFit");
+  Dispatcher dispatcher(2, *policy);
+  const auto a = dispatcher.arrive(0.0, RVec{0.5, 0.5});
+  EXPECT_EQ(a.bin, 0u);
+  EXPECT_TRUE(a.opened_new_bin);
+  const auto b = dispatcher.arrive(1.0, RVec{0.5, 0.4});
+  EXPECT_EQ(b.bin, 0u);  // fits alongside
+  EXPECT_FALSE(b.opened_new_bin);
+  EXPECT_EQ(dispatcher.open_bins(), 1u);
+  EXPECT_EQ(dispatcher.jobs_active(), 2u);
+
+  dispatcher.depart(3.0, a.job);
+  EXPECT_EQ(dispatcher.open_bins(), 1u);  // b still there
+  dispatcher.depart(5.0, b.job);
+  EXPECT_EQ(dispatcher.open_bins(), 0u);
+  EXPECT_EQ(dispatcher.bins_opened(), 1u);
+  EXPECT_DOUBLE_EQ(dispatcher.cost_so_far(10.0), 5.0);
+}
+
+TEST(Dispatcher, LiveCostMetersOpenBins) {
+  PolicyPtr policy = make_policy("FirstFit");
+  Dispatcher dispatcher(1, *policy);
+  dispatcher.arrive(0.0, RVec{0.9});
+  dispatcher.arrive(1.0, RVec{0.9});  // second bin
+  EXPECT_DOUBLE_EQ(dispatcher.cost_so_far(2.0), 2.0 + 1.0);
+  EXPECT_DOUBLE_EQ(dispatcher.cost_so_far(4.0), 4.0 + 3.0);
+}
+
+TEST(Dispatcher, UnknownDeparturesUseInfinity) {
+  // Non-clairvoyant policies never read the expected departure; the
+  // default (infinity) must flow through without breaking bookkeeping.
+  PolicyPtr policy = make_policy("MoveToFront");
+  Dispatcher dispatcher(1, *policy);
+  const auto a = dispatcher.arrive(0.0, RVec{0.6});
+  const auto b = dispatcher.arrive(0.5, RVec{0.6});
+  dispatcher.depart(2.0, a.job);
+  dispatcher.depart(3.0, b.job);
+  EXPECT_DOUBLE_EQ(dispatcher.cost_so_far(3.0), 2.0 + 2.5);
+}
+
+TEST(Dispatcher, RejectsMisuse) {
+  PolicyPtr policy = make_policy("FirstFit");
+  Dispatcher dispatcher(2, *policy);
+  EXPECT_THROW(Dispatcher(0, *policy), std::invalid_argument);
+  EXPECT_THROW(Dispatcher(1, *policy, 0.5), std::invalid_argument);
+
+  const auto a = dispatcher.arrive(1.0, RVec{0.5, 0.5});
+  EXPECT_THROW(dispatcher.arrive(0.5, RVec{0.1, 0.1}),
+               std::invalid_argument);  // time regression
+  EXPECT_THROW(dispatcher.arrive(2.0, RVec{0.5}),
+               std::invalid_argument);  // dimension mismatch
+  EXPECT_THROW(dispatcher.arrive(2.0, RVec{1.5, 0.1}),
+               std::invalid_argument);  // oversize
+  EXPECT_THROW(dispatcher.arrive(2.0, RVec{0.1, 0.1}, 1.0),
+               std::invalid_argument);  // departure before arrival
+  EXPECT_THROW(dispatcher.depart(2.0, 999), std::invalid_argument);
+  dispatcher.depart(3.0, a.job);
+  EXPECT_THROW(dispatcher.depart(4.0, a.job),
+               std::invalid_argument);  // double departure
+}
+
+TEST(Dispatcher, BinOfTracksPlacementUntilDeparture) {
+  PolicyPtr policy = make_policy("FirstFit");
+  Dispatcher dispatcher(1, *policy);
+  const auto a = dispatcher.arrive(0.0, RVec{0.5});
+  EXPECT_EQ(dispatcher.bin_of(a.job), a.bin);
+  dispatcher.depart(1.0, a.job);
+  EXPECT_EQ(dispatcher.bin_of(a.job), kNoBin);
+  EXPECT_THROW(dispatcher.bin_of(42), std::invalid_argument);
+}
+
+TEST(Dispatcher, ClairvoyantPolicySeesExpectedDepartures) {
+  PolicyPtr policy = make_policy("MinExtensionFit");
+  Dispatcher dispatcher(1, *policy);
+  const auto long_bin = dispatcher.arrive(0.0, RVec{0.6}, 100.0);
+  const auto short_bin = dispatcher.arrive(0.0, RVec{0.6}, 2.0);
+  ASSERT_NE(long_bin.bin, short_bin.bin);
+  // A long probe should co-locate with the long-lived bin.
+  const auto probe = dispatcher.arrive(1.0, RVec{0.3}, 50.0);
+  EXPECT_EQ(probe.bin, long_bin.bin);
+}
+
+TEST(Dispatcher, AugmentedCapacityApplies) {
+  PolicyPtr policy = make_policy("FirstFit");
+  Dispatcher dispatcher(1, *policy, 1.5);
+  dispatcher.arrive(0.0, RVec{0.8});
+  const auto b = dispatcher.arrive(0.0, RVec{0.7});  // 1.5 total: fits
+  EXPECT_EQ(b.bin, 0u);
+  EXPECT_FALSE(b.opened_new_bin);
+}
+
+// ---- Differential: streaming replay == batch simulation -------------------
+
+class DispatcherDifferentialTest
+    : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(DispatcherDifferentialTest, ReplayMatchesSimulate) {
+  gen::UniformParams params;
+  params.d = 2;
+  params.n = 300;
+  params.mu = 10;
+  params.span = 120;
+  params.bin_size = 10;
+  const Instance inst = gen::uniform_instance(params, 77);
+
+  PolicyPtr batch_policy = make_policy(GetParam(), 5);
+  const SimResult batch = simulate(inst, *batch_policy);
+
+  PolicyPtr live_policy = make_policy(GetParam(), 5);
+  Dispatcher dispatcher(inst.dim(), *live_policy);
+  // JobIds are assigned in arrival order == instance order, so they
+  // coincide with ItemIds.
+  for (const Event& ev : build_event_stream(inst)) {
+    const Item& item = inst[ev.item];
+    if (ev.kind == EventKind::kArrival) {
+      const auto admission =
+          dispatcher.arrive(item.arrival, item.size, item.departure);
+      ASSERT_EQ(admission.job, item.id);
+    } else {
+      dispatcher.depart(ev.time, item.id);
+    }
+  }
+
+  EXPECT_EQ(dispatcher.bins_opened(), batch.bins_opened);
+  EXPECT_DOUBLE_EQ(dispatcher.cost_so_far(inst.last_departure()),
+                   batch.cost);
+  // Bin-by-bin identical placement.
+  ASSERT_EQ(dispatcher.records().size(), batch.packing.num_bins());
+  for (std::size_t b = 0; b < dispatcher.records().size(); ++b) {
+    EXPECT_EQ(dispatcher.records()[b].items,
+              batch.packing.bins()[b].items);
+    EXPECT_DOUBLE_EQ(dispatcher.records()[b].opened,
+                     batch.packing.bins()[b].opened);
+    EXPECT_DOUBLE_EQ(dispatcher.records()[b].closed,
+                     batch.packing.bins()[b].closed);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, DispatcherDifferentialTest,
+                         ::testing::Values("MoveToFront", "FirstFit",
+                                           "BestFit", "NextFit", "LastFit",
+                                           "RandomFit", "WorstFit",
+                                           "HarmonicFit",
+                                           "MinExtensionFit",
+                                           "DurationClassFit"),
+                         [](const ::testing::TestParamInfo<const char*>& i) {
+                           return std::string(i.param);
+                         });
+
+}  // namespace
+}  // namespace dvbp

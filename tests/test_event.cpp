@@ -1,0 +1,84 @@
+// Tests for the event stream: ordering realizes half-open interval
+// semantics (departures before arrivals at equal timestamps) and stable
+// arrival order for simultaneous arrivals.
+#include "core/event.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dvbp {
+namespace {
+
+TEST(EventStream, TwoEventsPerItem) {
+  Instance inst(1);
+  inst.add(0, 1, RVec{0.5});
+  inst.add(2, 3, RVec{0.5});
+  const auto events = build_event_stream(inst);
+  ASSERT_EQ(events.size(), 4u);
+}
+
+TEST(EventStream, SortedByTime) {
+  Instance inst(1);
+  inst.add(5, 6, RVec{0.5});
+  inst.add(0, 10, RVec{0.5});
+  inst.add(2, 3, RVec{0.5});
+  const auto events = build_event_stream(inst);
+  for (std::size_t i = 0; i + 1 < events.size(); ++i) {
+    EXPECT_LE(events[i].time, events[i + 1].time);
+  }
+}
+
+TEST(EventStream, DeparturesBeforeArrivalsAtSameTime) {
+  Instance inst(1);
+  inst.add(0, 1, RVec{0.5});  // departs at 1
+  inst.add(1, 2, RVec{0.5});  // arrives at 1
+  const auto events = build_event_stream(inst);
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events[1].kind, EventKind::kDeparture);
+  EXPECT_EQ(events[1].item, 0u);
+  EXPECT_EQ(events[2].kind, EventKind::kArrival);
+  EXPECT_EQ(events[2].item, 1u);
+}
+
+TEST(EventStream, SimultaneousArrivalsKeepInstanceOrder) {
+  Instance inst(1);
+  for (int i = 0; i < 5; ++i) inst.add(0, 1 + i, RVec{0.1});
+  const auto events = build_event_stream(inst);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(events[static_cast<std::size_t>(i)].kind, EventKind::kArrival);
+    EXPECT_EQ(events[static_cast<std::size_t>(i)].item,
+              static_cast<ItemId>(i));
+  }
+}
+
+TEST(EventStream, SimultaneousDeparturesDeterministic) {
+  Instance inst(1);
+  inst.add(0, 5, RVec{0.1});
+  inst.add(1, 5, RVec{0.1});
+  const auto events = build_event_stream(inst);
+  // Both departures at t=5, ordered by item id.
+  EXPECT_EQ(events[2].item, 0u);
+  EXPECT_EQ(events[3].item, 1u);
+}
+
+TEST(EventTimes, DistinctSorted) {
+  Instance inst(1);
+  inst.add(0, 2, RVec{0.5});
+  inst.add(0, 3, RVec{0.5});
+  inst.add(2, 4, RVec{0.5});
+  const auto times = event_times(inst);
+  EXPECT_EQ(times, (std::vector<Time>{0, 2, 3, 4}));
+}
+
+TEST(EventOrder, StrictWeakOrdering) {
+  const EventOrder less{};
+  Event a{1.0, EventKind::kDeparture, 0};
+  Event b{1.0, EventKind::kArrival, 0};
+  Event c{1.0, EventKind::kArrival, 1};
+  EXPECT_TRUE(less(a, b));
+  EXPECT_FALSE(less(b, a));
+  EXPECT_TRUE(less(b, c));
+  EXPECT_FALSE(less(a, a));
+}
+
+}  // namespace
+}  // namespace dvbp

@@ -1,0 +1,251 @@
+// Tests for the workload generators: Table 2 envelope compliance,
+// determinism, distributional sanity of the trace extensions, and the
+// generator registry.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "gen/registry.hpp"
+#include "gen/traces.hpp"
+#include "gen/uniform.hpp"
+
+namespace dvbp {
+namespace {
+
+using gen::UniformParams;
+
+UniformParams table2_params(std::size_t d, std::int64_t mu) {
+  UniformParams p;
+  p.d = d;
+  p.n = 1000;
+  p.mu = mu;
+  p.span = 1000;
+  p.bin_size = 100;
+  return p;
+}
+
+TEST(UniformGen, RespectsTable2Envelope) {
+  const UniformParams p = table2_params(2, 10);
+  const Instance inst = gen::uniform_instance(p, /*seed=*/7);
+  ASSERT_EQ(inst.size(), 1000u);
+  EXPECT_EQ(inst.dim(), 2u);
+  EXPECT_FALSE(inst.validate().has_value());
+  for (const Item& r : inst.items()) {
+    // Integral arrival in [0, T - mu].
+    EXPECT_GE(r.arrival, 0.0);
+    EXPECT_LE(r.arrival, 990.0);
+    EXPECT_DOUBLE_EQ(r.arrival, std::floor(r.arrival));
+    // Integral duration in [1, mu].
+    const Time dur = r.duration();
+    EXPECT_GE(dur, 1.0);
+    EXPECT_LE(dur, 10.0);
+    EXPECT_DOUBLE_EQ(dur, std::floor(dur));
+    // Sizes on the {1..B}/B grid.
+    for (std::size_t j = 0; j < r.size.dim(); ++j) {
+      EXPECT_GE(r.size[j], 0.01 - 1e-12);
+      EXPECT_LE(r.size[j], 1.0 + 1e-12);
+      const double units = r.size[j] * 100.0;
+      EXPECT_NEAR(units, std::round(units), 1e-9);
+    }
+  }
+  // Items arrive in order.
+  for (std::size_t i = 0; i + 1 < inst.size(); ++i) {
+    EXPECT_LE(inst[i].arrival, inst[i + 1].arrival);
+  }
+}
+
+TEST(UniformGen, MuOneGivesUnitDurations) {
+  const Instance inst = gen::uniform_instance(table2_params(1, 1), 3);
+  for (const Item& r : inst.items()) EXPECT_DOUBLE_EQ(r.duration(), 1.0);
+}
+
+TEST(UniformGen, DeterministicPerSeedAndTrial) {
+  const UniformParams p = table2_params(2, 5);
+  const Instance a = gen::uniform_instance(p, 42, 7);
+  const Instance b = gen::uniform_instance(p, 42, 7);
+  const Instance c = gen::uniform_instance(p, 42, 8);
+  ASSERT_EQ(a.size(), b.size());
+  bool all_equal_ab = true;
+  bool all_equal_ac = true;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    all_equal_ab &= a[i].arrival == b[i].arrival && a[i].size == b[i].size &&
+                    a[i].departure == b[i].departure;
+    all_equal_ac &= a[i].arrival == c[i].arrival && a[i].size == c[i].size;
+  }
+  EXPECT_TRUE(all_equal_ab);
+  EXPECT_FALSE(all_equal_ac);  // different trial -> different stream
+}
+
+TEST(UniformGen, ValidatesParameters) {
+  UniformParams p;
+  p.d = 0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = UniformParams{};
+  p.mu = 0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = UniformParams{};
+  p.mu = 2000;  // > span
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = UniformParams{};
+  p.bin_size = 0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+TEST(UniformGen, SizesRoughlyUniform) {
+  // Mean normalized size should be ~ (B+1)/(2B) = 0.505.
+  const Instance inst = gen::uniform_instance(table2_params(1, 5), 99);
+  double mean = 0.0;
+  for (const Item& r : inst.items()) mean += r.size[0];
+  mean /= static_cast<double>(inst.size());
+  // n = 1000 gives a ~0.009 standard error; 0.035 is ~4 sigma.
+  EXPECT_NEAR(mean, 0.505, 0.035);
+}
+
+TEST(ZipfGen, FavorsShortDurations) {
+  gen::ZipfDurationParams zp{table2_params(1, 100), 1.5};
+  Xoshiro256pp rng(11);
+  const Instance inst = gen::zipf_duration_instance(zp, rng);
+  EXPECT_FALSE(inst.validate().has_value());
+  std::size_t ones = 0;
+  for (const Item& r : inst.items()) {
+    EXPECT_GE(r.duration(), 1.0);
+    EXPECT_LE(r.duration(), 100.0);
+    if (r.duration() == 1.0) ++ones;
+  }
+  // Under Zipf(1.5) over {1..100}, P(1) = 1/sum(v^-1.5) ~ 0.42; uniform
+  // would give 1%.
+  EXPECT_GT(ones, inst.size() / 4);
+}
+
+TEST(BurstyGen, ArrivalsClusterIntoBursts) {
+  gen::BurstyArrivalParams bp{table2_params(1, 10), 5, 3};
+  Xoshiro256pp rng(13);
+  const Instance inst = gen::bursty_arrival_instance(bp, rng);
+  EXPECT_FALSE(inst.validate().has_value());
+  // At most bursts * (width+1) distinct arrival values.
+  std::map<Time, int> arrivals;
+  for (const Item& r : inst.items()) arrivals[r.arrival]++;
+  EXPECT_LE(arrivals.size(), 5u * 4u);
+}
+
+TEST(BurstyGen, RejectsZeroBursts) {
+  gen::BurstyArrivalParams bp{table2_params(1, 10), 0, 3};
+  Xoshiro256pp rng(13);
+  EXPECT_THROW(gen::bursty_arrival_instance(bp, rng), std::invalid_argument);
+}
+
+TEST(CorrelatedGen, RhoOneMakesDimensionsEqual) {
+  gen::CorrelatedSizeParams cp{table2_params(3, 5), 1.0};
+  Xoshiro256pp rng(17);
+  const Instance inst = gen::correlated_size_instance(cp, rng);
+  for (const Item& r : inst.items()) {
+    EXPECT_NEAR(r.size[0], r.size[1], 1e-12);
+    EXPECT_NEAR(r.size[1], r.size[2], 1e-12);
+  }
+}
+
+TEST(CorrelatedGen, RhoValidated) {
+  gen::CorrelatedSizeParams cp{table2_params(2, 5), 1.5};
+  Xoshiro256pp rng(17);
+  EXPECT_THROW(gen::correlated_size_instance(cp, rng),
+               std::invalid_argument);
+}
+
+TEST(CorrelatedGen, CorrelationIncreasesWithRho) {
+  auto corr = [](const Instance& inst) {
+    double sx = 0, sy = 0, sxx = 0, syy = 0, sxy = 0;
+    const double n = static_cast<double>(inst.size());
+    for (const Item& r : inst.items()) {
+      sx += r.size[0];
+      sy += r.size[1];
+      sxx += r.size[0] * r.size[0];
+      syy += r.size[1] * r.size[1];
+      sxy += r.size[0] * r.size[1];
+    }
+    const double cov = sxy / n - (sx / n) * (sy / n);
+    const double vx = sxx / n - (sx / n) * (sx / n);
+    const double vy = syy / n - (sy / n) * (sy / n);
+    return cov / std::sqrt(vx * vy);
+  };
+  Xoshiro256pp rng_lo(19);
+  Xoshiro256pp rng_hi(19);
+  gen::CorrelatedSizeParams lo{table2_params(2, 5), 0.0};
+  gen::CorrelatedSizeParams hi{table2_params(2, 5), 0.9};
+  const double c_lo = corr(gen::correlated_size_instance(lo, rng_lo));
+  const double c_hi = corr(gen::correlated_size_instance(hi, rng_hi));
+  EXPECT_LT(c_lo, 0.2);
+  EXPECT_GT(c_hi, 0.7);
+}
+
+TEST(DiurnalGen, PeakTroughContrastMatchesAmplitude) {
+  gen::DiurnalArrivalParams dp{table2_params(1, 1), 0.8, 0.0, 0.0};
+  dp.base.n = 20000;  // enough mass per phase bucket
+  Xoshiro256pp rng(23);
+  const Instance inst = gen::diurnal_arrival_instance(dp, rng);
+  EXPECT_FALSE(inst.validate().has_value());
+  // One sine cycle over [0, T-mu): first half (sin >= 0) should carry
+  // (integral of 1+0.8 sin) / total ~ (pi + 1.6) / (2 pi) ~ 0.755.
+  const double window = 999.0;
+  std::size_t first_half = 0;
+  for (const Item& r : inst.items()) {
+    EXPECT_GE(r.arrival, 0.0);
+    EXPECT_LE(r.arrival, window);
+    if (r.arrival < window / 2.0) ++first_half;
+  }
+  const double frac =
+      static_cast<double>(first_half) / static_cast<double>(inst.size());
+  EXPECT_NEAR(frac, 0.7546, 0.02);
+}
+
+TEST(DiurnalGen, AmplitudeZeroIsUniform) {
+  gen::DiurnalArrivalParams dp{table2_params(1, 5), 0.0, 0.0, 0.0};
+  dp.base.n = 20000;
+  Xoshiro256pp rng(29);
+  const Instance inst = gen::diurnal_arrival_instance(dp, rng);
+  std::size_t first_half = 0;
+  for (const Item& r : inst.items()) {
+    if (r.arrival < (1000.0 - 5.0) / 2.0) ++first_half;
+  }
+  EXPECT_NEAR(static_cast<double>(first_half) /
+                  static_cast<double>(inst.size()),
+              0.5, 0.02);
+}
+
+TEST(DiurnalGen, ValidatesAmplitude) {
+  gen::DiurnalArrivalParams dp{table2_params(1, 5), 1.0, 0.0, 0.0};
+  Xoshiro256pp rng(1);
+  EXPECT_THROW(gen::diurnal_arrival_instance(dp, rng),
+               std::invalid_argument);
+}
+
+TEST(GenRegistry, AllNamesConstruct) {
+  const UniformParams base = table2_params(2, 5);
+  for (const std::string& name : gen::generator_names()) {
+    const auto generate = gen::make_generator(name, base, 1);
+    const Instance inst = generate(0);
+    EXPECT_EQ(inst.size(), base.n) << name;
+    EXPECT_FALSE(inst.validate().has_value()) << name;
+  }
+}
+
+TEST(GenRegistry, RejectsUnknownName) {
+  EXPECT_THROW(gen::make_generator("poisson", table2_params(1, 5), 1),
+               std::invalid_argument);
+}
+
+TEST(GenRegistry, GeneratorsAreTrialDeterministic) {
+  const auto generate =
+      gen::make_generator("uniform", table2_params(1, 5), 123);
+  const Instance a = generate(4);
+  const Instance b = generate(4);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].arrival, b[i].arrival);
+    EXPECT_EQ(a[i].size, b[i].size);
+  }
+}
+
+}  // namespace
+}  // namespace dvbp

@@ -1,0 +1,188 @@
+// Tests for the experiment harness: CLI parsing, table rendering, and the
+// Monte-Carlo sweep (determinism, thread-count invariance, and the expected
+// coarse ordering of the paper's algorithms).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "harness/cli.hpp"
+#include "harness/sweep.hpp"
+#include "harness/table.hpp"
+
+namespace dvbp {
+namespace {
+
+// ---- CLI ------------------------------------------------------------------
+
+harness::Args make_args(std::initializer_list<const char*> argv) {
+  std::vector<const char*> full{"prog"};
+  full.insert(full.end(), argv.begin(), argv.end());
+  return harness::Args(static_cast<int>(full.size()), full.data());
+}
+
+TEST(Cli, ParsesKeyValueFlags) {
+  const auto args = make_args({"--trials=50", "--name=abc", "pos1"});
+  EXPECT_TRUE(args.has("trials"));
+  EXPECT_EQ(args.get_int("trials", 0), 50);
+  EXPECT_EQ(args.get("name", ""), "abc");
+  ASSERT_EQ(args.positional().size(), 1u);
+  EXPECT_EQ(args.positional()[0], "pos1");
+}
+
+TEST(Cli, BareFlagIsTrue) {
+  const auto args = make_args({"--csv"});
+  EXPECT_TRUE(args.get_bool("csv"));
+  EXPECT_FALSE(args.get_bool("other"));
+  EXPECT_TRUE(args.get_bool("missing", true));
+}
+
+TEST(Cli, FallbacksWhenAbsent) {
+  const auto args = make_args({});
+  EXPECT_EQ(args.get_int("trials", 7), 7);
+  EXPECT_DOUBLE_EQ(args.get_double("sigma", 0.5), 0.5);
+  EXPECT_EQ(args.get("name", "dflt"), "dflt");
+}
+
+TEST(Cli, ListsAndIntLists) {
+  const auto args = make_args({"--mu=1,2,5", "--who=a,b"});
+  EXPECT_EQ(args.get_int_list("mu", {}),
+            (std::vector<std::int64_t>{1, 2, 5}));
+  EXPECT_EQ(args.get_list("who"), (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(args.get_int_list("absent", {9}),
+            (std::vector<std::int64_t>{9}));
+}
+
+TEST(Cli, RejectsMalformedNumbers) {
+  const auto args = make_args({"--trials=abc"});
+  EXPECT_THROW(args.get_int("trials", 0), std::invalid_argument);
+  const auto args2 = make_args({"--mu=1,x"});
+  EXPECT_THROW(args2.get_int_list("mu", {}), std::invalid_argument);
+}
+
+// ---- Table ------------------------------------------------------------------
+
+TEST(Table, AlignedTextContainsAllCells) {
+  harness::Table t({"alg", "ratio"});
+  t.add_row({"FirstFit", "1.23"});
+  t.add_row({"NextFit", "2.34"});
+  const std::string out = t.to_aligned_text();
+  EXPECT_NE(out.find("FirstFit"), std::string::npos);
+  EXPECT_NE(out.find("2.34"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(Table, MarkdownShape) {
+  harness::Table t({"a", "b"});
+  t.add_row({"1", "2"});
+  const std::string md = t.to_markdown();
+  EXPECT_NE(md.find("| a | b |"), std::string::npos);
+  EXPECT_NE(md.find("|---|---|"), std::string::npos);
+  EXPECT_NE(md.find("| 1 | 2 |"), std::string::npos);
+}
+
+TEST(Table, CsvShape) {
+  harness::Table t({"a", "b"});
+  t.add_row({"1", "2"});
+  EXPECT_EQ(t.to_csv(), "a,b\n1,2\n");
+}
+
+TEST(Table, RejectsBadRows) {
+  harness::Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+  EXPECT_THROW(harness::Table({}), std::invalid_argument);
+}
+
+TEST(Table, NumberFormatting) {
+  EXPECT_EQ(harness::Table::num(1.23456, 2), "1.23");
+  EXPECT_EQ(harness::Table::num(
+                std::numeric_limits<double>::infinity()), "inf");
+  EXPECT_EQ(harness::Table::mean_pm(1.5, 0.25, 2), "1.50 +- 0.25");
+}
+
+// ---- Sweep ------------------------------------------------------------------
+
+gen::UniformParams small_params() {
+  gen::UniformParams p;
+  p.d = 2;
+  p.n = 120;
+  p.mu = 10;
+  p.span = 100;
+  p.bin_size = 20;
+  return p;
+}
+
+TEST(Sweep, DeterministicAcrossRunsAndThreadCounts) {
+  const auto generate = gen::make_generator("uniform", small_params(), 5);
+  harness::SweepConfig cfg;
+  cfg.trials = 16;
+  cfg.seed = 5;
+
+  cfg.threads = 1;
+  const auto serial = harness::run_policy_sweep(
+      generate, {"MoveToFront", "NextFit"}, cfg);
+  cfg.threads = 4;
+  const auto parallel = harness::run_policy_sweep(
+      generate, {"MoveToFront", "NextFit"}, cfg);
+
+  ASSERT_EQ(serial.size(), 2u);
+  for (std::size_t p = 0; p < 2; ++p) {
+    EXPECT_DOUBLE_EQ(serial[p].ratio.mean(), parallel[p].ratio.mean());
+    EXPECT_DOUBLE_EQ(serial[p].ratio.stddev(), parallel[p].ratio.stddev());
+    EXPECT_DOUBLE_EQ(serial[p].bins.mean(), parallel[p].bins.mean());
+  }
+}
+
+TEST(Sweep, RatiosAreAtLeastOneAgainstLowerBound) {
+  const auto generate = gen::make_generator("uniform", small_params(), 9);
+  harness::SweepConfig cfg;
+  cfg.trials = 8;
+  const auto cells =
+      harness::run_policy_sweep(generate, {"FirstFit"}, cfg);
+  // cost >= OPT >= LB, so cost/LB >= 1 on every trial.
+  EXPECT_GE(cells[0].ratio.min(), 1.0 - 1e-9);
+  EXPECT_EQ(cells[0].ratio.count(), 8u);
+}
+
+TEST(Sweep, ValidatesArguments) {
+  const auto generate = gen::make_generator("uniform", small_params(), 9);
+  harness::SweepConfig cfg;
+  cfg.trials = 0;
+  EXPECT_THROW(harness::run_policy_sweep(generate, {"FirstFit"}, cfg),
+               std::invalid_argument);
+  cfg.trials = 2;
+  EXPECT_THROW(harness::run_policy_sweep(generate, {}, cfg),
+               std::invalid_argument);
+}
+
+TEST(Table, NanRendering) {
+  EXPECT_EQ(harness::Table::num(std::nan("")), "nan");
+  EXPECT_EQ(harness::Table::num(-std::numeric_limits<double>::infinity()),
+            "-inf");
+}
+
+TEST(Sweep, RawCostModeSkipsNormalization) {
+  const auto generate = gen::make_generator("uniform", small_params(), 3);
+  harness::SweepConfig cfg;
+  cfg.trials = 4;
+  cfg.normalize_by_lb = false;
+  const auto cells = harness::run_policy_sweep(generate, {"FirstFit"}, cfg);
+  // Raw costs on this workload are way above any ratio scale.
+  EXPECT_GT(cells[0].ratio.mean(), 10.0);
+}
+
+TEST(Sweep, WorstFitTrailsMoveToFrontOnAverage) {
+  // Coarse Figure 4 shape at mu = 10, d = 2 -- the full ordering is
+  // asserted statistically by bench_fig4; here just the extremes.
+  auto params = small_params();
+  params.n = 400;
+  const auto generate = gen::make_generator("uniform", params, 31);
+  harness::SweepConfig cfg;
+  cfg.trials = 12;
+  const auto cells = harness::run_policy_sweep(
+      generate, {"MoveToFront", "WorstFit"}, cfg);
+  EXPECT_LT(cells[0].ratio.mean(), cells[1].ratio.mean());
+}
+
+}  // namespace
+}  // namespace dvbp

@@ -1,0 +1,86 @@
+// Tests for the instance analytics module: hand-computed profiles,
+// agreement with the opt-layer Lemma 1 bounds, and report formatting.
+#include "core/instance_stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/uniform.hpp"
+#include "opt/lower_bounds.hpp"
+
+namespace dvbp {
+namespace {
+
+TEST(InstanceStats, EmptyInstance) {
+  Instance inst(3);
+  const InstanceStats stats = analyze(inst);
+  EXPECT_EQ(stats.n, 0u);
+  EXPECT_EQ(stats.dim, 3u);
+  EXPECT_DOUBLE_EQ(stats.span, 0.0);
+}
+
+TEST(InstanceStats, HandComputedProfile) {
+  Instance inst(2);
+  inst.add(0.0, 2.0, RVec{0.5, 0.25});  // duration 2
+  inst.add(1.0, 5.0, RVec{0.25, 0.5});  // duration 4
+  const InstanceStats stats = analyze(inst);
+  EXPECT_EQ(stats.n, 2u);
+  EXPECT_DOUBLE_EQ(stats.span, 5.0);
+  EXPECT_DOUBLE_EQ(stats.mu, 2.0);
+  EXPECT_DOUBLE_EQ(stats.min_duration, 2.0);
+  EXPECT_DOUBLE_EQ(stats.max_duration, 4.0);
+  EXPECT_DOUBLE_EQ(stats.mean_duration, 3.0);
+  EXPECT_EQ(stats.peak_concurrency, 2u);
+  // Concurrency: 1 on [0,1), 2 on [1,2), 1 on [2,5) -> (1+2+3)/5.
+  EXPECT_NEAR(stats.mean_concurrency, 6.0 / 5.0, 1e-12);
+  // Height: 0.5 on [0,1), 0.75 on [1,2), 0.5 on [2,5).
+  EXPECT_NEAR(stats.peak_height, 0.75, 1e-12);
+  EXPECT_NEAR(stats.mean_height, (0.5 + 0.75 + 1.5) / 5.0, 1e-12);
+  EXPECT_NEAR(stats.mean_size[0], 0.375, 1e-12);
+  EXPECT_NEAR(stats.max_size[1], 0.5, 1e-12);
+}
+
+TEST(InstanceStats, BoundsAgreeWithOptLayer) {
+  gen::UniformParams params;
+  params.d = 3;
+  params.n = 200;
+  params.mu = 10;
+  params.span = 80;
+  params.bin_size = 10;
+  for (std::uint64_t seed : {1u, 2u, 3u}) {
+    const Instance inst = gen::uniform_instance(params, seed);
+    const InstanceStats stats = analyze(inst);
+    EXPECT_NEAR(stats.height_bound, lb_height(inst), 1e-9);
+    EXPECT_NEAR(stats.utilization_bound, lb_utilization(inst), 1e-9);
+  }
+}
+
+TEST(InstanceStats, ProfileInvariants) {
+  gen::UniformParams params;
+  params.d = 2;
+  params.n = 300;
+  params.mu = 20;
+  params.span = 150;
+  params.bin_size = 10;
+  const Instance inst = gen::uniform_instance(params, 9);
+  const InstanceStats stats = analyze(inst);
+  EXPECT_GE(stats.peak_height, stats.mean_height);
+  EXPECT_GE(static_cast<double>(stats.peak_concurrency),
+            stats.mean_concurrency);
+  EXPECT_GE(stats.height_bound, stats.mean_height * stats.span - 1e-9);
+  EXPECT_LE(stats.mu, 20.0 + 1e-12);
+  for (std::size_t j = 0; j < stats.mean_size.size(); ++j) {
+    EXPECT_LE(stats.mean_size[j], stats.max_size[j]);
+  }
+}
+
+TEST(InstanceStats, ReportMentionsKeyNumbers) {
+  Instance inst(1);
+  inst.add(0.0, 4.0, RVec{0.5});
+  const std::string report = analyze(inst).report();
+  EXPECT_NE(report.find("items: 1"), std::string::npos);
+  EXPECT_NE(report.find("mu = 1"), std::string::npos);
+  EXPECT_NE(report.find("peak 1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dvbp

@@ -1,0 +1,177 @@
+// Tests for Interval and IntervalSet (half-open interval algebra).
+#include "core/interval.hpp"
+#include "core/interval_set.hpp"
+
+#include <gtest/gtest.h>
+
+#include "stats/rng.hpp"
+
+namespace dvbp {
+namespace {
+
+TEST(Interval, LengthAndEmpty) {
+  EXPECT_DOUBLE_EQ(Interval(1.0, 3.5).length(), 2.5);
+  EXPECT_TRUE(Interval(2.0, 2.0).empty());
+  EXPECT_TRUE(Interval(3.0, 2.0).empty());
+  EXPECT_DOUBLE_EQ(Interval(3.0, 2.0).length(), 0.0);
+}
+
+TEST(Interval, HalfOpenContains) {
+  Interval iv(1.0, 2.0);
+  EXPECT_TRUE(iv.contains(1.0));   // closed at the left
+  EXPECT_TRUE(iv.contains(1.999));
+  EXPECT_FALSE(iv.contains(2.0));  // open at the right
+  EXPECT_FALSE(iv.contains(0.999));
+}
+
+TEST(Interval, Overlaps) {
+  EXPECT_TRUE(Interval(0, 2).overlaps(Interval(1, 3)));
+  EXPECT_FALSE(Interval(0, 1).overlaps(Interval(1, 2)));  // touching only
+  EXPECT_TRUE(Interval(0, 5).overlaps(Interval(2, 3)));
+  EXPECT_FALSE(Interval(0, 1).overlaps(Interval(2, 3)));
+}
+
+TEST(Interval, Covers) {
+  EXPECT_TRUE(Interval(0, 5).covers(Interval(1, 4)));
+  EXPECT_TRUE(Interval(0, 5).covers(Interval(0, 5)));
+  EXPECT_FALSE(Interval(0, 5).covers(Interval(1, 6)));
+}
+
+TEST(Interval, Intersect) {
+  EXPECT_EQ(Interval(0, 3).intersect(Interval(1, 5)), Interval(1, 3));
+  EXPECT_TRUE(Interval(0, 1).intersect(Interval(2, 3)).empty());
+}
+
+TEST(Interval, Hull) {
+  EXPECT_EQ(Interval(0, 1).hull(Interval(3, 4)), Interval(0, 4));
+  EXPECT_EQ(Interval(2, 2).hull(Interval(3, 4)), Interval(3, 4));  // empty lhs
+  EXPECT_EQ(Interval(3, 4).hull(Interval(2, 2)), Interval(3, 4));  // empty rhs
+}
+
+TEST(Interval, ToString) {
+  EXPECT_EQ(Interval(0.5, 2).to_string(), "[0.5, 2)");
+}
+
+TEST(IntervalSet, EmptySet) {
+  IntervalSet s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_DOUBLE_EQ(s.measure(), 0.0);
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_FALSE(s.contains(0.0));
+  EXPECT_TRUE(s.hull().empty());
+}
+
+TEST(IntervalSet, AddDisjoint) {
+  IntervalSet s;
+  s.add({0, 1});
+  s.add({2, 3});
+  EXPECT_EQ(s.count(), 2u);
+  EXPECT_DOUBLE_EQ(s.measure(), 2.0);
+  EXPECT_EQ(s.hull(), Interval(0, 3));
+}
+
+TEST(IntervalSet, AddIgnoresEmpty) {
+  IntervalSet s;
+  s.add({1, 1});
+  s.add({2, 1});
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(IntervalSet, MergeOverlap) {
+  IntervalSet s;
+  s.add({0, 2});
+  s.add({1, 3});
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.measure(), 3.0);
+}
+
+TEST(IntervalSet, MergeAdjacent) {
+  IntervalSet s;
+  s.add({0, 1});
+  s.add({1, 2});
+  EXPECT_EQ(s.count(), 1u);  // [0,1) U [1,2) = [0,2)
+  EXPECT_DOUBLE_EQ(s.measure(), 2.0);
+}
+
+TEST(IntervalSet, BridgeMultipleParts) {
+  IntervalSet s;
+  s.add({0, 1});
+  s.add({2, 3});
+  s.add({4, 5});
+  s.add({0.5, 4.5});  // swallows everything
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.measure(), 5.0);
+}
+
+TEST(IntervalSet, InsertBeforeFirst) {
+  IntervalSet s;
+  s.add({5, 6});
+  s.add({0, 1});
+  EXPECT_EQ(s.count(), 2u);
+  EXPECT_EQ(s.parts().front(), Interval(0, 1));
+}
+
+TEST(IntervalSet, Contains) {
+  IntervalSet s;
+  s.add({0, 1});
+  s.add({2, 3});
+  EXPECT_TRUE(s.contains(0.5));
+  EXPECT_FALSE(s.contains(1.0));  // half-open
+  EXPECT_FALSE(s.contains(1.5));
+  EXPECT_TRUE(s.contains(2.0));
+  EXPECT_FALSE(s.contains(3.0));
+  EXPECT_FALSE(s.contains(-0.5));
+}
+
+TEST(IntervalSet, MergeSets) {
+  IntervalSet a;
+  a.add({0, 1});
+  a.add({4, 5});
+  IntervalSet b;
+  b.add({1, 2});
+  b.add({6, 7});
+  a.merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_DOUBLE_EQ(a.measure(), 4.0);
+}
+
+TEST(IntervalSet, ClearResets) {
+  IntervalSet s;
+  s.add({0, 10});
+  s.clear();
+  EXPECT_TRUE(s.empty());
+}
+
+// Property test: the measure of a random union equals a brute-force grid
+// estimate within the grid resolution.
+TEST(IntervalSet, RandomizedMeasureAgainstGrid) {
+  Xoshiro256pp rng(7);
+  for (int rep = 0; rep < 20; ++rep) {
+    IntervalSet s;
+    std::vector<Interval> raw;
+    for (int i = 0; i < 30; ++i) {
+      // Grid-aligned endpoints make the brute-force count exact.
+      const double lo = static_cast<double>(rng.uniform_int(0, 990));
+      const double hi = lo + static_cast<double>(rng.uniform_int(0, 9));
+      s.add({lo, hi});
+      raw.emplace_back(lo, hi);
+    }
+    double brute = 0.0;
+    for (int t = 0; t < 1000; ++t) {
+      for (const Interval& iv : raw) {
+        if (iv.contains(static_cast<double>(t))) {
+          brute += 1.0;
+          break;
+        }
+      }
+    }
+    EXPECT_DOUBLE_EQ(s.measure(), brute);
+    // Parts must be sorted and pairwise disjoint with gaps.
+    for (std::size_t i = 0; i + 1 < s.parts().size(); ++i) {
+      EXPECT_LT(s.parts()[i].hi, s.parts()[i + 1].lo);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dvbp

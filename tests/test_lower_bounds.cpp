@@ -1,0 +1,113 @@
+// Tests for the Lemma 1 lower bounds: hand-computed values, the ordering
+// LB_height >= max(LB_util, LB_span) the paper notes, and consistency with
+// every online policy's cost (cost >= each bound, since bounds are on OPT
+// and OPT <= any online cost).
+#include "opt/lower_bounds.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/simulator.hpp"
+#include "gen/uniform.hpp"
+
+namespace dvbp {
+namespace {
+
+TEST(LowerBounds, EmptyInstanceIsZero) {
+  Instance inst(1);
+  const LowerBounds lbs = lower_bounds(inst);
+  EXPECT_DOUBLE_EQ(lbs.height, 0.0);
+  EXPECT_DOUBLE_EQ(lbs.utilization, 0.0);
+  EXPECT_DOUBLE_EQ(lbs.span, 0.0);
+  EXPECT_DOUBLE_EQ(lbs.best(), 0.0);
+}
+
+TEST(LowerBounds, SingleItem) {
+  Instance inst(1);
+  inst.add(0.0, 3.0, RVec{0.4});
+  const LowerBounds lbs = lower_bounds(inst);
+  // One active item of size 0.4 -> ceil = 1 bin over [0,3).
+  EXPECT_DOUBLE_EQ(lbs.height, 3.0);
+  EXPECT_DOUBLE_EQ(lbs.utilization, 0.4 * 3.0);
+  EXPECT_DOUBLE_EQ(lbs.span, 3.0);
+}
+
+TEST(LowerBounds, HeightCountsParallelLoad) {
+  Instance inst(1);
+  // Three 0.7-items overlapping on [1,2): ceil(2.1) = 3 bins there.
+  inst.add(0.0, 2.0, RVec{0.7});
+  inst.add(1.0, 3.0, RVec{0.7});
+  inst.add(1.0, 2.0, RVec{0.7});
+  // Load: [0,1): 0.7 -> 1; [1,2): 2.1 -> 3; [2,3): 0.7 -> 1.
+  EXPECT_DOUBLE_EQ(lb_height(inst), 1.0 + 3.0 + 1.0);
+}
+
+TEST(LowerBounds, HeightUsesMaxDimension) {
+  Instance inst(2);
+  inst.add(0.0, 1.0, RVec{0.9, 0.1});
+  inst.add(0.0, 1.0, RVec{0.9, 0.1});
+  inst.add(0.0, 1.0, RVec{0.1, 0.9});
+  // dim0 load = 1.9 -> ceil 2; dim1 load = 1.1 -> ceil 2; max 2.
+  EXPECT_DOUBLE_EQ(lb_height(inst), 2.0);
+}
+
+TEST(LowerBounds, HeightHandlesGaps) {
+  Instance inst(1);
+  inst.add(0.0, 1.0, RVec{0.5});
+  inst.add(3.0, 5.0, RVec{0.5});
+  EXPECT_DOUBLE_EQ(lb_height(inst), 3.0);  // zero load on [1,3)
+  EXPECT_DOUBLE_EQ(lb_span(inst), 3.0);
+}
+
+TEST(LowerBounds, HeightRobustToFloatingNoise) {
+  // 10 x 0.1 sums to 0.9999999999999999; ceil must still be 1, not 2.
+  Instance inst(1);
+  for (int i = 0; i < 10; ++i) inst.add(0.0, 1.0, RVec{0.1});
+  EXPECT_DOUBLE_EQ(lb_height(inst), 1.0);
+}
+
+TEST(LowerBounds, UtilizationDividesByDimension) {
+  Instance inst(4);
+  inst.add(0.0, 2.0, RVec{0.8, 0.1, 0.1, 0.1});
+  EXPECT_DOUBLE_EQ(lb_utilization(inst), 0.8 * 2.0 / 4.0);
+}
+
+TEST(LowerBounds, BestPicksLargest) {
+  Instance inst(2);
+  inst.add(0.0, 10.0, RVec{0.05, 0.05});
+  const LowerBounds lbs = lower_bounds(inst);
+  EXPECT_DOUBLE_EQ(lbs.best(), lbs.span);  // span 10 dominates tiny loads
+}
+
+// Property: on random instances, height >= utilization, height >= span,
+// and every policy's cost >= every bound.
+class LowerBoundOrderTest
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::uint64_t>> {
+};
+
+TEST_P(LowerBoundOrderTest, HeightDominatesAndCostsRespectBounds) {
+  const auto [d, seed] = GetParam();
+  gen::UniformParams params;
+  params.d = d;
+  params.n = 150;
+  params.mu = 10;
+  params.span = 80;
+  params.bin_size = 10;
+  const Instance inst = gen::uniform_instance(params, seed);
+
+  const LowerBounds lbs = lower_bounds(inst);
+  EXPECT_GE(lbs.height + 1e-9, lbs.utilization);
+  EXPECT_GE(lbs.height + 1e-9, lbs.span);
+
+  for (const char* policy : {"MoveToFront", "FirstFit", "NextFit"}) {
+    const double cost = simulate(inst, policy).cost;
+    EXPECT_GE(cost + 1e-9, lbs.best()) << policy;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Random, LowerBoundOrderTest,
+    ::testing::Combine(::testing::Values<std::size_t>(1, 2, 5),
+                       ::testing::Values<std::uint64_t>(1, 2, 3, 4, 5)));
+
+}  // namespace
+}  // namespace dvbp

@@ -1,0 +1,124 @@
+// Tests for the exact offline optimum (eq. (2) integration): hand-computed
+// optima, dominance over the Lemma 1 bounds, and the fundamental sandwich
+// LB <= OPT <= cost(any online policy).
+#include "opt/offline_opt.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/simulator.hpp"
+#include "gen/uniform.hpp"
+#include "opt/lower_bounds.hpp"
+
+namespace dvbp {
+namespace {
+
+TEST(OfflineOpt, EmptyInstance) {
+  Instance inst(1);
+  const auto r = offline_opt(inst);
+  EXPECT_DOUBLE_EQ(r.cost, 0.0);
+  EXPECT_TRUE(r.exact);
+  EXPECT_EQ(r.segments, 0u);
+}
+
+TEST(OfflineOpt, SingleItem) {
+  Instance inst(1);
+  inst.add(1.0, 5.0, RVec{0.7});
+  const auto r = offline_opt(inst);
+  EXPECT_DOUBLE_EQ(r.cost, 4.0);
+  EXPECT_EQ(r.segments, 1u);
+  EXPECT_EQ(r.max_active, 1u);
+}
+
+TEST(OfflineOpt, RepackingBeatsAnyOnlinePolicy) {
+  // Two 0.6-items overlap on [1,2): online algorithms that placed them
+  // apart pay 2 bins over the overlap; OPT does too (0.6+0.6 > 1), so here
+  // they agree -- but with a third 0.4-item OPT can repack optimally.
+  Instance inst(1);
+  inst.add(0.0, 2.0, RVec{0.6});
+  inst.add(1.0, 3.0, RVec{0.6});
+  const auto r = offline_opt(inst);
+  // [0,1): 1 bin; [1,2): 2 bins; [2,3): 1 bin -> 4.
+  EXPECT_DOUBLE_EQ(r.cost, 4.0);
+}
+
+TEST(OfflineOpt, GapSplitsIntoSubproblems) {
+  Instance inst(1);
+  inst.add(0.0, 1.0, RVec{0.5});
+  inst.add(10.0, 12.0, RVec{0.5});
+  const auto r = offline_opt(inst);
+  EXPECT_DOUBLE_EQ(r.cost, 3.0);  // idle [1,10) costs nothing
+}
+
+TEST(OfflineOpt, MultiDimensionalSegments) {
+  Instance inst(2);
+  inst.add(0.0, 2.0, RVec{0.9, 0.1});
+  inst.add(0.0, 2.0, RVec{0.1, 0.9});  // complementary: one bin
+  inst.add(1.0, 2.0, RVec{0.5, 0.5});  // forces a second bin on [1,2)
+  const auto r = offline_opt(inst);
+  EXPECT_DOUBLE_EQ(r.cost, 1.0 + 2.0);
+}
+
+TEST(OfflineOpt, MemoizationReusesRepeatedActiveSets) {
+  // An item blinks on and off around a persistent one; distinct segments
+  // share active sets only when ids match, but the same set {0} recurs.
+  Instance inst(1);
+  inst.add(0.0, 10.0, RVec{0.5});   // persistent
+  inst.add(2.0, 3.0, RVec{0.4});
+  inst.add(5.0, 6.0, RVec{0.4});
+  const auto r = offline_opt(inst);
+  EXPECT_DOUBLE_EQ(r.cost, 10.0);
+  EXPECT_EQ(r.segments, 5u);
+  // {0} appears three times but is solved once; {0,1} and {0,2} once each.
+  EXPECT_EQ(r.vbp_calls, 3u);
+}
+
+TEST(OfflineOpt, FfdVariantUpperBoundsExact) {
+  Instance inst(1);
+  inst.add(0.0, 2.0, RVec{0.6});
+  inst.add(0.0, 2.0, RVec{0.6});
+  inst.add(0.0, 2.0, RVec{0.4});
+  inst.add(0.0, 2.0, RVec{0.4});
+  EXPECT_GE(offline_ffd_cost(inst) + 1e-12, offline_opt(inst).cost);
+}
+
+// The fundamental sandwich on random instances:
+//   max(Lemma 1 bounds) <= OPT <= offline FFD <= ... and
+//   OPT <= cost(policy) for every online policy.
+class OfflineOptSandwichTest
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::uint64_t>> {
+};
+
+TEST_P(OfflineOptSandwichTest, BoundsSandwichOpt) {
+  const auto [d, seed] = GetParam();
+  gen::UniformParams params;
+  params.d = d;
+  params.n = 30;       // small: exact OPT must stay tractable
+  params.mu = 5;
+  params.span = 25;
+  params.bin_size = 10;
+  const Instance inst = gen::uniform_instance(params, seed);
+
+  const auto opt = offline_opt(inst);
+  ASSERT_TRUE(opt.exact);
+
+  const LowerBounds lbs = lower_bounds(inst);
+  EXPECT_GE(opt.cost + 1e-9, lbs.height);
+  EXPECT_GE(opt.cost + 1e-9, lbs.utilization);
+  EXPECT_GE(opt.cost + 1e-9, lbs.span);
+
+  EXPECT_GE(offline_ffd_cost(inst) + 1e-9, opt.cost);
+
+  for (const char* policy :
+       {"MoveToFront", "FirstFit", "NextFit", "BestFit", "WorstFit"}) {
+    EXPECT_GE(simulate(inst, policy).cost + 1e-9, opt.cost) << policy;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Random, OfflineOptSandwichTest,
+    ::testing::Combine(::testing::Values<std::size_t>(1, 2, 3),
+                       ::testing::Values<std::uint64_t>(11, 22, 33, 44, 55,
+                                                        66, 77, 88)));
+
+}  // namespace
+}  // namespace dvbp

@@ -1,0 +1,217 @@
+// Unit and property tests for RVec, including the Proposition 1 norm
+// identities the paper's analysis rests on.
+#include "core/rvec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "stats/rng.hpp"
+
+namespace dvbp {
+namespace {
+
+TEST(RVec, DefaultIsEmpty) {
+  RVec v;
+  EXPECT_EQ(v.dim(), 0u);
+  EXPECT_TRUE(v.empty());
+}
+
+TEST(RVec, ZeroConstructor) {
+  RVec v(3);
+  EXPECT_EQ(v.dim(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_DOUBLE_EQ(v[i], 0.0);
+}
+
+TEST(RVec, FillConstructor) {
+  RVec v(4, 0.25);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_DOUBLE_EQ(v[i], 0.25);
+}
+
+TEST(RVec, InitializerList) {
+  RVec v{0.1, 0.2, 0.3};
+  EXPECT_EQ(v.dim(), 3u);
+  EXPECT_DOUBLE_EQ(v[0], 0.1);
+  EXPECT_DOUBLE_EQ(v[1], 0.2);
+  EXPECT_DOUBLE_EQ(v[2], 0.3);
+}
+
+TEST(RVec, OnesAndZerosFactories) {
+  EXPECT_DOUBLE_EQ(RVec::ones(5).l1(), 5.0);
+  EXPECT_DOUBLE_EQ(RVec::zeros(5).l1(), 0.0);
+}
+
+TEST(RVec, AxisFactory) {
+  RVec v = RVec::axis(3, 1, 0.9, 0.05);
+  EXPECT_DOUBLE_EQ(v[0], 0.05);
+  EXPECT_DOUBLE_EQ(v[1], 0.9);
+  EXPECT_DOUBLE_EQ(v[2], 0.05);
+}
+
+TEST(RVec, AxisFactoryRejectsOutOfRange) {
+  EXPECT_THROW(RVec::axis(3, 3, 1.0), std::out_of_range);
+}
+
+TEST(RVec, HeapStorageBeyondInlineDim) {
+  const std::size_t d = RVec::kInlineDim + 4;
+  RVec v(d, 0.5);
+  EXPECT_EQ(v.dim(), d);
+  EXPECT_DOUBLE_EQ(v.l1(), 0.5 * static_cast<double>(d));
+  RVec copy = v;
+  EXPECT_EQ(copy, v);
+  RVec moved = std::move(copy);
+  EXPECT_EQ(moved, v);
+}
+
+TEST(RVec, CopyAndMoveSemantics) {
+  RVec a{0.1, 0.2};
+  RVec b = a;          // copy
+  EXPECT_EQ(a, b);
+  RVec c = std::move(b);  // move
+  EXPECT_EQ(a, c);
+  c = a;  // copy assign
+  EXPECT_EQ(a, c);
+  RVec d;
+  d = std::move(c);  // move assign
+  EXPECT_EQ(a, d);
+}
+
+TEST(RVec, SelfAssignment) {
+  RVec a{0.3, 0.4};
+  a = *&a;
+  EXPECT_DOUBLE_EQ(a[0], 0.3);
+  EXPECT_DOUBLE_EQ(a[1], 0.4);
+}
+
+TEST(RVec, Arithmetic) {
+  RVec a{0.1, 0.5};
+  RVec b{0.2, 0.25};
+  EXPECT_EQ(a + b, (RVec{0.1 + 0.2, 0.75}));
+  RVec diff = (a + b) - b;
+  EXPECT_NEAR(diff[0], 0.1, 1e-15);
+  EXPECT_NEAR(diff[1], 0.5, 1e-15);
+  EXPECT_EQ(a * 2.0, (RVec{0.2, 1.0}));
+  EXPECT_EQ(2.0 * a, a * 2.0);
+}
+
+TEST(RVec, Norms) {
+  RVec v{0.3, 0.4};
+  EXPECT_DOUBLE_EQ(v.linf(), 0.4);
+  EXPECT_DOUBLE_EQ(v.l1(), 0.7);
+  EXPECT_DOUBLE_EQ(v.lp(2.0), 0.5);
+}
+
+TEST(RVec, LpRejectsBelowOne) {
+  RVec v{0.5};
+  EXPECT_THROW(v.lp(0.5), std::invalid_argument);
+}
+
+TEST(RVec, LpEqualsL1AtOne) {
+  RVec v{0.3, 0.4, 0.1};
+  EXPECT_NEAR(v.lp(1.0), v.l1(), 1e-12);
+}
+
+TEST(RVec, FitsInCapacity) {
+  EXPECT_TRUE((RVec{1.0, 0.5}.fits_in_capacity(1.0)));
+  EXPECT_FALSE((RVec{1.1, 0.5}.fits_in_capacity(1.0)));
+  // Tolerance absorbs floating noise at the boundary.
+  EXPECT_TRUE((RVec{1.0 + 1e-12}.fits_in_capacity(1.0)));
+}
+
+TEST(RVec, FitsWith) {
+  RVec load{0.6, 0.3};
+  EXPECT_TRUE(load.fits_with(RVec{0.4, 0.7}));
+  EXPECT_FALSE(load.fits_with(RVec{0.41, 0.1}));
+}
+
+TEST(RVec, FitsWithExactBoundary) {
+  // Exactly-full bins are feasible: the Thm 5 construction fills one
+  // dimension to exactly 1.
+  RVec load{1.0 - 0.25};
+  EXPECT_TRUE(load.fits_with(RVec{0.25}));
+  EXPECT_FALSE(load.fits_with(RVec{0.2500001}));
+}
+
+TEST(RVec, FitsWithCapacity) {
+  RVec load{1.2, 0.8};
+  EXPECT_TRUE(load.fits_with_capacity(RVec{0.3, 0.7}, 1.5));
+  EXPECT_FALSE(load.fits_with_capacity(RVec{0.31, 0.1}, 1.5));
+  // cap = 1 recovers fits_with.
+  RVec half{0.5, 0.5};
+  EXPECT_EQ(half.fits_with(RVec{0.5, 0.5}),
+            half.fits_with_capacity(RVec{0.5, 0.5}, 1.0));
+}
+
+TEST(RVec, ClampNonnegative) {
+  RVec v{0.5};
+  v -= RVec{0.5};
+  v -= RVec{1e-17};
+  v.clamp_nonnegative();
+  EXPECT_GE(v[0], 0.0);
+}
+
+TEST(RVec, MaxWith) {
+  RVec a{0.1, 0.9};
+  a.max_with(RVec{0.5, 0.2});
+  EXPECT_EQ(a, (RVec{0.5, 0.9}));
+}
+
+TEST(RVec, IsNonnegative) {
+  EXPECT_TRUE((RVec{0.0, 0.5}).is_nonnegative());
+  EXPECT_FALSE((RVec{-0.01, 0.5}).is_nonnegative());
+  EXPECT_TRUE((RVec{-1e-12, 0.5}).is_nonnegative(1e-9));
+}
+
+TEST(RVec, StreamOutput) {
+  std::ostringstream os;
+  os << RVec{0.5, 0.25};
+  EXPECT_EQ(os.str(), "(0.5, 0.25)");
+}
+
+TEST(RVec, SumOfVectors) {
+  std::vector<RVec> vs{{0.1, 0.2}, {0.3, 0.4}};
+  RVec total = sum(vs);
+  EXPECT_NEAR(total[0], 0.4, 1e-12);
+  EXPECT_NEAR(total[1], 0.6, 1e-12);
+  EXPECT_EQ(sum({}).dim(), 0u);
+}
+
+// ---- Proposition 1 property tests -------------------------------------
+
+class Prop1Test : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(Prop1Test, ScalingHomogeneity) {
+  const std::size_t d = GetParam();
+  Xoshiro256pp rng(42 + d);
+  for (int rep = 0; rep < 50; ++rep) {
+    RVec v(d);
+    for (std::size_t j = 0; j < d; ++j) v[j] = rng.uniform();
+    const double c = rng.uniform(0.0, 10.0);
+    EXPECT_NEAR((v * c).linf(), c * v.linf(), 1e-12);
+  }
+}
+
+TEST_P(Prop1Test, TriangleAndDimensionBounds) {
+  // ||sum v_i||_inf <= sum ||v_i||_inf <= d * ||sum v_i||_inf
+  const std::size_t d = GetParam();
+  Xoshiro256pp rng(1234 + d);
+  for (int rep = 0; rep < 50; ++rep) {
+    const int n = 1 + static_cast<int>(rng.uniform_int(0, 9));
+    RVec total(d);
+    double sum_norms = 0.0;
+    for (int i = 0; i < n; ++i) {
+      RVec v(d);
+      for (std::size_t j = 0; j < d; ++j) v[j] = rng.uniform();
+      total += v;
+      sum_norms += v.linf();
+    }
+    EXPECT_LE(total.linf(), sum_norms + 1e-12);
+    EXPECT_LE(sum_norms, static_cast<double>(d) * total.linf() + 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, Prop1Test,
+                         ::testing::Values<std::size_t>(1, 2, 3, 5, 8, 12));
+
+}  // namespace
+}  // namespace dvbp

@@ -1,0 +1,265 @@
+// Structural validation of the Theorem 2 analysis. The proof decomposes
+// each Move To Front bin's usage period into leading intervals P_{i,j}
+// (bin at the front of the MRU list) and non-leading intervals Q_{i,j},
+// and establishes:
+//
+//   Claim 1:  sum ell(P_{i,j}) = span(R)            (exact equality)
+//   ell(Q_{i,j}) <= mu (max item duration)          (per interval)
+//   Claim 2:  sum ||s(r_{i,j})||_inf * ell(Q_{i,j}) <= mu * d * OPT
+//   Claim 3:  sum ||s(R_{i,j})||_inf * ell(Q_{i,j}) <= (mu+1) * d * OPT
+//
+// where r_{i,j} is the arriving item whose placement elsewhere ended bin
+// i's leadership, and R_{i,j} the items active in bin i at that moment.
+//
+// The decomposition (including zero-length leaderships, which the
+// policy's collapsed leader history intentionally drops) is reconstructed
+// by replaying the MRU-list dynamics from the finished packing: the front
+// changes exactly on item receives (to the receiving bin) and on closes
+// of the front bin (to the next list entry). Every inequality is then
+// checked against the *exact* offline optimum.
+#include <gtest/gtest.h>
+
+#include <list>
+#include <map>
+#include <vector>
+
+#include "core/event.hpp"
+#include "core/policies/move_to_front.hpp"
+#include "core/simulator.hpp"
+#include "gen/uniform.hpp"
+#include "opt/offline_opt.hpp"
+
+namespace dvbp {
+namespace {
+
+/// One uncollapsed front-of-list transition.
+struct FrontChange {
+  Time time = 0.0;
+  BinId leader = kNoBin;
+  ItemId cause = kNoItem;  ///< arriving item, or kNoItem for a close handoff
+};
+
+/// Replays the MRU dynamics implied by a Move To Front packing.
+std::vector<FrontChange> replay_front(const Instance& inst,
+                                      const Packing& packing) {
+  std::vector<FrontChange> out;
+  std::list<BinId> mru;
+  std::vector<std::size_t> active(packing.num_bins(), 0);
+  auto front = [&]() -> BinId { return mru.empty() ? kNoBin : mru.front(); };
+
+  for (const Event& ev : build_event_stream(inst)) {
+    const BinId bin = packing.bin_of(ev.item);
+    const BinId before = front();
+    if (ev.kind == EventKind::kArrival) {
+      ++active[bin];
+      auto it = std::find(mru.begin(), mru.end(), bin);
+      if (it != mru.end()) mru.erase(it);
+      mru.push_front(bin);
+      if (front() != before) out.push_back({ev.time, front(), ev.item});
+    } else {
+      --active[bin];
+      if (active[bin] == 0) {
+        mru.remove(bin);
+        if (front() != before) out.push_back({ev.time, front(), kNoItem});
+      }
+    }
+  }
+  return out;
+}
+
+struct QInterval {
+  BinId bin = kNoBin;
+  Time start = 0.0;
+  Time end = 0.0;
+  ItemId cause = kNoItem;
+  Time length() const { return end - start; }
+};
+
+struct Decomposition {
+  double leading_total = 0.0;  ///< includes zero-length leaderships (0 cost)
+  std::vector<QInterval> q_intervals;
+};
+
+Decomposition decompose(const Instance& inst, const Packing& packing) {
+  const std::vector<FrontChange> timeline = replay_front(inst, packing);
+  Decomposition out;
+
+  // Leading measure: consecutive timeline entries bound each leadership.
+  for (std::size_t i = 0; i + 1 < timeline.size(); ++i) {
+    if (timeline[i].leader != kNoBin) {
+      out.leading_total += timeline[i + 1].time - timeline[i].time;
+    }
+  }
+
+  // Per-bin Q intervals: from each loss of leadership (with its cause)
+  // until the next gain of leadership or the bin's close.
+  for (const BinRecord& bin : packing.bins()) {
+    bool is_leader = false;
+    bool q_open = false;
+    QInterval q;
+    for (const FrontChange& ev : timeline) {
+      if (ev.time < bin.opened || ev.time > bin.closed) {
+        // Outside the bin's life; still track state transitions at edges.
+      }
+      if (ev.leader == bin.id) {
+        if (q_open && ev.time > q.start + kTimeEps) {
+          q.end = ev.time;
+          out.q_intervals.push_back(q);
+        }
+        q_open = false;
+        is_leader = true;
+      } else if (is_leader) {
+        is_leader = false;
+        if (ev.time < bin.closed - kTimeEps) {
+          q = {bin.id, ev.time, bin.closed, ev.cause};
+          q_open = true;
+        }
+      }
+    }
+    if (q_open) out.q_intervals.push_back(q);  // ran until the bin closed
+  }
+  return out;
+}
+
+class Theorem2StructureTest
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::uint64_t>> {
+};
+
+TEST_P(Theorem2StructureTest, ClaimsHoldAgainstExactOpt) {
+  const auto [d, seed] = GetParam();
+  gen::UniformParams params;
+  params.d = d;
+  params.n = 35;  // small enough for exact OPT
+  params.mu = 6;
+  params.span = 25;
+  params.bin_size = 6;
+  const Instance inst = gen::uniform_instance(params, seed);
+
+  MoveToFrontPolicy policy(/*record_leader_history=*/true);
+  const SimResult sim = simulate(inst, policy, {.audit = true});
+  const Decomposition dec = decompose(inst, sim.packing);
+
+  // Cross-check: the replayed leading measure equals the one implied by
+  // the policy's own (collapsed) leader history.
+  double history_leading = 0.0;
+  const auto& h = policy.leader_history();
+  for (std::size_t i = 0; i + 1 < h.size(); ++i) {
+    if (h[i].leader != kNoBin) history_leading += h[i + 1].time - h[i].time;
+  }
+  EXPECT_NEAR(dec.leading_total, history_leading, 1e-9);
+
+  // Claim 1: leading intervals partition the span.
+  EXPECT_NEAR(dec.leading_total, inst.span(), 1e-9);
+
+  // Decomposition completeness: P + Q == total cost.
+  double q_total = 0.0;
+  for (const QInterval& q : dec.q_intervals) q_total += q.length();
+  EXPECT_NEAR(dec.leading_total + q_total, sim.cost, 1e-9);
+
+  const double mu_ratio = inst.mu();
+  const double max_dur = inst.max_duration();
+  const double dd = static_cast<double>(d);
+
+  // Per-interval bound: no item is packed into a bin during its
+  // non-leading interval, so ell(Q) <= max item duration.
+  for (const QInterval& q : dec.q_intervals) {
+    EXPECT_LE(q.length(), max_dur + 1e-9)
+        << "bin " << q.bin << " Q=[" << q.start << "," << q.end << ")";
+  }
+
+  const auto opt = offline_opt(inst);
+  ASSERT_TRUE(opt.exact);
+
+  // Claim 2: sum ||s(r_ij)|| * ell(Q_ij) <= mu * d * OPT. Each Q interval
+  // is started by a distinct displacing arrival.
+  double claim2 = 0.0;
+  std::map<ItemId, int> cause_uses;
+  for (const QInterval& q : dec.q_intervals) {
+    ASSERT_NE(q.cause, kNoItem)
+        << "non-leading interval without a displacing item";
+    EXPECT_EQ(++cause_uses[q.cause], 1) << "cause reused";
+    claim2 += inst[q.cause].size.linf() * q.length();
+  }
+  EXPECT_LE(claim2, mu_ratio * dd * opt.cost + 1e-6);
+
+  // Claim 3: sum ||s(R_ij)|| * ell(Q_ij) <= (mu+1) * d * OPT, with R_ij the
+  // items of bin i active when Q_ij starts.
+  double claim3 = 0.0;
+  for (const QInterval& q : dec.q_intervals) {
+    RVec load(inst.dim());
+    const BinRecord& bin = sim.packing.bins()[q.bin];
+    for (ItemId r : bin.items) {
+      if (inst[r].active_at(q.start)) load += inst[r].size;
+    }
+    EXPECT_GT(load.linf(), 0.0);  // a non-leading open bin is loaded
+    claim3 += load.linf() * q.length();
+  }
+  EXPECT_LE(claim3, (mu_ratio + 1.0) * dd * opt.cost + 1e-6);
+
+  // Assembled Theorem 2: cost <= span + claim2-sum + claim3-sum
+  //                           <= ((2mu+1)d + 1) * OPT.
+  EXPECT_LE(sim.cost, inst.span() + claim2 + claim3 + 1e-6);
+  EXPECT_LE(sim.cost,
+            ((2.0 * mu_ratio + 1.0) * dd + 1.0) * opt.cost + 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Random, Theorem2StructureTest,
+    ::testing::Combine(::testing::Values<std::size_t>(1, 2, 3),
+                       ::testing::Values<std::uint64_t>(1, 2, 3, 4, 5, 6, 7,
+                                                        8)));
+
+// A crafted scenario where the decomposition is fully known in closed form.
+TEST(Theorem2Structure, HandComputedDecomposition) {
+  Instance inst(1);
+  inst.add(0.0, 9.0, RVec{0.6});  // B0, leads [0,2)
+  inst.add(2.0, 7.0, RVec{0.9});  // B1 (0.6+0.9 > 1), leads [2,5)
+  inst.add(5.0, 9.0, RVec{0.3});  // fits B0 (0.9) not B1 (1.2) -> B0 leads
+  MoveToFrontPolicy policy(true);
+  const SimResult sim = simulate(inst, policy, {.audit = true});
+  const Decomposition dec = decompose(inst, sim.packing);
+
+  // Leading: B0 [0,2), B1 [2,5), B0 [5,9). Q(B0) = [2,5) caused by item 1;
+  // Q(B1) = [5,7) caused by item 2.
+  EXPECT_NEAR(dec.leading_total, 9.0, 1e-12);
+  ASSERT_EQ(dec.q_intervals.size(), 2u);
+  EXPECT_EQ(dec.q_intervals[0].bin, 0u);
+  EXPECT_NEAR(dec.q_intervals[0].length(), 3.0, 1e-12);
+  EXPECT_EQ(dec.q_intervals[0].cause, 1u);
+  EXPECT_EQ(dec.q_intervals[1].bin, 1u);
+  EXPECT_NEAR(dec.q_intervals[1].length(), 2.0, 1e-12);
+  EXPECT_EQ(dec.q_intervals[1].cause, 2u);
+}
+
+// Zero-length leaderships (same-instant displacement chains) must split
+// non-leading intervals: bin B receives an item at time t and loses the
+// front at the same instant -- its Q restarts at t.
+TEST(Theorem2Structure, SameInstantDisplacementSplitsQ) {
+  Instance inst(1);
+  inst.add(0.0, 10.0, RVec{0.8});  // B0
+  inst.add(1.0, 10.0, RVec{0.8});  // B1 (front)
+  // At t=2, two simultaneous arrivals: the first goes to B0 (0.8+0.15
+  // doesn't fit B1's 0.8? 1.6 -- right, only B0 fits after B1? both 0.8;
+  // 0.15 fits both; MRU front B1 takes it first).
+  inst.add(2.0, 10.0, RVec{0.15});  // -> B1 (front)
+  inst.add(2.0, 10.0, RVec{0.15});  // B1 now 0.95; fits (1.10 > 1? no:
+                                    // 0.95+0.15=1.10) -> B0, B0 front
+  const SimResult sim = simulate(inst, "MoveToFront", {.audit = true});
+  ASSERT_EQ(sim.packing.bin_of(2), 1u);
+  ASSERT_EQ(sim.packing.bin_of(3), 0u);
+  const Decomposition dec = decompose(inst, sim.packing);
+  // B1 leads [1,2); receives item 2 at t=2 (still front, zero-length since
+  // item 3 immediately moves B0 ahead)... B1's post-2 non-leading interval
+  // must start exactly at 2 with cause item 3.
+  bool found = false;
+  for (const QInterval& q : dec.q_intervals) {
+    if (q.bin == 1u && q.start == 2.0) {
+      EXPECT_EQ(q.cause, 3u);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace dvbp

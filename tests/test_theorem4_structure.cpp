@@ -1,0 +1,122 @@
+// Structural validation of the Theorem 4 (Next Fit) analysis. The proof
+// splits each bin's usage period I_i into the current period P_i (from
+// opening until the bin is released) and the released period Q_i, and
+// establishes:
+//
+//   sum ell(P_i) <= span(R)              (current periods are disjoint)
+//   ell(Q_i) <= mu (max item duration)   (no packs after release)
+//   at each release: ||s(R'_i) + s(r_i)||_inf > 1   (the release reason)
+//   sum ell(Q_i) <= 2 * mu * d * OPT     (via the above + Lemma 1(ii))
+//
+// All reconstructed from the instrumented release log and checked against
+// the exact offline optimum.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/policies/next_fit.hpp"
+#include "core/simulator.hpp"
+#include "gen/uniform.hpp"
+#include "opt/offline_opt.hpp"
+
+namespace dvbp {
+namespace {
+
+class Theorem4StructureTest
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::uint64_t>> {
+};
+
+TEST_P(Theorem4StructureTest, DecompositionHoldsAgainstExactOpt) {
+  const auto [d, seed] = GetParam();
+  gen::UniformParams params;
+  params.d = d;
+  params.n = 35;
+  params.mu = 6;
+  params.span = 25;
+  params.bin_size = 6;
+  const Instance inst = gen::uniform_instance(params, seed);
+
+  NextFitPolicy policy;
+  const SimResult sim = simulate(inst, policy, {.audit = true});
+
+  std::map<BinId, NextFitPolicy::Release> release_of;
+  for (const auto& rel : policy.release_log()) {
+    EXPECT_EQ(release_of.count(rel.bin), 0u) << "bin released twice";
+    release_of[rel.bin] = rel;
+  }
+
+  const double max_dur = inst.max_duration();
+  const double mu_ratio = inst.mu();
+  const double dd = static_cast<double>(d);
+
+  double p_total = 0.0;
+  double q_total = 0.0;
+  for (const BinRecord& bin : sim.packing.bins()) {
+    auto it = release_of.find(bin.id);
+    if (it == release_of.end()) {
+      // Never released: current for its entire life.
+      p_total += bin.usage_time();
+      continue;
+    }
+    const auto& rel = it->second;
+    ASSERT_GE(rel.time, bin.opened - 1e-12);
+    ASSERT_LE(rel.time, bin.closed + 1e-12);
+    p_total += rel.time - bin.opened;
+    const double q_len = bin.closed - rel.time;
+    q_total += q_len;
+
+    // ell(Q_i) <= mu: the bin receives nothing after its release.
+    EXPECT_LE(q_len, max_dur + 1e-9) << "bin " << bin.id;
+
+    // Release reason: the trigger item plus the bin's live load overflowed
+    // some dimension.
+    RVec load(inst.dim());
+    for (ItemId r : bin.items) {
+      if (inst[r].active_at(rel.time)) load += inst[r].size;
+    }
+    load += inst[rel.trigger].size;
+    EXPECT_GT(load.linf(), 1.0 - 1e-9)
+        << "bin " << bin.id << " released without overflow reason";
+
+    // The trigger is the first item of the *next* opened bin.
+    ASSERT_LT(bin.id + 1, sim.packing.num_bins());
+    EXPECT_EQ(sim.packing.bin_of(rel.trigger), bin.id + 1);
+  }
+
+  // Current periods are pairwise disjoint, so their total is at most the
+  // span (strictly less when a current bin closes during an activity gap).
+  EXPECT_LE(p_total, inst.span() + 1e-9);
+  EXPECT_NEAR(p_total + q_total, sim.cost, 1e-9);
+
+  const auto opt = offline_opt(inst);
+  ASSERT_TRUE(opt.exact);
+  // Theorem 4's two pieces and the assembled bound.
+  EXPECT_LE(q_total, 2.0 * mu_ratio * dd * opt.cost + 1e-6);
+  EXPECT_LE(sim.cost, (2.0 * mu_ratio * dd + 1.0) * opt.cost + 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Random, Theorem4StructureTest,
+    ::testing::Combine(::testing::Values<std::size_t>(1, 2, 3),
+                       ::testing::Values<std::uint64_t>(1, 2, 3, 4, 5, 6, 7,
+                                                        8)));
+
+TEST(Theorem4Structure, HandComputedReleases) {
+  Instance inst(1);
+  inst.add(0.0, 5.0, RVec{0.7});  // B0 current
+  inst.add(1.0, 6.0, RVec{0.7});  // releases B0 at t=1 -> B1
+  inst.add(2.0, 4.0, RVec{0.2});  // fits B1 (0.9)
+  inst.add(3.0, 6.0, RVec{0.5});  // releases B1 at t=3 -> B2
+  NextFitPolicy policy;
+  const SimResult sim = simulate(inst, policy, {.audit = true});
+  ASSERT_EQ(sim.bins_opened, 3u);
+  ASSERT_EQ(policy.release_log().size(), 2u);
+  EXPECT_EQ(policy.release_log()[0], (NextFitPolicy::Release{0u, 1.0, 1u}));
+  EXPECT_EQ(policy.release_log()[1], (NextFitPolicy::Release{1u, 3.0, 3u}));
+  // Q(B0) = [1,5): length 4; Q(B1) = [3,6): length 3.
+  EXPECT_DOUBLE_EQ(sim.packing.bins()[0].usage_time(), 5.0);
+  EXPECT_DOUBLE_EQ(sim.packing.bins()[1].usage_time(), 5.0);
+}
+
+}  // namespace
+}  // namespace dvbp

@@ -1,0 +1,149 @@
+// Broad randomized torture: many instances across the full parameter
+// envelope (all generators, dimensions up to the heap-storage regime,
+// extreme mu, degenerate shapes), every registry policy, universal
+// invariants checked on each run:
+//   span(R) <= cost <= n * max_duration    (trivial envelope)
+//   cost >= LB_height                       (Lemma 1)
+//   max_open_bins <= bins_opened <= n
+//   sum of bin usage == cost; every bin non-empty
+#include <gtest/gtest.h>
+
+#include "core/simulator.hpp"
+#include "gen/registry.hpp"
+#include "opt/lower_bounds.hpp"
+#include "stats/rng.hpp"
+
+namespace dvbp {
+namespace {
+
+const char* kPolicies[] = {"MoveToFront",     "FirstFit",
+                           "BestFit",         "NextFit",
+                           "LastFit",         "RandomFit",
+                           "WorstFit",        "BestFit:L2",
+                           "HarmonicFit",     "DurationClassFit",
+                           "MinExtensionFit", "NoisyMinExtensionFit:0.7"};
+
+void check_universal_invariants(const Instance& inst, const char* policy,
+                                std::uint64_t seed) {
+  const SimResult r = simulate(inst, policy, {.audit = true}, seed);
+  const double span = inst.span();
+  EXPECT_GE(r.cost + 1e-9, span) << policy;
+  EXPECT_LE(r.cost,
+            static_cast<double>(inst.size()) * inst.max_duration() + 1e-9)
+      << policy;
+  EXPECT_GE(r.cost + 1e-6, lb_height(inst)) << policy;
+  EXPECT_LE(r.max_open_bins, r.bins_opened) << policy;
+  EXPECT_LE(r.bins_opened, inst.size()) << policy;
+  double usage = 0.0;
+  for (const BinRecord& bin : r.packing.bins()) {
+    EXPECT_FALSE(bin.items.empty()) << policy;
+    usage += bin.usage_time();
+  }
+  EXPECT_NEAR(usage, r.cost, 1e-9) << policy;
+}
+
+TEST(Torture, GeneratorGridTimesPolicyGrid) {
+  for (const std::string& generator : gen::generator_names()) {
+    gen::UniformParams params;
+    params.d = 3;
+    params.n = 120;
+    params.mu = 12;
+    params.span = 60;
+    params.bin_size = 8;
+    const auto generate = gen::make_generator(generator, params, 404);
+    const Instance inst = generate(0);
+    for (const char* policy : kPolicies) {
+      check_universal_invariants(inst, policy, 1);
+    }
+  }
+}
+
+TEST(Torture, HeapDimensionRegime) {
+  // d = 12 exceeds RVec's inline storage everywhere in the pipeline.
+  gen::UniformParams params;
+  params.d = 12;
+  params.n = 150;
+  params.mu = 6;
+  params.span = 50;
+  params.bin_size = 6;
+  const Instance inst = gen::uniform_instance(params, 505);
+  for (const char* policy : kPolicies) {
+    check_universal_invariants(inst, policy, 2);
+  }
+}
+
+TEST(Torture, ExtremeMu) {
+  // Duration ratio 1000: long items dominate every bin's lifetime.
+  Instance inst(2);
+  Xoshiro256pp rng(606);
+  for (int i = 0; i < 100; ++i) {
+    const Time arrival = static_cast<Time>(rng.uniform_int(0, 50));
+    const Time duration =
+        (i % 10 == 0) ? 1000.0 : static_cast<Time>(rng.uniform_int(1, 5));
+    inst.add(arrival, arrival + duration,
+             RVec{rng.uniform(0.05, 0.6), rng.uniform(0.05, 0.6)});
+  }
+  inst.sort_by_arrival();
+  for (const char* policy : kPolicies) {
+    check_universal_invariants(inst, policy, 3);
+  }
+}
+
+TEST(Torture, AllItemsIdentical) {
+  Instance inst(1);
+  for (int i = 0; i < 60; ++i) inst.add(0.0, 5.0, RVec{0.25});
+  for (const char* policy : kPolicies) {
+    const SimResult r = simulate(inst, policy, {.audit = true});
+    // 60 quarter-items need exactly 15 bins, all policies alike.
+    EXPECT_EQ(r.bins_opened, 15u) << policy;
+    EXPECT_DOUBLE_EQ(r.cost, 15.0 * 5.0) << policy;
+  }
+}
+
+TEST(Torture, FullSizeItemsSerialize) {
+  // Size exactly 1^d: nothing shares; every policy opens n bins.
+  Instance inst(2);
+  for (int i = 0; i < 20; ++i) {
+    inst.add(static_cast<Time>(i % 4), static_cast<Time>(i % 4) + 2.0,
+             RVec{1.0, 1.0});
+  }
+  inst.sort_by_arrival();
+  for (const char* policy : kPolicies) {
+    const SimResult r = simulate(inst, policy, {.audit = true});
+    EXPECT_EQ(r.bins_opened, 20u) << policy;
+  }
+}
+
+TEST(Torture, ZeroSizeItemsAllShare) {
+  // Zero demand: an Any Fit policy must never open a second bin while one
+  // is open (everything fits everywhere).
+  Instance inst(3);
+  for (int i = 0; i < 40; ++i) {
+    inst.add(static_cast<Time>(i % 10), static_cast<Time>(i % 10) + 3.0,
+             RVec(3, 0.0));
+  }
+  inst.sort_by_arrival();
+  for (const char* policy : {"MoveToFront", "FirstFit", "BestFit"}) {
+    const SimResult r = simulate(inst, policy, {.audit = true});
+    EXPECT_EQ(r.max_open_bins, 1u) << policy;
+    EXPECT_DOUBLE_EQ(r.cost, inst.span()) << policy;
+  }
+}
+
+TEST(Torture, SequentialNonOverlappingChain) {
+  // Strictly sequential items: every policy pays exactly the span and the
+  // bin count equals n (bins close before the next arrival).
+  Instance inst(1);
+  for (int i = 0; i < 25; ++i) {
+    inst.add(2.0 * i, 2.0 * i + 1.0, RVec{0.8});
+  }
+  for (const char* policy : kPolicies) {
+    const SimResult r = simulate(inst, policy, {.audit = true});
+    EXPECT_DOUBLE_EQ(r.cost, 25.0) << policy;
+    EXPECT_EQ(r.bins_opened, 25u) << policy;
+    EXPECT_EQ(r.max_open_bins, 1u) << policy;
+  }
+}
+
+}  // namespace
+}  // namespace dvbp

