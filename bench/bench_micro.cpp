@@ -10,6 +10,9 @@
 #include "core/policies/registry.hpp"
 #include "core/simulator.hpp"
 #include "gen/uniform.hpp"
+#include "obs/metrics.hpp"
+#include "obs/observer.hpp"
+#include "obs/trace.hpp"
 #include "opt/lower_bounds.hpp"
 #include "opt/vbp_exact.hpp"
 #include "stats/rng.hpp"
@@ -45,6 +48,42 @@ BENCHMARK_CAPTURE(BM_SimulatePolicy, FirstFit, "FirstFit");
 BENCHMARK_CAPTURE(BM_SimulatePolicy, BestFit, "BestFit");
 BENCHMARK_CAPTURE(BM_SimulatePolicy, NextFit, "NextFit");
 BENCHMARK_CAPTURE(BM_SimulatePolicy, WorstFit, "WorstFit");
+
+// Observer overhead ladder. "None" is the baseline hot path (observer
+// pointer null); the other rungs add, in order, metric updates, an
+// inactive (null-sink) tracer, and full record formatting into a ring.
+// The acceptance bar is Metrics/NullTrace within a few percent of None.
+enum class ObsMode { kNone, kMetrics, kNullTrace, kRingTrace };
+
+void BM_SimulateObserved(benchmark::State& state, ObsMode mode) {
+  const Instance inst =
+      gen::uniform_instance(bench_params(2, 10), /*seed=*/42);
+  PolicyPtr policy = make_policy("FirstFit");
+  obs::MetricRegistry registry;
+  std::unique_ptr<obs::Tracer> tracer;
+  if (mode == ObsMode::kNullTrace) {
+    tracer = std::make_unique<obs::Tracer>(std::make_shared<obs::NullSink>());
+  } else if (mode == ObsMode::kRingTrace) {
+    tracer = std::make_unique<obs::Tracer>(
+        std::make_shared<obs::RingBufferSink>(/*capacity=*/1024));
+  }
+  std::unique_ptr<obs::Observer> observer;
+  if (mode != ObsMode::kNone) {
+    observer = std::make_unique<obs::Observer>(&registry, tracer.get());
+  }
+  SimOptions opts;
+  opts.observer = observer.get();
+  for (auto _ : state) {
+    const SimResult r = simulate(inst, *policy, opts);
+    benchmark::DoNotOptimize(r.cost);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(inst.size()));
+}
+BENCHMARK_CAPTURE(BM_SimulateObserved, None, ObsMode::kNone);
+BENCHMARK_CAPTURE(BM_SimulateObserved, Metrics, ObsMode::kMetrics);
+BENCHMARK_CAPTURE(BM_SimulateObserved, NullTrace, ObsMode::kNullTrace);
+BENCHMARK_CAPTURE(BM_SimulateObserved, RingTrace, ObsMode::kRingTrace);
 
 void BM_SimulateDimensionScaling(benchmark::State& state) {
   const auto d = static_cast<std::size_t>(state.range(0));

@@ -2,9 +2,13 @@
 // service would -- jobs arrive one at a time with *unknown* departures,
 // each is placed immediately, and the running rental cost is metered.
 // Runs Move To Front and Next Fit side by side on the identical stream so
-// the cost gap is directly visible as it accumulates.
+// the cost gap is directly visible as it accumulates. The MTF dispatcher
+// carries an obs::Observer, so the progress table doubles as a periodic
+// telemetry snapshot (placement throughput, open bins, fit failures) --
+// the live-service monitoring story of docs/OBSERVABILITY.md.
 //
 //   $ ./example_live_dispatcher [--jobs=5000] [--seed=21]
+#include <chrono>
 #include <iostream>
 #include <queue>
 
@@ -12,6 +16,8 @@
 #include "core/policies/registry.hpp"
 #include "harness/cli.hpp"
 #include "harness/table.hpp"
+#include "obs/metrics.hpp"
+#include "obs/observer.hpp"
 #include "stats/rng.hpp"
 
 namespace {
@@ -36,8 +42,16 @@ int main(int argc, char** argv) {
 
   PolicyPtr mtf = make_policy("MoveToFront");
   PolicyPtr nf = make_policy("NextFit");
-  Dispatcher mtf_dispatcher(2, *mtf);
+  dvbp::obs::MetricRegistry registry;
+  dvbp::obs::Observer observer(&registry);
+  Dispatcher mtf_dispatcher(2, *mtf, 1.0, &observer);
   Dispatcher nf_dispatcher(2, *nf);
+
+  const dvbp::obs::Counter& placements =
+      registry.counter("dvbp.alloc.placements_total");
+  const dvbp::obs::Counter& fit_failures =
+      registry.counter("dvbp.alloc.fit_failures_total");
+  const dvbp::obs::Gauge& open_bins = registry.gauge("dvbp.alloc.open_bins");
 
   std::priority_queue<PendingDeparture, std::vector<PendingDeparture>,
                       std::greater<>>
@@ -45,11 +59,13 @@ int main(int argc, char** argv) {
 
   std::cout << "=== Live dispatch of " << jobs
             << " jobs (departures unknown at placement) ===\n\n";
-  harness::Table progress({"t", "active", "MTF open", "NF open",
-                           "MTF cost", "NF cost"});
+  harness::Table progress({"t", "active", "MTF open", "NF open", "MTF cost",
+                           "NF cost", "plc/s", "fit-fail"});
 
   Time now = 0.0;
   const std::size_t report_every = jobs / 8 + 1;
+  auto last_wall = std::chrono::steady_clock::now();
+  std::uint64_t last_placements = 0;
   for (std::size_t j = 0; j < jobs; ++j) {
     now += rng.uniform(0.0, 0.5);  // inter-arrival gap
     // Drain departures due before this arrival -- the service only learns
@@ -67,14 +83,27 @@ int main(int argc, char** argv) {
     departures.push({now + duration, a.job, b.job});
 
     if (j % report_every == 0) {
+      // Periodic telemetry snapshot from the registry: placement
+      // throughput (wall clock), live open-bin gauge, fit failures.
+      const auto wall = std::chrono::steady_clock::now();
+      const double secs =
+          std::chrono::duration<double>(wall - last_wall).count();
+      const std::uint64_t placed = placements.value();
+      const double rate =
+          secs > 0.0 ? static_cast<double>(placed - last_placements) / secs
+                     : 0.0;
+      last_wall = wall;
+      last_placements = placed;
       progress.add_row({harness::Table::num(now, 1),
                         std::to_string(mtf_dispatcher.jobs_active()),
-                        std::to_string(mtf_dispatcher.open_bins()),
+                        harness::Table::num(open_bins.value(), 0),
                         std::to_string(nf_dispatcher.open_bins()),
                         harness::Table::num(
                             mtf_dispatcher.cost_so_far(now), 0),
                         harness::Table::num(nf_dispatcher.cost_so_far(now),
-                                            0)});
+                                            0),
+                        harness::Table::num(rate, 0),
+                        std::to_string(fit_failures.value())});
     }
   }
   while (!departures.empty()) {
@@ -95,5 +124,15 @@ int main(int argc, char** argv) {
             << nf_dispatcher.bins_opened() << " servers) -> MTF saves "
             << harness::Table::num(100.0 * (nf_cost - mtf_cost) / nf_cost, 1)
             << "%\n";
+  std::cout << "\nMTF telemetry (dvbp.alloc.*): placements="
+            << placements.value() << ", fit_failures=" << fit_failures.value()
+            << ", bins_opened="
+            << registry.counter("dvbp.alloc.bins_opened_total").value()
+            << ", decision p99="
+            << harness::Table::num(
+                   registry.histogram("dvbp.alloc.decision_latency_ns")
+                       .quantile(0.99),
+                   0)
+            << "ns\n";
   return 0;
 }

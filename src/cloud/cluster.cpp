@@ -6,7 +6,8 @@
 namespace dvbp::cloud {
 
 ClusterReport run_cluster(const ServerSpec& spec, std::vector<Job> jobs,
-                          Policy& policy, const BillingModel& billing) {
+                          Policy& policy, const BillingModel& billing,
+                          obs::Observer* observer) {
   spec.validate();
 
   // Jobs must be fed to the online algorithm in arrival order.
@@ -19,7 +20,9 @@ ClusterReport run_cluster(const ServerSpec& spec, std::vector<Job> jobs,
     inst.add(job.arrival, job.departure, spec.normalize(job.demand));
   }
 
-  const SimResult sim = simulate(inst, policy);
+  SimOptions opts;
+  opts.observer = observer;
+  const SimResult sim = simulate(inst, policy, opts);
 
   ClusterReport report;
   report.servers_rented = sim.bins_opened;

@@ -47,8 +47,11 @@ struct ClusterReport {
 
 /// Dispatches `jobs` in arrival order with `policy` onto servers of `spec`,
 /// billing each rental with `billing`. Throws std::invalid_argument for
-/// jobs that could never fit a server.
+/// jobs that could never fit a server. `observer` (borrowed, nullable)
+/// receives per-decision telemetry from the underlying engine (see
+/// obs/observer.hpp).
 ClusterReport run_cluster(const ServerSpec& spec, std::vector<Job> jobs,
-                          Policy& policy, const BillingModel& billing);
+                          Policy& policy, const BillingModel& billing,
+                          obs::Observer* observer = nullptr);
 
 }  // namespace dvbp::cloud

@@ -4,11 +4,13 @@
 #include <stdexcept>
 
 #include "core/simulator.hpp"  // PolicyViolation
+#include "obs/observer.hpp"
 
 namespace dvbp {
 
-Dispatcher::Dispatcher(std::size_t dim, Policy& policy, double bin_capacity)
-    : dim_(dim), policy_(policy), capacity_(bin_capacity) {
+Dispatcher::Dispatcher(std::size_t dim, Policy& policy, double bin_capacity,
+                       obs::Observer* observer)
+    : dim_(dim), policy_(policy), capacity_(bin_capacity), obs_(observer) {
   if (dim_ == 0) {
     throw std::invalid_argument("Dispatcher: dim must be >= 1");
   }
@@ -54,8 +56,27 @@ Dispatcher::Admission Dispatcher::arrive(Time now, RVec size,
                              b.num_active(), b.latest_departure(),
                              b.capacity()});
   }
-  const BinId chosen =
-      policy_.select_bin(now, item, std::span<const BinView>(views_));
+  if (obs_ != nullptr) {
+    obs_->on_arrival(now, job,
+                     std::span<const double>(item.size.begin(),
+                                             item.size.dim()),
+                     open_order_.size());
+  }
+  BinId chosen;
+  {
+    obs::ScopedTimer timer(obs_ != nullptr ? obs_->decision_latency()
+                                           : nullptr);
+    chosen = policy_.select_bin(now, item, std::span<const BinView>(views_));
+  }
+  std::size_t rejections = 0;
+  if (obs_ != nullptr && obs_->wants_rejections()) {
+    for (std::size_t idx : open_order_) {
+      if (!bins_[idx].fits(item.size)) {
+        ++rejections;
+        obs_->on_reject(now, job, bins_[idx].id());
+      }
+    }
+  }
 
   Admission admission;
   admission.job = job;
@@ -64,10 +85,12 @@ Dispatcher::Admission Dispatcher::arrive(Time now, RVec size,
     bins_.emplace_back(id, dim_, now, capacity_);
     records_.push_back(BinRecord{id, now, now, {}});
     open_order_.push_back(bins_.size() - 1);
+    if (obs_ != nullptr) obs_->on_open(now, id);
     bins_.back().add(item);
     records_.back().items.push_back(job);
     assignment_.push_back(id);
     policy_.on_open(now, id, item);
+    if (obs_ != nullptr) obs_->on_place(now, job, id, true, rejections);
     admission.bin = id;
     admission.opened_new_bin = true;
     return admission;
@@ -89,6 +112,7 @@ Dispatcher::Admission Dispatcher::arrive(Time now, RVec size,
   records_[bin.id()].items.push_back(job);
   assignment_.push_back(bin.id());
   policy_.on_pack(now, bin.id(), item);
+  if (obs_ != nullptr) obs_->on_place(now, job, bin.id(), false, rejections);
   admission.bin = bin.id();
   return admission;
 }
@@ -118,6 +142,10 @@ void Dispatcher::depart(Time now, JobId job) {
   if (emptied) {
     records_[bin_id].closed = now;
     open_order_.erase(it);
+  }
+  if (obs_ != nullptr) {
+    obs_->on_depart(now, job, bin_id, emptied);
+    if (emptied) obs_->on_close(now, bin_id, bin.opened_at());
   }
   policy_.on_depart(now, bin_id, items_[job], emptied);
 }

@@ -20,6 +20,10 @@
 #include "core/policies/policy.hpp"
 #include "core/types.hpp"
 
+namespace dvbp::obs {
+class Observer;  // obs/observer.hpp
+}  // namespace dvbp::obs
+
 namespace dvbp {
 
 /// Identifier the caller uses to refer to a live job.
@@ -29,7 +33,10 @@ class Dispatcher {
  public:
   /// `policy` is borrowed (not owned) and reset(); it must outlive the
   /// dispatcher. `bin_capacity` >= 1 enables resource augmentation.
-  Dispatcher(std::size_t dim, Policy& policy, double bin_capacity = 1.0);
+  /// `observer` (borrowed, nullable) receives one callback per allocator
+  /// event -- the live-service telemetry feed (see obs/observer.hpp).
+  Dispatcher(std::size_t dim, Policy& policy, double bin_capacity = 1.0,
+             obs::Observer* observer = nullptr);
 
   struct Admission {
     JobId job = kNoItem;
@@ -76,6 +83,7 @@ class Dispatcher {
   std::size_t dim_;
   Policy& policy_;
   double capacity_;
+  obs::Observer* obs_;
   Time now_ = 0.0;
   bool started_ = false;
 

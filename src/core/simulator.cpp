@@ -6,6 +6,7 @@
 #include "core/bin_state.hpp"
 #include "core/event.hpp"
 #include "core/policies/registry.hpp"
+#include "obs/observer.hpp"
 
 namespace dvbp {
 
@@ -15,7 +16,7 @@ namespace {
 class Engine {
  public:
   Engine(const Instance& inst, Policy& policy, const SimOptions& opts)
-      : inst_(inst), policy_(policy), opts_(opts),
+      : inst_(inst), policy_(policy), opts_(opts), obs_(opts.observer),
         assignment_(inst.size(), kNoBin) {}
 
   SimResult run() {
@@ -44,12 +45,38 @@ class Engine {
                                b.num_active(), b.latest_departure(),
                                b.capacity()});
     }
-    const BinId chosen =
-        policy_.select_bin(ev.time, item, std::span<const BinView>(views_));
+    if (obs_ != nullptr) {
+      obs_->on_arrival(ev.time, item.id,
+                       std::span<const double>(item.size.begin(),
+                                               item.size.dim()),
+                       open_order_.size());
+    }
+    BinId chosen;
+    {
+      obs::ScopedTimer timer(obs_ != nullptr ? obs_->decision_latency()
+                                             : nullptr);
+      chosen =
+          policy_.select_bin(ev.time, item, std::span<const BinView>(views_));
+    }
+    std::size_t rejections = 0;
+    if (obs_ != nullptr && obs_->wants_rejections()) {
+      for (std::size_t idx : open_order_) {
+        if (!bins_[idx].fits(item.size)) {
+          ++rejections;
+          obs_->on_reject(ev.time, item.id, bins_[idx].id());
+        }
+      }
+    }
     if (chosen == kNoBin) {
       open_bin(ev.time, item);
+      if (obs_ != nullptr) {
+        obs_->on_place(ev.time, item.id, bins_.back().id(), true, rejections);
+      }
     } else {
       pack_into(ev.time, chosen, item);
+      if (obs_ != nullptr) {
+        obs_->on_place(ev.time, item.id, chosen, false, rejections);
+      }
     }
     max_open_ = std::max(max_open_, open_order_.size());
   }
@@ -59,6 +86,7 @@ class Engine {
     bins_.emplace_back(id, inst_.dim(), now, opts_.bin_capacity);
     records_.push_back(BinRecord{id, now, now, {}});
     open_order_.push_back(bins_.size() - 1);
+    if (obs_ != nullptr) obs_->on_open(now, id);
     BinState& bin = bins_.back();
     if (!bin.fits(item.size)) {
       throw PolicyViolation("item does not fit even in an empty bin");
@@ -104,6 +132,10 @@ class Engine {
       records_[bin_id].closed = ev.time;
       open_order_.erase(it);
     }
+    if (obs_ != nullptr) {
+      obs_->on_depart(ev.time, item.id, bin_id, emptied);
+      if (emptied) obs_->on_close(ev.time, bin_id, bin.opened_at());
+    }
     policy_.on_depart(ev.time, bin_id, item, emptied);
   }
 
@@ -116,6 +148,7 @@ class Engine {
   }
 
   SimResult finish() {
+    if (obs_ != nullptr && obs_->tracer() != nullptr) obs_->tracer()->flush();
     SimResult result;
     result.bins_opened = bins_.size();
     result.max_open_bins = max_open_;
@@ -133,6 +166,7 @@ class Engine {
   const Instance& inst_;
   Policy& policy_;
   const SimOptions& opts_;
+  obs::Observer* const obs_;
 
   std::vector<BinState> bins_;        // every bin ever opened, by id
   std::vector<std::size_t> open_order_;  // indices of open bins, opening order

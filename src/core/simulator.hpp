@@ -17,6 +17,10 @@
 #include "core/policies/policy.hpp"
 #include "core/types.hpp"
 
+namespace dvbp::obs {
+class Observer;  // obs/observer.hpp
+}  // namespace dvbp::obs
+
 namespace dvbp {
 
 /// Raised when a policy selects a bin that cannot hold the item, or names a
@@ -39,6 +43,10 @@ struct SimOptions {
   /// gets slightly larger bins than the optimum it is compared against.
   /// Must be >= 1.
   double bin_capacity = 1.0;
+  /// Optional instrumentation hooks (borrowed; see obs/observer.hpp):
+  /// metric updates and/or one JSONL trace record per allocator event.
+  /// Null (the default) costs one branch per event.
+  obs::Observer* observer = nullptr;
 };
 
 struct SimResult {

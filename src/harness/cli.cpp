@@ -58,6 +58,13 @@ bool Args::get_bool(const std::string& key, bool fallback) const {
   return it->second == "true" || it->second == "1" || it->second == "yes";
 }
 
+std::vector<std::string> Args::keys() const {
+  std::vector<std::string> out;
+  out.reserve(flags_.size());
+  for (const auto& [key, value] : flags_) out.push_back(key);
+  return out;
+}
+
 std::vector<std::string> Args::get_list(const std::string& key) const {
   std::vector<std::string> out;
   auto it = flags_.find(key);

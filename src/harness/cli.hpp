@@ -28,6 +28,9 @@ class Args {
     return positional_;
   }
 
+  /// Every --key seen on the command line, for strict-CLI validation.
+  std::vector<std::string> keys() const;
+
  private:
   std::map<std::string, std::string> flags_;
   std::vector<std::string> positional_;

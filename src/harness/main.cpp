@@ -1,0 +1,179 @@
+// The `harness` CLI: run one instrumented simulation and dump telemetry.
+//
+// Runs a workload (a built-in generator or a CSV trace) under one policy
+// with the obs subsystem wired in, prints a summary, and optionally writes
+//   --metrics-out=<path>  one JSON object: the MetricRegistry snapshot;
+//   --trace-out=<path>    JSONL decision trace (docs/OBSERVABILITY.md).
+//
+//   $ harness --generator=uniform --policy=MoveToFront --n=1000 --d=2
+//       --mu=10 --metrics-out=metrics.json --trace-out=trace.jsonl
+//       --check-roundtrip
+//
+// --check-roundtrip re-reads the emitted trace, reconstructs the Packing
+// via obs::replay_packing_file, and fails (exit 2) unless it matches the
+// simulator's packing exactly -- the telemetry acceptance gate, also run
+// from tests/test_obs_cli.cpp.
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <set>
+#include <string>
+
+#include "core/instance.hpp"
+#include "core/simulator.hpp"
+#include "gen/registry.hpp"
+#include "harness/cli.hpp"
+#include "harness/table.hpp"
+#include "obs/metrics.hpp"
+#include "obs/observer.hpp"
+#include "obs/replay.hpp"
+#include "obs/trace.hpp"
+
+namespace {
+
+using namespace dvbp;
+
+int usage() {
+  std::cout <<
+      "harness: run one instrumented DVBP simulation and dump telemetry\n"
+      "  workload:  --generator=uniform|zipf|bursty|correlated|diurnal\n"
+      "             --n=1000 --d=2 --mu=10 --span=1000 --bin-size=100\n"
+      "             --seed=1 --trial=0   (or --trace=<instance.csv>)\n"
+      "  policy:    --policy=MoveToFront --capacity=1.0\n"
+      "  outputs:   --metrics-out=<path.json> --trace-out=<path.jsonl>\n"
+      "             --check-roundtrip  (replay trace, verify packing)\n"
+      "             --quiet\n";
+  return 0;
+}
+
+// A typo'd flag silently falling back to its default would corrupt the
+// telemetry this CLI exists to report, so unlike the bench binaries the
+// flag set is closed.
+void reject_unknown_flags(const harness::Args& args) {
+  static const std::set<std::string> kKnown{
+      "generator", "trace",        "policy",    "n",
+      "d",         "mu",           "span",      "bin-size",
+      "seed",      "trial",        "capacity",  "policy-seed",
+      "metrics-out", "trace-out",  "check-roundtrip", "quiet",
+      "help"};
+  for (const std::string& key : args.keys()) {
+    if (!kKnown.count(key)) {
+      throw std::runtime_error("unknown flag '--" + key +
+                               "' (see --help)");
+    }
+  }
+}
+
+Instance load_instance(const harness::Args& args) {
+  const std::string trace_path = args.get("trace", "");
+  if (!trace_path.empty()) {
+    std::ifstream in(trace_path);
+    if (!in) {
+      throw std::runtime_error("cannot open trace '" + trace_path + "'");
+    }
+    return Instance::from_csv(in);
+  }
+  gen::UniformParams params;
+  params.n = static_cast<std::size_t>(args.get_int("n", 1000));
+  params.d = static_cast<std::size_t>(args.get_int("d", 2));
+  params.mu = args.get_int("mu", 10);
+  params.span = args.get_int("span", 1000);
+  params.bin_size = args.get_int("bin-size", 100);
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  const auto trial = static_cast<std::uint64_t>(args.get_int("trial", 0));
+  const gen::GeneratorFn generate =
+      gen::make_generator(args.get("generator", "uniform"), params, seed);
+  return generate(trial);
+}
+
+bool same_packing(const Packing& a, const Packing& b) {
+  if (a.assignment() != b.assignment()) return false;
+  if (a.num_bins() != b.num_bins()) return false;
+  for (std::size_t i = 0; i < a.num_bins(); ++i) {
+    const BinRecord& x = a.bins()[i];
+    const BinRecord& y = b.bins()[i];
+    if (x.id != y.id || x.opened != y.opened || x.closed != y.closed ||
+        x.items != y.items) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const harness::Args args(argc, argv);
+  if (args.get_bool("help")) return usage();
+  try {
+    reject_unknown_flags(args);
+    const Instance inst = load_instance(args);
+    const std::string policy = args.get("policy", "MoveToFront");
+    const std::string metrics_out = args.get("metrics-out", "");
+    const std::string trace_out = args.get("trace-out", "");
+    const bool quiet = args.get_bool("quiet");
+
+    obs::MetricRegistry registry;
+    std::shared_ptr<obs::TraceSink> sink;
+    if (!trace_out.empty()) {
+      sink = std::make_shared<obs::FileSink>(trace_out);
+    }
+    obs::Tracer tracer(sink);
+    obs::Observer observer(&registry, &tracer);
+
+    SimOptions opts;
+    opts.bin_capacity = args.get_double("capacity", 1.0);
+    opts.observer = &observer;
+    const SimResult result = simulate(
+        inst, policy, opts,
+        static_cast<std::uint64_t>(args.get_int("policy-seed", 0xD1CEu)));
+
+    if (!metrics_out.empty()) {
+      std::ofstream out(metrics_out);
+      if (!out) {
+        throw std::runtime_error("cannot open metrics-out '" + metrics_out +
+                                 "'");
+      }
+      out << registry.to_json() << '\n';
+    }
+
+    if (!quiet) {
+      harness::Table summary({"policy", "items", "cost", "bins", "peak_open",
+                              "fit_failures", "decision_p50_ns"});
+      summary.add_row(
+          {policy, std::to_string(inst.size()),
+           harness::Table::num(result.cost, 1),
+           std::to_string(result.bins_opened),
+           std::to_string(result.max_open_bins),
+           std::to_string(
+               registry.counter("dvbp.alloc.fit_failures_total").value()),
+           harness::Table::num(
+               registry.histogram("dvbp.alloc.decision_latency_ns")
+                   .quantile(0.5),
+               0)});
+      std::cout << summary.to_aligned_text();
+      if (!trace_out.empty()) {
+        std::cout << "trace:   " << trace_out << " ("
+                  << tracer.records_emitted() << " records)\n";
+      }
+      if (!metrics_out.empty()) std::cout << "metrics: " << metrics_out
+                                          << '\n';
+    }
+
+    if (args.get_bool("check-roundtrip")) {
+      if (trace_out.empty()) {
+        throw std::runtime_error("--check-roundtrip requires --trace-out");
+      }
+      const Packing replayed = obs::replay_packing_file(trace_out);
+      if (!same_packing(result.packing, replayed)) {
+        std::cerr << "harness: trace round-trip MISMATCH\n";
+        return 2;
+      }
+      if (!quiet) std::cout << "trace round-trip: ok\n";
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "harness: " << e.what() << '\n';
+    return 1;
+  }
+}

@@ -26,8 +26,20 @@ std::vector<PolicyCell> run_policy_sweep(
   };
   std::vector<TrialRow> rows(config.trials);
 
+  obs::Counter* trials_total = nullptr;
+  obs::Counter* simulations_total = nullptr;
+  obs::Histogram* trial_latency = nullptr;
+  if (config.metrics != nullptr) {
+    trials_total = &config.metrics->counter("dvbp.sweep.trials_total");
+    simulations_total =
+        &config.metrics->counter("dvbp.sweep.simulations_total");
+    trial_latency =
+        &config.metrics->histogram("dvbp.sweep.trial_latency_ns");
+  }
+
   ThreadPool pool(config.threads);
   parallel_for(pool, config.trials, [&](std::size_t trial) {
+    const obs::ScopedTimer timer(trial_latency);
     const Instance inst = generate(trial);
     const double lb = config.normalize_by_lb ? lb_height(inst) : 1.0;
     TrialRow& row = rows[trial];
@@ -42,7 +54,9 @@ std::vector<PolicyCell> run_policy_sweep(
       row.ratio.push_back(lb > 0.0 ? sim.cost / lb : sim.cost);
       row.bins.push_back(static_cast<double>(sim.bins_opened));
       row.max_open.push_back(static_cast<double>(sim.max_open_bins));
+      if (simulations_total != nullptr) simulations_total->inc();
     }
+    if (trials_total != nullptr) trials_total->inc();
   });
 
   std::vector<PolicyCell> cells(policies.size());

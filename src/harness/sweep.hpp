@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "gen/registry.hpp"
+#include "obs/metrics.hpp"
 #include "stats/descriptive.hpp"
 
 namespace dvbp::harness {
@@ -21,6 +22,11 @@ struct SweepConfig {
   /// Normalize by the Lemma 1(i) height bound (the paper's choice). When
   /// false, raw costs are reported.
   bool normalize_by_lb = true;
+  /// Optional sweep-level telemetry (borrowed). Trials update it
+  /// concurrently from the worker threads: counters
+  /// `dvbp.sweep.trials_total` / `dvbp.sweep.simulations_total` and the
+  /// per-trial wall-time histogram `dvbp.sweep.trial_latency_ns`.
+  obs::MetricRegistry* metrics = nullptr;
 };
 
 struct PolicyCell {

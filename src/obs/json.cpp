@@ -1,0 +1,124 @@
+#include "obs/json.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace dvbp::obs {
+
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[32];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+  return std::string(buf, res.ptr);
+}
+
+void append_json_escaped(std::string& out, std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+namespace {
+
+/// Position just past `"key":`, or npos.
+std::size_t find_value(std::string_view line, std::string_view key) {
+  std::string needle;
+  needle.reserve(key.size() + 3);
+  needle += '"';
+  needle += key;
+  needle += "\":";
+  const std::size_t at = line.find(needle);
+  if (at == std::string_view::npos) return std::string_view::npos;
+  return at + needle.size();
+}
+
+std::optional<double> parse_number_at(std::string_view line,
+                                      std::size_t pos) {
+  while (pos < line.size() && line[pos] == ' ') ++pos;
+  double value = 0.0;
+  const auto res =
+      std::from_chars(line.data() + pos, line.data() + line.size(), value);
+  if (res.ec != std::errc()) return std::nullopt;
+  return value;
+}
+
+}  // namespace
+
+std::optional<double> scan_json_number(std::string_view line,
+                                       std::string_view key) {
+  const std::size_t pos = find_value(line, key);
+  if (pos == std::string_view::npos) return std::nullopt;
+  return parse_number_at(line, pos);
+}
+
+std::optional<std::string_view> scan_json_string(std::string_view line,
+                                                 std::string_view key) {
+  std::size_t pos = find_value(line, key);
+  if (pos == std::string_view::npos || pos >= line.size() ||
+      line[pos] != '"') {
+    return std::nullopt;
+  }
+  ++pos;
+  const std::size_t end = line.find('"', pos);
+  if (end == std::string_view::npos) return std::nullopt;
+  return line.substr(pos, end - pos);
+}
+
+std::optional<bool> scan_json_bool(std::string_view line,
+                                   std::string_view key) {
+  const std::size_t pos = find_value(line, key);
+  if (pos == std::string_view::npos) return std::nullopt;
+  if (line.substr(pos, 4) == "true") return true;
+  if (line.substr(pos, 5) == "false") return false;
+  return std::nullopt;
+}
+
+std::optional<std::vector<double>> scan_json_number_array(
+    std::string_view line, std::string_view key) {
+  std::size_t pos = find_value(line, key);
+  if (pos == std::string_view::npos || pos >= line.size() ||
+      line[pos] != '[') {
+    return std::nullopt;
+  }
+  ++pos;
+  std::vector<double> values;
+  while (pos < line.size() && line[pos] != ']') {
+    double value = 0.0;
+    const auto res =
+        std::from_chars(line.data() + pos, line.data() + line.size(), value);
+    if (res.ec != std::errc()) return std::nullopt;
+    values.push_back(value);
+    pos = static_cast<std::size_t>(res.ptr - line.data());
+    if (pos < line.size() && line[pos] == ',') ++pos;
+  }
+  if (pos >= line.size()) return std::nullopt;  // unterminated array
+  return values;
+}
+
+}  // namespace dvbp::obs

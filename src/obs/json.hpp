@@ -1,0 +1,41 @@
+// Tiny JSON formatting/scanning helpers shared by the metrics snapshot and
+// the JSONL tracer. Writing covers exactly what we emit (strings, numbers,
+// bools, arrays of numbers); scanning covers exactly what we wrote -- flat
+// single-line objects with known keys -- so the trace replayer needs no
+// general-purpose JSON parser.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dvbp::obs {
+
+/// Shortest round-trip decimal representation of `v` ("1e99"-style exponents
+/// included). NaN/inf are not valid JSON and render as null.
+std::string json_number(double v);
+
+/// Appends `s` with JSON string escaping (quotes, backslash, control chars).
+void append_json_escaped(std::string& out, std::string_view s);
+
+/// Scans a flat JSON object line for `"key":<number>` and parses the number.
+/// Returns nullopt when the key is absent. Keys appearing inside string
+/// values are not handled (our schemas never do that).
+std::optional<double> scan_json_number(std::string_view line,
+                                       std::string_view key);
+
+/// Scans for `"key":"<string>"` (no escapes inside, as our schemas
+/// guarantee for the fields scanned this way).
+std::optional<std::string_view> scan_json_string(std::string_view line,
+                                                 std::string_view key);
+
+/// Scans for `"key":true|false`.
+std::optional<bool> scan_json_bool(std::string_view line,
+                                   std::string_view key);
+
+/// Scans for `"key":[n0,n1,...]` of numbers.
+std::optional<std::vector<double>> scan_json_number_array(
+    std::string_view line, std::string_view key);
+
+}  // namespace dvbp::obs

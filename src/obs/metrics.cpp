@@ -1,0 +1,177 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "obs/json.hpp"
+
+namespace dvbp::obs {
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)),
+      buckets_(bounds_.size() + 1) {
+  if (!std::is_sorted(bounds_.begin(), bounds_.end())) {
+    throw std::invalid_argument("Histogram: bounds must be sorted");
+  }
+}
+
+void Histogram::observe(double value) noexcept {
+  // Bounds are tiny (≈ 20 buckets); a branch-predictable linear scan beats
+  // binary search at this size and keeps the path allocation- and lock-free.
+  std::size_t i = 0;
+  while (i < bounds_.size() && value > bounds_[i]) ++i;
+  buckets_[i].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+  std::vector<std::uint64_t> counts;
+  counts.reserve(buckets_.size());
+  for (const auto& b : buckets_) {
+    counts.push_back(b.load(std::memory_order_relaxed));
+  }
+  return counts;
+}
+
+double Histogram::quantile(double q) const {
+  const std::vector<std::uint64_t> counts = bucket_counts();
+  std::uint64_t total = 0;
+  for (const std::uint64_t c : counts) total += c;
+  if (total == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(total);
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    seen += counts[i];
+    if (static_cast<double>(seen) >= rank) {
+      // Interpolate within [lo, hi]; the overflow bucket reports its lower
+      // bound (no upper edge to interpolate towards).
+      if (i >= bounds_.size()) return bounds_.empty() ? 0.0 : bounds_.back();
+      const double hi = bounds_[i];
+      const double lo = i == 0 ? 0.0 : bounds_[i - 1];
+      const std::uint64_t in_bucket = counts[i];
+      const double within =
+          in_bucket == 0
+              ? 1.0
+              : (rank - static_cast<double>(seen - in_bucket)) /
+                    static_cast<double>(in_bucket);
+      return lo + (hi - lo) * std::clamp(within, 0.0, 1.0);
+    }
+  }
+  return bounds_.empty() ? 0.0 : bounds_.back();
+}
+
+std::vector<double> default_latency_bounds_ns() {
+  // 1us .. 100ms, 1-2.5-5 ladder (nanoseconds).
+  return {1e3,   2.5e3, 5e3,   1e4,   2.5e4, 5e4,   1e5,  2.5e5,
+          5e5,   1e6,   2.5e6, 5e6,   1e7,   2.5e7, 5e7,  1e8};
+}
+
+Counter& MetricRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto kind = kinds_.find(name);
+  if (kind != kinds_.end() && kind->second != Kind::kCounter) {
+    throw std::invalid_argument("MetricRegistry: '" + std::string(name) +
+                                "' already registered as a different kind");
+  }
+  if (kind == kinds_.end()) {
+    kinds_.emplace(std::string(name), Kind::kCounter);
+  }
+  return counters_.try_emplace(std::string(name)).first->second;
+}
+
+Gauge& MetricRegistry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto kind = kinds_.find(name);
+  if (kind != kinds_.end() && kind->second != Kind::kGauge) {
+    throw std::invalid_argument("MetricRegistry: '" + std::string(name) +
+                                "' already registered as a different kind");
+  }
+  if (kind == kinds_.end()) {
+    kinds_.emplace(std::string(name), Kind::kGauge);
+  }
+  return gauges_.try_emplace(std::string(name)).first->second;
+}
+
+Histogram& MetricRegistry::histogram(std::string_view name,
+                                     std::vector<double> upper_bounds) {
+  if (upper_bounds.empty()) upper_bounds = default_latency_bounds_ns();
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto kind = kinds_.find(name);
+  if (kind != kinds_.end() && kind->second != Kind::kHistogram) {
+    throw std::invalid_argument("MetricRegistry: '" + std::string(name) +
+                                "' already registered as a different kind");
+  }
+  if (kind == kinds_.end()) {
+    kinds_.emplace(std::string(name), Kind::kHistogram);
+    return histograms_.try_emplace(std::string(name), std::move(upper_bounds))
+        .first->second;
+  }
+  Histogram& existing = histograms_.find(name)->second;
+  if (existing.bounds() != upper_bounds) {
+    throw std::invalid_argument("MetricRegistry: histogram '" +
+                                std::string(name) +
+                                "' re-registered with different bounds");
+  }
+  return existing;
+}
+
+std::size_t MetricRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return kinds_.size();
+}
+
+std::string MetricRegistry::to_json() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    append_json_escaped(out, name);
+    out += "\":" + std::to_string(c.value());
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    append_json_escaped(out, name);
+    out += "\":" + json_number(g.value());
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    append_json_escaped(out, name);
+    out += "\":{\"bounds\":[";
+    const auto& bounds = h.bounds();
+    for (std::size_t i = 0; i < bounds.size(); ++i) {
+      if (i > 0) out += ',';
+      out += json_number(bounds[i]);
+    }
+    out += "],\"buckets\":[";
+    const auto counts = h.bucket_counts();
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+      if (i > 0) out += ',';
+      out += std::to_string(counts[i]);
+    }
+    out += "],\"count\":" + std::to_string(h.count());
+    out += ",\"sum\":" + json_number(h.sum());
+    out += ",\"p50\":" + json_number(h.quantile(0.5));
+    out += ",\"p99\":" + json_number(h.quantile(0.99));
+    out += '}';
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace dvbp::obs

@@ -1,0 +1,149 @@
+// MetricRegistry: cheap runtime metrics for the live allocator paths.
+//
+// Three instrument kinds, all safe for concurrent writers:
+//   Counter   -- monotonically increasing uint64 (relaxed atomic add);
+//   Gauge     -- settable double (CAS add, plain store for set);
+//   Histogram -- fixed-bucket latency/value histogram (atomic bucket counts).
+// Instruments live in the registry and are handed out as stable references;
+// hot paths cache the reference once and never touch the registry map again.
+// Snapshots (`MetricRegistry::to_json`) read with relaxed atomics, so they
+// are cheap and may lag in-flight updates by a few operations.
+//
+// Naming convention (see docs/OBSERVABILITY.md): dot-separated lowercase
+// `dvbp.<scope>.<noun>[_<unit>|_total]`, e.g. `dvbp.alloc.placements_total`,
+// `dvbp.alloc.open_bins`, `dvbp.alloc.decision_latency_ns`.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dvbp::obs {
+
+/// Monotonic event count.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Instantaneous level (open bins, active jobs, queue depth...).
+class Gauge {
+ public:
+  void set(double v) noexcept { value_.store(v, std::memory_order_relaxed); }
+  void add(double delta) noexcept {
+    // CAS loop instead of std::atomic<double>::fetch_add for portability.
+    double cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram: bucket i counts observations <= bounds[i]; one
+/// implicit overflow bucket counts the rest. Bounds are set at registration
+/// and never change, so observation is a lock-free scan + one atomic add.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void observe(double value) noexcept;
+
+  const std::vector<double>& bounds() const noexcept { return bounds_; }
+  std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  double sum() const noexcept { return sum_.load(std::memory_order_relaxed); }
+  /// Bucket counts, including the trailing overflow bucket
+  /// (size == bounds().size() + 1).
+  std::vector<std::uint64_t> bucket_counts() const;
+  /// Linear-interpolated quantile estimate in [0, 1]; 0 when empty.
+  double quantile(double q) const;
+
+ private:
+  std::vector<double> bounds_;
+  std::deque<std::atomic<std::uint64_t>> buckets_;  // deque: atomics can't move
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Default histogram bounds for nanosecond latencies: 1us..100ms in a
+/// 1-2.5-5 ladder. Decision latencies of the in-memory allocator sit well
+/// inside this range.
+std::vector<double> default_latency_bounds_ns();
+
+class MetricRegistry {
+ public:
+  MetricRegistry() = default;
+  MetricRegistry(const MetricRegistry&) = delete;
+  MetricRegistry& operator=(const MetricRegistry&) = delete;
+
+  /// Returns the instrument registered under `name`, creating it on first
+  /// use. References stay valid for the registry's lifetime. Throws
+  /// std::invalid_argument when `name` is already registered as a different
+  /// kind (or, for histograms, with different bounds).
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name,
+                       std::vector<double> upper_bounds = {});
+
+  std::size_t size() const;
+
+  /// One JSON object: {"counters":{...},"gauges":{...},"histograms":{...}}.
+  /// Histograms serialize bounds, bucket counts, count, sum, p50/p99.
+  std::string to_json() const;
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+
+  mutable std::mutex mu_;
+  std::map<std::string, Kind, std::less<>> kinds_;
+  std::map<std::string, Counter, std::less<>> counters_;
+  std::map<std::string, Gauge, std::less<>> gauges_;
+  std::map<std::string, Histogram, std::less<>> histograms_;
+};
+
+/// RAII timer: measures wall time from construction to destruction with
+/// steady_clock and records nanoseconds into `sink`. A null sink disables
+/// the timer entirely (no clock reads).
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram* sink) noexcept : sink_(sink) {
+    if (sink_ != nullptr) start_ = std::chrono::steady_clock::now();
+  }
+  ~ScopedTimer() {
+    if (sink_ != nullptr) {
+      const auto elapsed = std::chrono::steady_clock::now() - start_;
+      sink_->observe(static_cast<double>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+              .count()));
+    }
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Histogram* sink_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace dvbp::obs

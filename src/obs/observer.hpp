@@ -1,0 +1,73 @@
+// Observer: the instrumentation hook the allocation engines call.
+//
+// Binds an optional MetricRegistry and an optional Tracer and translates
+// raw engine callbacks into metric updates and trace records. The engines
+// (simulate(), Dispatcher, cloud::run_cluster) hold a nullable Observer*;
+// a null pointer costs one predictable branch per event, and an Observer
+// whose tracer is inactive skips all record formatting, so the hot path is
+// unharmed when observability is off (guarded by bench_micro's
+// BM_SimulateObserved suite).
+//
+// Metric names follow docs/OBSERVABILITY.md; all counters/gauges are
+// resolved once at construction so per-event updates never touch the
+// registry map.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "core/types.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace dvbp::obs {
+
+class Observer {
+ public:
+  /// Both pointers are borrowed and may be null; they must outlive the
+  /// observer. Metric instruments are registered eagerly here.
+  explicit Observer(MetricRegistry* metrics, Tracer* tracer = nullptr);
+
+  MetricRegistry* metrics() const noexcept { return metrics_; }
+  Tracer* tracer() const noexcept { return tracer_; }
+
+  /// True when per-candidate fit checks are wanted (fit-failure counting
+  /// and reject records). Engines skip the extra scan otherwise.
+  bool wants_rejections() const noexcept {
+    return metrics_ != nullptr || tracing();
+  }
+  bool tracing() const noexcept {
+    return tracer_ != nullptr && tracer_->active();
+  }
+
+  /// Sink for per-decision policy latency; null when metrics are off (so
+  /// ScopedTimer skips the clock reads).
+  Histogram* decision_latency() const noexcept { return decision_latency_; }
+
+  // --- Engine callbacks (see docs/OBSERVABILITY.md for semantics) -------
+  void on_arrival(Time t, ItemId item, std::span<const double> size,
+                  std::size_t open_bins);
+  void on_reject(Time t, ItemId item, BinId bin);
+  void on_place(Time t, ItemId item, BinId bin, bool new_bin,
+                std::size_t rejections);
+  void on_open(Time t, BinId bin);
+  void on_depart(Time t, ItemId item, BinId bin, bool emptied);
+  void on_close(Time t, BinId bin, Time opened);
+
+ private:
+  MetricRegistry* metrics_;
+  Tracer* tracer_;
+
+  // Cached instruments (null when metrics_ is null).
+  Counter* arrivals_ = nullptr;
+  Counter* departures_ = nullptr;
+  Counter* placements_ = nullptr;
+  Counter* fit_failures_ = nullptr;
+  Counter* bins_opened_ = nullptr;
+  Counter* bins_closed_ = nullptr;
+  Gauge* open_bins_ = nullptr;
+  Gauge* active_items_ = nullptr;
+  Histogram* decision_latency_ = nullptr;
+};
+
+}  // namespace dvbp::obs

@@ -1,0 +1,106 @@
+#include "obs/replay.hpp"
+
+#include <fstream>
+#include <istream>
+#include <sstream>
+#include <stdexcept>
+
+#include "obs/json.hpp"
+
+namespace dvbp::obs {
+
+namespace {
+
+[[noreturn]] void bad_trace(const std::string& why, std::string_view line) {
+  throw std::invalid_argument("replay_packing: " + why + " in line: " +
+                             std::string(line));
+}
+
+class Replayer {
+ public:
+  void feed(std::string_view line) {
+    if (line.empty()) return;
+    const auto kind = scan_json_string(line, "ev");
+    if (!kind) bad_trace("missing \"ev\"", line);
+    const auto t = scan_json_number(line, "t");
+    if (!t) bad_trace("missing \"t\"", line);
+    if (*kind == "open") {
+      on_open(line, *t);
+    } else if (*kind == "place") {
+      on_place(line);
+    } else if (*kind == "close") {
+      on_close(line, *t);
+    } else if (*kind != "arrival" && *kind != "reject" &&
+               *kind != "depart") {
+      bad_trace("unknown event kind '" + std::string(*kind) + "'", line);
+    }
+  }
+
+  Packing take() && {
+    return Packing(std::move(assignment_), std::move(bins_));
+  }
+
+ private:
+  BinId require_bin(std::string_view line) {
+    const auto bin = scan_json_number(line, "bin");
+    if (!bin) bad_trace("missing \"bin\"", line);
+    return static_cast<BinId>(*bin);
+  }
+
+  void on_open(std::string_view line, Time t) {
+    const BinId bin = require_bin(line);
+    if (bin != bins_.size()) {
+      bad_trace("bin ids must appear in opening order", line);
+    }
+    bins_.push_back(BinRecord{bin, t, t, {}});
+  }
+
+  void on_place(std::string_view line) {
+    const BinId bin = require_bin(line);
+    const auto item = scan_json_number(line, "item");
+    if (!item) bad_trace("missing \"item\"", line);
+    if (bin >= bins_.size()) bad_trace("placement into unopened bin", line);
+    const auto id = static_cast<ItemId>(*item);
+    if (id >= assignment_.size()) assignment_.resize(id + 1, kNoBin);
+    if (assignment_[id] != kNoBin) {
+      bad_trace("item placed twice", line);
+    }
+    assignment_[id] = bin;
+    bins_[bin].items.push_back(id);
+  }
+
+  void on_close(std::string_view line, Time t) {
+    const BinId bin = require_bin(line);
+    if (bin >= bins_.size()) bad_trace("closing an unopened bin", line);
+    bins_[bin].closed = t;
+  }
+
+  std::vector<BinId> assignment_;
+  std::vector<BinRecord> bins_;
+};
+
+}  // namespace
+
+Packing replay_packing(const std::vector<std::string>& lines) {
+  Replayer replayer;
+  for (const std::string& line : lines) replayer.feed(line);
+  return std::move(replayer).take();
+}
+
+Packing replay_packing(std::istream& is) {
+  Replayer replayer;
+  std::string line;
+  while (std::getline(is, line)) replayer.feed(line);
+  return std::move(replayer).take();
+}
+
+Packing replay_packing_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("replay_packing_file: cannot open '" + path +
+                             "'");
+  }
+  return replay_packing(in);
+}
+
+}  // namespace dvbp::obs

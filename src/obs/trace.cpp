@@ -1,0 +1,131 @@
+#include "obs/trace.hpp"
+
+#include <stdexcept>
+
+#include "obs/json.hpp"
+
+namespace dvbp::obs {
+
+std::string_view to_string(TraceEventKind kind) noexcept {
+  switch (kind) {
+    case TraceEventKind::kArrival:
+      return "arrival";
+    case TraceEventKind::kReject:
+      return "reject";
+    case TraceEventKind::kPlace:
+      return "place";
+    case TraceEventKind::kOpen:
+      return "open";
+    case TraceEventKind::kDepart:
+      return "depart";
+    case TraceEventKind::kClose:
+      return "close";
+  }
+  return "unknown";
+}
+
+// ---- FileSink ---------------------------------------------------------------
+
+FileSink::FileSink(const std::string& path)
+    : out_(path, std::ios::out | std::ios::trunc) {
+  if (!out_) {
+    throw std::runtime_error("FileSink: cannot open '" + path + "'");
+  }
+}
+
+FileSink::~FileSink() { flush(); }
+
+void FileSink::write(std::string_view line) {
+  std::lock_guard<std::mutex> lock(mu_);
+  out_ << line << '\n';
+}
+
+void FileSink::flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  out_.flush();
+}
+
+// ---- RingBufferSink ---------------------------------------------------------
+
+RingBufferSink::RingBufferSink(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+void RingBufferSink::write(std::string_view line) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ring_.size() == capacity_) {
+    ring_.pop_front();
+    ++dropped_;
+  }
+  ring_.emplace_back(line);
+}
+
+std::vector<std::string> RingBufferSink::lines() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {ring_.begin(), ring_.end()};
+}
+
+std::uint64_t RingBufferSink::dropped() const noexcept {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+// ---- Tracer -----------------------------------------------------------------
+
+Tracer::Tracer(std::shared_ptr<TraceSink> sink) : sink_(std::move(sink)) {
+  active_ = sink_ != nullptr && !sink_->is_null();
+}
+
+void Tracer::emit(const TraceEvent& ev) {
+  if (!active_) return;
+  std::string line;
+  line.reserve(96);
+  line += "{\"ev\":\"";
+  line += to_string(ev.kind);
+  line += "\",\"t\":";
+  line += json_number(ev.time);
+  switch (ev.kind) {
+    case TraceEventKind::kArrival:
+      line += ",\"item\":" + std::to_string(ev.item);
+      line += ",\"size\":[";
+      for (std::size_t i = 0; i < ev.size.size(); ++i) {
+        if (i > 0) line += ',';
+        line += json_number(ev.size[i]);
+      }
+      line += "],\"open_bins\":" + std::to_string(ev.open_bins);
+      break;
+    case TraceEventKind::kReject:
+      line += ",\"item\":" + std::to_string(ev.item);
+      line += ",\"bin\":" + std::to_string(ev.bin);
+      break;
+    case TraceEventKind::kPlace:
+      line += ",\"item\":" + std::to_string(ev.item);
+      line += ",\"bin\":" + std::to_string(ev.bin);
+      line += ",\"new_bin\":";
+      line += ev.new_bin ? "true" : "false";
+      line += ",\"rejections\":" + std::to_string(ev.rejections);
+      break;
+    case TraceEventKind::kOpen:
+      line += ",\"bin\":" + std::to_string(ev.bin);
+      break;
+    case TraceEventKind::kDepart:
+      line += ",\"item\":" + std::to_string(ev.item);
+      line += ",\"bin\":" + std::to_string(ev.bin);
+      line += ",\"emptied\":";
+      line += ev.emptied ? "true" : "false";
+      break;
+    case TraceEventKind::kClose:
+      line += ",\"bin\":" + std::to_string(ev.bin);
+      line += ",\"opened\":" + json_number(ev.opened);
+      line += ",\"usage\":" + json_number(ev.time - ev.opened);
+      break;
+  }
+  line += '}';
+  sink_->write(line);
+  records_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Tracer::flush() {
+  if (sink_ != nullptr) sink_->flush();
+}
+
+}  // namespace dvbp::obs

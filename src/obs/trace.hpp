@@ -1,0 +1,131 @@
+// Structured decision tracing: one JSONL record per allocator event.
+//
+// The simulator and the live Dispatcher emit the same six event kinds --
+// arrival, candidate-bin rejection, placement, bin open, departure, bin
+// close -- through a Tracer into a pluggable sink. The schema is specified
+// in docs/OBSERVABILITY.md; obs/replay.hpp reconstructs the full Packing
+// from a trace, so a trace is a complete, replayable account of a run.
+//
+// Sinks:
+//   NullSink       -- drops everything; Tracer::active() is false, so
+//                     callers skip record formatting entirely (hot-path
+//                     cost: one branch).
+//   FileSink       -- buffered JSONL file, one record per line.
+//   RingBufferSink -- in-memory ring of the most recent lines, for tests
+//                     and crash dumps.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace dvbp::obs {
+
+enum class TraceEventKind : std::uint8_t {
+  kArrival,   ///< item shown to the policy
+  kReject,    ///< open bin that cannot hold the item
+  kPlace,     ///< irrevocable placement decision
+  kOpen,      ///< new bin opened
+  kDepart,    ///< item left its bin
+  kClose,     ///< bin emptied and closed permanently
+};
+
+/// "arrival", "reject", "place", "open", "depart", "close".
+std::string_view to_string(TraceEventKind kind) noexcept;
+
+/// One allocator event. Only the fields meaningful for `kind` are
+/// serialized (see docs/OBSERVABILITY.md for the per-kind schema).
+struct TraceEvent {
+  TraceEventKind kind = TraceEventKind::kArrival;
+  Time time = 0.0;
+  ItemId item = kNoItem;
+  BinId bin = kNoBin;
+  std::span<const double> size;   ///< arrival: item demand vector
+  std::size_t open_bins = 0;      ///< arrival: bins open before the decision
+  bool new_bin = false;           ///< place: did this placement open a bin
+  std::size_t rejections = 0;     ///< place: # open bins that could not fit
+  bool emptied = false;           ///< depart: did the bin become empty
+  Time opened = 0.0;              ///< close: when the bin had opened
+};
+
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  /// `line` is one complete JSON object, no trailing newline. Must be safe
+  /// for concurrent callers.
+  virtual void write(std::string_view line) = 0;
+  virtual void flush() {}
+  virtual bool is_null() const noexcept { return false; }
+};
+
+class NullSink final : public TraceSink {
+ public:
+  void write(std::string_view) override {}
+  bool is_null() const noexcept override { return true; }
+};
+
+class FileSink final : public TraceSink {
+ public:
+  /// Truncates `path`. Throws std::runtime_error when the file cannot be
+  /// opened.
+  explicit FileSink(const std::string& path);
+  ~FileSink() override;
+
+  void write(std::string_view line) override;
+  void flush() override;
+
+ private:
+  std::mutex mu_;
+  std::ofstream out_;
+};
+
+class RingBufferSink final : public TraceSink {
+ public:
+  explicit RingBufferSink(std::size_t capacity = 1 << 16);
+
+  void write(std::string_view line) override;
+
+  /// Snapshot of the retained lines, oldest first.
+  std::vector<std::string> lines() const;
+  /// Records evicted because the ring was full.
+  std::uint64_t dropped() const noexcept;
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::deque<std::string> ring_;
+  std::uint64_t dropped_ = 0;
+};
+
+class Tracer {
+ public:
+  /// A null `sink` behaves like NullSink.
+  explicit Tracer(std::shared_ptr<TraceSink> sink);
+
+  /// False when every record would be dropped; callers use this to skip
+  /// event construction on the hot path.
+  bool active() const noexcept { return active_; }
+
+  std::uint64_t records_emitted() const noexcept {
+    return records_.load(std::memory_order_relaxed);
+  }
+
+  void emit(const TraceEvent& ev);
+  void flush();
+
+ private:
+  std::shared_ptr<TraceSink> sink_;
+  bool active_ = false;
+  std::atomic<std::uint64_t> records_{0};
+};
+
+}  // namespace dvbp::obs

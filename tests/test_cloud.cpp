@@ -2,6 +2,8 @@
 // front-end, and timeline metrics.
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "cloud/billing.hpp"
 #include "cloud/cluster.hpp"
 #include "cloud/metrics.hpp"
@@ -163,6 +165,67 @@ TEST(Metrics, UtilizationSeriesTracksLoad) {
   EXPECT_NEAR(series.steps[0].second, 0.5, 1e-12);
   EXPECT_NEAR(series.steps[1].second, 0.9, 1e-12);
   EXPECT_DOUBLE_EQ(series.steps[2].second, 0.0);
+}
+
+TEST(Metrics, DegenerateSeriesProduceNoNansOrDivisionsByZero) {
+  // Empty series: both summaries are defined and zero.
+  StepSeries empty;
+  EXPECT_DOUBLE_EQ(empty.time_average(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.peak(), 0.0);
+
+  // Single-timestamp series: no support to average over; the lone value is
+  // reported instead of 0/0.
+  StepSeries single;
+  single.steps = {{3.0, 5.0}};
+  EXPECT_DOUBLE_EQ(single.time_average(), 5.0);
+  EXPECT_DOUBLE_EQ(single.peak(), 5.0);
+
+  // Zero-length support (all steps at one timestamp): total time is 0, so
+  // the average must fall back, not divide by zero.
+  StepSeries zero_span;
+  zero_span.steps = {{1.0, 4.0}, {1.0, 2.0}};
+  const double avg = zero_span.time_average();
+  EXPECT_FALSE(std::isnan(avg));
+  EXPECT_DOUBLE_EQ(avg, 2.0);
+}
+
+TEST(Metrics, SeriesFromSingleEventBatchInstant) {
+  // All arrivals and all departures land on single timestamps -> the
+  // timeline has exactly two batches and the series stay finite.
+  Instance inst(1);
+  inst.add(0.0, 1.0, RVec{0.5});
+  inst.add(0.0, 1.0, RVec{0.4});
+  PolicyPtr policy = make_policy("FirstFit");
+  const SimResult sim = simulate(inst, *policy, {.record_timeline = true});
+  const StepSeries bins = open_bin_series(sim);
+  const StepSeries util = utilization_series(inst, sim);
+  for (const auto& [t, v] : bins.steps) EXPECT_FALSE(std::isnan(v)) << t;
+  for (const auto& [t, v] : util.steps) EXPECT_FALSE(std::isnan(v)) << t;
+  EXPECT_DOUBLE_EQ(bins.peak(), 1.0);
+  EXPECT_NEAR(bins.time_average(), 1.0, 1e-12);
+  EXPECT_NEAR(util.time_average(), 0.9, 1e-12);
+}
+
+TEST(Metrics, UtilizationIsZeroNotNanWhileAllBinsAreClosed) {
+  // Two bursts separated by a dead interval [1, 2) where every bin is
+  // closed: utilization there must be exactly 0 (no 0/0).
+  Instance inst(2);
+  inst.add(0.0, 1.0, RVec{0.5, 0.5});
+  inst.add(2.0, 3.0, RVec{0.6, 0.2});
+  PolicyPtr policy = make_policy("FirstFit");
+  const SimResult sim = simulate(inst, *policy, {.record_timeline = true});
+  const StepSeries util = utilization_series(inst, sim);
+  bool saw_dead_interval = false;
+  for (const auto& [t, v] : util.steps) {
+    EXPECT_FALSE(std::isnan(v)) << t;
+    if (t >= 1.0 && t < 2.0) {
+      saw_dead_interval = true;
+      EXPECT_DOUBLE_EQ(v, 0.0);
+    }
+  }
+  EXPECT_TRUE(saw_dead_interval);
+  EXPECT_FALSE(std::isnan(util.time_average()));
+  EXPECT_FALSE(std::isnan(util.peak()));
 }
 
 }  // namespace

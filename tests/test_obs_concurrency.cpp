@@ -1,0 +1,109 @@
+// Concurrency tests for the metric registry and trace sinks: many threads
+// hammering the same instruments must lose no updates and corrupt no state.
+// Run under TSan in CI (the registry's atomics sit on the sweep hot path).
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "harness/sweep.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace dvbp::obs {
+namespace {
+
+constexpr std::size_t kThreads = 8;
+constexpr std::size_t kOpsPerThread = 20000;
+
+void hammer(const std::function<void(std::size_t)>& op) {
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&op, t] {
+      for (std::size_t i = 0; i < kOpsPerThread; ++i) op(t);
+    });
+  }
+  for (std::thread& th : threads) th.join();
+}
+
+TEST(ObsConcurrency, CounterLosesNoIncrements) {
+  Counter c;
+  hammer([&](std::size_t) { c.inc(); });
+  EXPECT_EQ(c.value(), kThreads * kOpsPerThread);
+}
+
+TEST(ObsConcurrency, GaugeAddsCancelExactly) {
+  Gauge g;
+  hammer([&](std::size_t t) { g.add(t % 2 == 0 ? 1.0 : -1.0); });
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+}
+
+TEST(ObsConcurrency, HistogramCountsEveryObservation) {
+  Histogram h({1.0, 2.0, 3.0});
+  hammer([&](std::size_t t) { h.observe(static_cast<double>(t % 5)); });
+  EXPECT_EQ(h.count(), kThreads * kOpsPerThread);
+  std::uint64_t total = 0;
+  for (const std::uint64_t c : h.bucket_counts()) total += c;
+  EXPECT_EQ(total, kThreads * kOpsPerThread);
+}
+
+TEST(ObsConcurrency, RegistryRegistrationRaceYieldsOneInstrument) {
+  MetricRegistry reg;
+  hammer([&](std::size_t) { reg.counter("dvbp.test.contended_total").inc(); });
+  EXPECT_EQ(reg.size(), 1u);
+  EXPECT_EQ(reg.counter("dvbp.test.contended_total").value(),
+            kThreads * kOpsPerThread);
+}
+
+TEST(ObsConcurrency, SnapshotWhileWriting) {
+  MetricRegistry reg;
+  Counter& c = reg.counter("dvbp.test.busy_total");
+  Histogram& h = reg.histogram("dvbp.test.busy_ns", {1.0, 10.0});
+  std::thread snapshotter([&reg] {
+    for (int i = 0; i < 200; ++i) {
+      const std::string json = reg.to_json();
+      EXPECT_FALSE(json.empty());
+    }
+  });
+  hammer([&](std::size_t t) {
+    c.inc();
+    h.observe(static_cast<double>(t));
+  });
+  snapshotter.join();
+  EXPECT_EQ(c.value(), kThreads * kOpsPerThread);
+}
+
+TEST(ObsConcurrency, RingBufferSinkAccountsForEveryWrite) {
+  RingBufferSink ring(1024);
+  hammer([&](std::size_t) { ring.write("{\"ev\":\"open\"}"); });
+  EXPECT_EQ(ring.lines().size() + ring.dropped(), kThreads * kOpsPerThread);
+}
+
+TEST(ObsConcurrency, SweepUpdatesSharedRegistryFromThreadPool) {
+  gen::UniformParams params;
+  params.d = 2;
+  params.n = 60;
+  params.mu = 5;
+  params.span = 40;
+  params.bin_size = 6;
+  const std::vector<std::string> policies = {"FirstFit", "MoveToFront",
+                                             "NextFit"};
+  MetricRegistry reg;
+  harness::SweepConfig config;
+  config.trials = 32;
+  config.threads = 4;
+  config.metrics = &reg;
+  const auto cells = harness::run_policy_sweep(
+      gen::make_generator("uniform", params, /*seed=*/7), policies, config);
+  ASSERT_EQ(cells.size(), policies.size());
+  EXPECT_EQ(reg.counter("dvbp.sweep.trials_total").value(), config.trials);
+  EXPECT_EQ(reg.counter("dvbp.sweep.simulations_total").value(),
+            config.trials * policies.size());
+  EXPECT_EQ(reg.histogram("dvbp.sweep.trial_latency_ns").count(),
+            config.trials);
+}
+
+}  // namespace
+}  // namespace dvbp::obs
