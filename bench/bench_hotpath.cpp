@@ -1,0 +1,95 @@
+// Hot-path ladder: per-event engine cost as a function of the number of
+// simultaneously-open bins. The workload pins N bins open for the whole
+// run (items of size 0.95 in every dimension, so nothing else fits with
+// them) and streams small churn items through one extra bin; every
+// arrival and departure therefore executes against N+O(1) open bins.
+//
+// NextFit makes a constant-time decision, so its rungs isolate the
+// engine's own bookkeeping (view construction, bin lookup, close). The
+// Any Fit rungs (FirstFit, MoveToFront, BestFit) additionally pay the
+// policy's inherent O(open) fit scan per arrival, which no engine change
+// can remove. scripts/bench_baseline.sh runs this ladder and emits
+// BENCH_hotpath.json (schema: docs/PERFORMANCE.md).
+#include <benchmark/benchmark.h>
+
+#include "core/dispatcher.hpp"
+#include "core/event.hpp"
+#include "core/instance.hpp"
+#include "core/policies/registry.hpp"
+#include "core/simulator.hpp"
+
+namespace {
+
+using namespace dvbp;
+
+/// `n_open` pinned bins stay open across the whole horizon while
+/// `n_churn` short items (size 0.1^d, duration 4) trickle through.
+Instance forced_open_instance(std::size_t d, std::size_t n_open,
+                              std::size_t n_churn) {
+  Instance inst(d);
+  const Time t_end = static_cast<Time>(n_churn) + 8.0;
+  for (std::size_t i = 0; i < n_open; ++i) {
+    inst.add(0.0, t_end, RVec(d, 0.95));
+  }
+  for (std::size_t j = 0; j < n_churn; ++j) {
+    const Time t = 1.0 + static_cast<Time>(j);
+    inst.add(t, t + 4.0, RVec(d, 0.1));
+  }
+  return inst;
+}
+
+void BM_SimulateManyOpenBins(benchmark::State& state,
+                             const char* policy_name) {
+  const auto d = static_cast<std::size_t>(state.range(0));
+  const auto n_open = static_cast<std::size_t>(state.range(1));
+  const Instance inst = forced_open_instance(d, n_open, /*n_churn=*/2000);
+  PolicyPtr policy = make_policy(policy_name);
+  for (auto _ : state) {
+    const SimResult r = simulate(inst, *policy);
+    benchmark::DoNotOptimize(r.cost);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(inst.size()));
+}
+
+#define HOTPATH_LADDER(name)                                            \
+  BENCHMARK_CAPTURE(BM_SimulateManyOpenBins, name, #name)               \
+      ->ArgsProduct({{1, 2, 5}, {10, 100, 1000}})
+HOTPATH_LADDER(NextFit);
+HOTPATH_LADDER(FirstFit);
+HOTPATH_LADDER(MoveToFront);
+HOTPATH_LADDER(BestFit);
+#undef HOTPATH_LADDER
+
+void BM_DispatcherManyOpenBins(benchmark::State& state,
+                               const char* policy_name) {
+  const auto d = static_cast<std::size_t>(state.range(0));
+  const auto n_open = static_cast<std::size_t>(state.range(1));
+  const Instance inst = forced_open_instance(d, n_open, /*n_churn=*/2000);
+  const auto events = build_event_stream(inst);
+  PolicyPtr policy = make_policy(policy_name);
+  for (auto _ : state) {
+    Dispatcher dispatcher(inst.dim(), *policy);
+    for (const Event& ev : events) {
+      const Item& item = inst[ev.item];
+      if (ev.kind == EventKind::kArrival) {
+        benchmark::DoNotOptimize(
+            dispatcher.arrive(item.arrival, item.size, item.departure));
+      } else {
+        dispatcher.depart(ev.time, item.id);
+      }
+    }
+    benchmark::DoNotOptimize(dispatcher.cost_so_far(inst.last_departure()));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(inst.size()));
+}
+
+BENCHMARK_CAPTURE(BM_DispatcherManyOpenBins, NextFit, "NextFit")
+    ->ArgsProduct({{1, 2, 5}, {10, 100, 1000}});
+BENCHMARK_CAPTURE(BM_DispatcherManyOpenBins, FirstFit, "FirstFit")
+    ->ArgsProduct({{1, 2, 5}, {10, 100, 1000}});
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Runs the hot-path benchmark ladder (bench/bench_hotpath.cpp) and emits
+# its google-benchmark JSON as BENCH_hotpath.json, the repo's per-event
+# performance trajectory (schema: docs/PERFORMANCE.md). Re-run after any
+# engine change and compare against the committed bench/BENCH_hotpath.json
+# before/after record.
+#
+# Usage: scripts/bench_baseline.sh [--smoke] [--build-dir=DIR] [--out=FILE]
+#   --smoke      tiny min_time; exercises every rung so the binaries cannot
+#                bit-rot (used by the Release CI job), numbers meaningless
+#   --build-dir  cmake build tree containing bench/bench_hotpath
+#                (default: build)
+#   --out        output JSON path (default: BENCH_hotpath.json in the cwd)
+set -euo pipefail
+
+build_dir=build
+out=BENCH_hotpath.json
+smoke=0
+for arg in "$@"; do
+  case "$arg" in
+    --smoke) smoke=1 ;;
+    --build-dir=*) build_dir="${arg#*=}" ;;
+    --out=*) out="${arg#*=}" ;;
+    *) echo "unknown argument: $arg" >&2; exit 2 ;;
+  esac
+done
+
+bench="$build_dir/bench/bench_hotpath"
+if [[ ! -x "$bench" ]]; then
+  echo "error: $bench not found or not executable;" \
+       "build the 'bench_hotpath' target first" >&2
+  exit 1
+fi
+
+args=(--benchmark_format=json
+      --benchmark_out="$out"
+      --benchmark_out_format=json)
+if [[ "$smoke" == 1 ]]; then
+  args+=(--benchmark_min_time=0.01)
+fi
+
+"$bench" "${args[@]}" > /dev/null
+echo "wrote $out"

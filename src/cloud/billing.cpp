@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <stdexcept>
+#include "core/types.hpp"  // robust_ceil
 
 namespace dvbp::cloud {
 
@@ -17,7 +18,7 @@ double QuantizedBilling::charge(const Interval& usage) const {
   if (len <= 0.0) return 0.0;
   // Guard the epsilon so that an exactly-full quantum is not double-billed
   // due to floating division noise.
-  const double quanta = std::ceil(len / quantum_ - 1e-9);
+  const double quanta = robust_ceil(len / quantum_);
   return rate_ * std::max(1.0, quanta);
 }
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cassert>
+#include <stdexcept>
+#include <string>
 
 namespace dvbp {
 
@@ -9,19 +11,31 @@ void BinState::add(const Item& item) {
   assert(fits(item.size) && "BinState::add called without fits()");
   load_ += item.size;
   active_.push_back(item.id);
+  departures_.push_back(item.departure);
   ++total_packed_;
   latest_departure_ = std::max(latest_departure_, item.departure);
 }
 
-bool BinState::remove(const Item& item, const std::vector<Item>& all_items) {
+bool BinState::remove(const Item& item) {
   auto it = std::find(active_.begin(), active_.end(), item.id);
-  assert(it != active_.end() && "BinState::remove: item not in bin");
+  if (it == active_.end()) {
+    throw std::logic_error("BinState::remove: item " +
+                           std::to_string(item.id) +
+                           " is not active in bin " + std::to_string(id_));
+  }
+  const auto idx = static_cast<std::size_t>(it - active_.begin());
+  const Time removed_departure = departures_[idx];
   active_.erase(it);
+  departures_.erase(departures_.begin() + static_cast<std::ptrdiff_t>(idx));
   load_ -= item.size;
   load_.clamp_nonnegative();
-  latest_departure_ = 0.0;
-  for (ItemId id : active_) {
-    latest_departure_ = std::max(latest_departure_, all_items[id].departure);
+  if (active_.empty()) {
+    latest_departure_ = 0.0;
+  } else if (removed_departure >= latest_departure_) {
+    // Only the departing maximum forces a rescan; the engines remove in
+    // departure order, so this branch fires only on ties with the maximum.
+    latest_departure_ = *std::max_element(departures_.begin(),
+                                          departures_.end());
   }
   return active_.empty();
 }

@@ -4,6 +4,12 @@
 // an active item, and closes (permanently; paper Sec. 2.1) when its last
 // item departs. Load is maintained incrementally; the final subtraction is
 // clamped to remove floating residue.
+//
+// latest_departure() is maintained incrementally from the departure each
+// item carried when it was added: removal only rescans the bin when the
+// current maximum departs. The engines process departures in time order,
+// so the departing item is almost always a non-maximum and removal is
+// O(occupancy) only for the find of the item itself, not for the rescan.
 #pragma once
 
 #include <vector>
@@ -28,6 +34,7 @@ class BinState {
   /// Count of every item ever packed here (for diagnostics).
   std::size_t total_packed() const noexcept { return total_packed_; }
   /// Latest departure among currently-active items (clairvoyant policies).
+  /// Reflects each item's departure as of its add() call.
   Time latest_departure() const noexcept { return latest_departure_; }
 
   /// Per-dimension capacity (1.0 in the paper's model; > 1 under resource
@@ -43,10 +50,11 @@ class BinState {
   /// Adds an item. Precondition: fits(item.size).
   void add(const Item& item);
 
-  /// Removes a departing item; returns true if the bin became empty.
-  /// `all_items` is the instance item list, used to recompute the latest
-  /// departure among survivors.
-  bool remove(const Item& item, const std::vector<Item>& all_items);
+  /// Removes a departing item (matched by id); returns true if the bin
+  /// became empty. Throws std::logic_error when the item is not active in
+  /// this bin -- the check survives NDEBUG builds, where the former
+  /// assert-only guard would have erased end() and corrupted the load.
+  bool remove(const Item& item);
 
  private:
   BinId id_;
@@ -54,6 +62,10 @@ class BinState {
   double capacity_;
   RVec load_;
   std::vector<ItemId> active_;
+  /// Parallel to active_: each item's departure at add() time, so the
+  /// maximum can be restored without consulting the instance (whose
+  /// departure fields the Dispatcher patches on actual departure).
+  std::vector<Time> departures_;
   std::size_t total_packed_ = 0;
   Time latest_departure_ = 0.0;
 };

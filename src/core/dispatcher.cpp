@@ -48,14 +48,6 @@ Dispatcher::Admission Dispatcher::arrive(Time now, RVec size,
   const Item& item = items_.back();
   ++active_jobs_;
 
-  views_.clear();
-  views_.reserve(open_order_.size());
-  for (std::size_t idx : open_order_) {
-    const BinState& b = bins_[idx];
-    views_.push_back(BinView{b.id(), &b.load(), b.opened_at(),
-                             b.num_active(), b.latest_departure(),
-                             b.capacity()});
-  }
   if (obs_ != nullptr) {
     obs_->on_arrival(now, job,
                      std::span<const double>(item.size.begin(),
@@ -82,11 +74,18 @@ Dispatcher::Admission Dispatcher::arrive(Time now, RVec size,
   admission.job = job;
   if (chosen == kNoBin) {
     const BinId id = static_cast<BinId>(bins_.size());
+    const BinState* old_data = bins_.data();
     bins_.emplace_back(id, dim_, now, capacity_);
+    if (bins_.data() != old_data) repatch_view_loads();
     records_.push_back(BinRecord{id, now, now, {}});
+    slot_of_.push_back(static_cast<std::uint32_t>(open_order_.size()));
     open_order_.push_back(bins_.size() - 1);
     if (obs_ != nullptr) obs_->on_open(now, id);
-    bins_.back().add(item);
+    BinState& bin = bins_.back();
+    bin.add(item);
+    views_.push_back(BinView{id, &bin.load(), bin.opened_at(),
+                             bin.num_active(), bin.latest_departure(),
+                             bin.capacity()});
     records_.back().items.push_back(job);
     assignment_.push_back(id);
     policy_.on_open(now, id, item);
@@ -96,19 +95,19 @@ Dispatcher::Admission Dispatcher::arrive(Time now, RVec size,
     return admission;
   }
 
-  auto it = std::find_if(
-      open_order_.begin(), open_order_.end(),
-      [&](std::size_t idx) { return bins_[idx].id() == chosen; });
-  if (it == open_order_.end()) {
+  if (chosen >= bins_.size() || slot_of_[chosen] == kNoSlot) {
     throw PolicyViolation("Dispatcher: policy selected a bin that is not "
                           "open");
   }
-  BinState& bin = bins_[*it];
+  const std::uint32_t slot = slot_of_[chosen];
+  BinState& bin = bins_[open_order_[slot]];
   if (!bin.fits(item.size)) {
     throw PolicyViolation(
         "Dispatcher: policy selected a bin that cannot hold the job");
   }
   bin.add(item);
+  views_[slot].num_items = bin.num_active();
+  views_[slot].latest_departure = bin.latest_departure();
   records_[bin.id()].items.push_back(job);
   assignment_.push_back(bin.id());
   policy_.on_pack(now, bin.id(), item);
@@ -129,25 +128,42 @@ void Dispatcher::depart(Time now, JobId job) {
   // Patch the actual departure so latest-departure bookkeeping is honest.
   items_[job].departure = now;
 
-  auto it = std::find_if(
-      open_order_.begin(), open_order_.end(),
-      [&](std::size_t idx) { return bins_[idx].id() == bin_id; });
-  if (it == open_order_.end()) {
+  const std::uint32_t slot = slot_of_[bin_id];
+  if (slot == kNoSlot) {
     throw std::logic_error("Dispatcher::depart: bin not open");
   }
-  BinState& bin = bins_[*it];
-  const bool emptied = bin.remove(items_[job], items_);
+  BinState& bin = bins_[open_order_[slot]];
+  const bool emptied = bin.remove(items_[job]);
   assignment_[job] = kNoBin;
   --active_jobs_;
   if (emptied) {
     records_[bin_id].closed = now;
-    open_order_.erase(it);
+    closed_usage_ += records_[bin_id].usage_time();
+    close_slot(slot);
+  } else {
+    views_[slot].num_items = bin.num_active();
+    views_[slot].latest_departure = bin.latest_departure();
   }
   if (obs_ != nullptr) {
     obs_->on_depart(now, job, bin_id, emptied);
     if (emptied) obs_->on_close(now, bin_id, bin.opened_at());
   }
   policy_.on_depart(now, bin_id, items_[job], emptied);
+}
+
+void Dispatcher::close_slot(std::uint32_t slot) {
+  slot_of_[bins_[open_order_[slot]].id()] = kNoSlot;
+  open_order_.erase(open_order_.begin() + slot);
+  views_.erase(views_.begin() + slot);
+  for (std::size_t k = slot; k < open_order_.size(); ++k) {
+    slot_of_[bins_[open_order_[k]].id()] = static_cast<std::uint32_t>(k);
+  }
+}
+
+void Dispatcher::repatch_view_loads() {
+  for (std::size_t k = 0; k < views_.size(); ++k) {
+    views_[k].load = &bins_[open_order_[k]].load();
+  }
 }
 
 BinId Dispatcher::bin_of(JobId job) const {
@@ -158,15 +174,22 @@ BinId Dispatcher::bin_of(JobId job) const {
 }
 
 double Dispatcher::cost_so_far(Time at) const {
-  double total = 0.0;
-  std::vector<char> open(records_.size(), 0);
-  for (std::size_t idx : open_order_) open[bins_[idx].id()] = 1;
-  for (const BinRecord& rec : records_) {
-    if (open[rec.id]) {
-      total += std::max(0.0, at - rec.opened);
-    } else {
-      total += rec.usage_time();
+  if (at >= now_) {
+    // Every closed bin closed at or before now_ <= at, so its clamped
+    // contribution is its full usage time: use the running sum and only
+    // walk the open bins.
+    double total = closed_usage_;
+    for (std::size_t idx : open_order_) {
+      total += std::max(0.0, at - bins_[idx].opened_at());
     }
+    return total;
+  }
+  // Historical query: clamp closed bins to [opened, min(at, closed)).
+  double total = 0.0;
+  for (const BinRecord& rec : records_) {
+    const bool open = slot_of_[rec.id] != kNoSlot;
+    const Time end = open ? at : std::min(at, rec.closed);
+    total += std::max(0.0, end - rec.opened);
   }
   return total;
 }

@@ -68,9 +68,13 @@ class Dispatcher {
   /// Bin currently hosting `job` (kNoBin after departure).
   BinId bin_of(JobId job) const;
 
-  /// Total usage time accrued up to `at`: closed bins in full, open bins
-  /// from their opening until `at`. This is the objective of eq. (1),
-  /// metered live.
+  /// Total usage time accrued up to `at`: every bin contributes
+  /// max(0, min(at, close time) - open time), where open bins have no
+  /// close time yet. This is the objective of eq. (1) metered live, and
+  /// it is exact for historical timestamps too: a closed bin's
+  /// contribution is clamped to `at` instead of counted in full. O(1)
+  /// bookkeeping keeps queries at `at` >= last_event_time() to O(open
+  /// bins); earlier timestamps scan every record.
   double cost_so_far(Time at) const;
 
   /// Usage records of every bin ever opened (open bins report their
@@ -78,7 +82,12 @@ class Dispatcher {
   const std::vector<BinRecord>& records() const noexcept { return records_; }
 
  private:
+  static constexpr std::uint32_t kNoSlot =
+      std::numeric_limits<std::uint32_t>::max();
+
   void check_time(Time now);
+  void close_slot(std::uint32_t slot);
+  void repatch_view_loads();
 
   std::size_t dim_;
   Policy& policy_;
@@ -91,9 +100,11 @@ class Dispatcher {
   std::vector<BinId> assignment_;    // JobId -> bin (kNoBin once departed)
   std::vector<BinState> bins_;       // every bin ever opened, by id
   std::vector<std::size_t> open_order_;  // indices into bins_, opening order
+  std::vector<std::uint32_t> slot_of_;  // BinId -> slot in open_order_/views_
   std::vector<BinRecord> records_;
-  std::vector<BinView> views_;  // scratch
+  std::vector<BinView> views_;  // open-bin views, parallel to open_order_
   std::size_t active_jobs_ = 0;
+  double closed_usage_ = 0.0;  // running sum of closed bins' usage time
 };
 
 }  // namespace dvbp

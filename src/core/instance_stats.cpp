@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "core/event.hpp"
+#include "core/types.hpp"  // robust_ceil
 
 namespace dvbp {
 
@@ -44,7 +45,7 @@ InstanceStats analyze(const Instance& inst) {
     if (ev.time > prev) {
       height_integral += load.linf() * (ev.time - prev);
       stats.height_bound +=
-          std::ceil(load.linf() - 1e-9) * (ev.time - prev);
+          robust_ceil(load.linf()) * (ev.time - prev);
       concurrency_integral +=
           static_cast<double>(active) * (ev.time - prev);
       prev = ev.time;

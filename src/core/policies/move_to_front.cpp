@@ -1,18 +1,24 @@
 #include "core/policies/move_to_front.hpp"
 
-#include <algorithm>
 #include <cassert>
 
 namespace dvbp {
 
 BinId MoveToFrontPolicy::choose(Time, const Item&,
                                 std::span<const BinView> fitting) {
-  // Walk the MRU list and return the first bin that is in the fitting set.
-  for (BinId bin : mru_) {
-    for (const BinView& b : fitting) {
-      if (b.id == bin) return bin;
+  // The first fitting bin in MRU order is the fitting bin whose
+  // move-to-front stamp is largest (stamps are a monotone clock bumped
+  // whenever a bin reaches the front, so MRU order is descending stamp).
+  BinId best = kNoBin;
+  std::uint64_t best_stamp = 0;
+  for (const BinView& b : fitting) {
+    const std::uint64_t s = b.id < stamp_.size() ? stamp_[b.id] : 0;
+    if (s > best_stamp) {
+      best_stamp = s;
+      best = b.id;
     }
   }
+  if (best != kNoBin) return best;
   // Every open fitting bin must be tracked in the MRU list.
   assert(false && "MoveToFront: fitting bin missing from MRU list");
   return fitting.front().id;
@@ -20,6 +26,12 @@ BinId MoveToFrontPolicy::choose(Time, const Item&,
 
 void MoveToFrontPolicy::on_open(Time now, BinId bin, const Item& first) {
   mru_.push_front(bin);
+  if (bin >= pos_.size()) {
+    pos_.resize(bin + 1);
+    stamp_.resize(bin + 1, 0);
+  }
+  pos_[bin] = mru_.begin();
+  stamp_[bin] = ++clock_;
   record(now, first.id);
 }
 
@@ -30,22 +42,27 @@ void MoveToFrontPolicy::on_pack(Time now, BinId bin, const Item& item) {
 void MoveToFrontPolicy::on_depart(Time now, BinId bin, const Item&,
                                   bool closed) {
   if (!closed) return;
+  if (bin >= stamp_.size() || stamp_[bin] == 0) return;
   const bool was_leader = !mru_.empty() && mru_.front() == bin;
-  mru_.remove(bin);
+  mru_.erase(pos_[bin]);
+  stamp_[bin] = 0;
   if (was_leader) record(now, kNoItem);
 }
 
 void MoveToFrontPolicy::reset() {
   mru_.clear();
+  pos_.clear();
+  stamp_.clear();
+  clock_ = 0;
   history_.clear();
 }
 
 void MoveToFrontPolicy::move_to_front(Time now, BinId bin, ItemId cause) {
   if (!mru_.empty() && mru_.front() == bin) return;
-  auto it = std::find(mru_.begin(), mru_.end(), bin);
-  assert(it != mru_.end() && "MoveToFront: unknown bin");
-  mru_.erase(it);
-  mru_.push_front(bin);
+  assert(bin < stamp_.size() && stamp_[bin] != 0 &&
+         "MoveToFront: unknown bin");
+  mru_.splice(mru_.begin(), mru_, pos_[bin]);
+  stamp_[bin] = ++clock_;
   record(now, cause);
 }
 

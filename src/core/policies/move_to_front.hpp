@@ -3,12 +3,19 @@
 // front (paper Sec. 2.2). CR: at most (2mu+1)d+1 (Thm 2), at least
 // max{2mu, (mu+1)d} (Thm 8).
 //
+// Bookkeeping is O(1) per list operation: pos_ maps a BinId to its node in
+// the MRU list (splice instead of find+erase), and stamp_ records a
+// monotone move-to-front clock per bin, so choose() picks the fitting bin
+// with the largest stamp -- identical to walking the MRU list front to
+// back, but O(fitting bins) instead of O(open bins).
+//
 // The policy optionally records its *leader history* -- which bin is at the
 // front of the list at each moment -- which the analysis of Thm 2
 // decomposes usage periods with (leading vs non-leading intervals). The
 // bench for E9 uses this instrumentation.
 #pragma once
 
+#include <cstdint>
 #include <list>
 #include <utility>
 #include <vector>
@@ -62,6 +69,13 @@ class MoveToFrontPolicy final : public AnyFitPolicy {
   void record(Time now, ItemId cause);
 
   std::list<BinId> mru_;
+  /// BinId -> node in mru_ (valid while stamp_[bin] != 0). List iterators
+  /// survive splice, so entries never need rewriting on reorder.
+  std::vector<std::list<BinId>::iterator> pos_;
+  /// BinId -> value of clock_ when the bin last reached the front; 0 for
+  /// bins not (or no longer) in the list. Descending stamp == MRU order.
+  std::vector<std::uint64_t> stamp_;
+  std::uint64_t clock_ = 0;
   bool record_history_;
   std::vector<LeaderChange> history_;
 };

@@ -1,7 +1,7 @@
 #include "core/simulator.hpp"
 
 #include <algorithm>
-#include <cassert>
+#include <limits>
 
 #include "core/bin_state.hpp"
 #include "core/event.hpp"
@@ -12,17 +12,30 @@ namespace dvbp {
 
 namespace {
 
+constexpr std::uint32_t kNoSlot = std::numeric_limits<std::uint32_t>::max();
+
 /// Engine-internal mutable run state, kept out of the public header.
+///
+/// Per-event bookkeeping is constant-time in the number of open bins
+/// (DESIGN.md Sec. 4.8): slot_of_ maps a BinId to its position in the
+/// opening-order arrays, and views_ is patched incrementally on
+/// open/pack/depart instead of being rebuilt for every arrival. Closing a
+/// bin compacts the opening-order arrays with one memmove; everything
+/// else is O(1).
 class Engine {
  public:
   Engine(const Instance& inst, Policy& policy, const SimOptions& opts)
       : inst_(inst), policy_(policy), opts_(opts), obs_(opts.observer),
         assignment_(inst.size(), kNoBin) {}
 
-  SimResult run() {
+  SimResult run(std::span<const Event> events) {
     policy_.reset();
-    const std::vector<Event> events = build_event_stream(inst_);
     for (const Event& ev : events) {
+      if (ev.item >= inst_.size()) {
+        throw std::invalid_argument(
+            "simulate: event references item " + std::to_string(ev.item) +
+            " outside the instance");
+      }
       if (ev.kind == EventKind::kDeparture) {
         handle_departure(ev);
       } else {
@@ -30,21 +43,20 @@ class Engine {
       }
       if (opts_.record_timeline) note_timeline(ev.time);
     }
-    assert(open_order_.empty() && "bins remain open after all departures");
+    if (!open_order_.empty()) {
+      // An assert here would vanish under NDEBUG and yield a packing whose
+      // open bins never receive a close time (understated cost).
+      throw std::logic_error(
+          "simulate: " + std::to_string(open_order_.size()) +
+          " bin(s) still open after the event stream drained; the stream "
+          "is truncated or missing departures");
+    }
     return finish();
   }
 
  private:
   void handle_arrival(const Event& ev) {
     const Item& item = inst_[ev.item];
-    views_.clear();
-    views_.reserve(open_order_.size());
-    for (std::size_t idx : open_order_) {
-      const BinState& b = bins_[idx];
-      views_.push_back(BinView{b.id(), &b.load(), b.opened_at(),
-                               b.num_active(), b.latest_departure(),
-                               b.capacity()});
-    }
     if (obs_ != nullptr) {
       obs_->on_arrival(ev.time, item.id,
                        std::span<const double>(item.size.begin(),
@@ -83,8 +95,11 @@ class Engine {
 
   void open_bin(Time now, const Item& item) {
     const BinId id = static_cast<BinId>(bins_.size());
+    const BinState* old_data = bins_.data();
     bins_.emplace_back(id, inst_.dim(), now, opts_.bin_capacity);
+    if (bins_.data() != old_data) repatch_view_loads();
     records_.push_back(BinRecord{id, now, now, {}});
+    slot_of_.push_back(static_cast<std::uint32_t>(open_order_.size()));
     open_order_.push_back(bins_.size() - 1);
     if (obs_ != nullptr) obs_->on_open(now, id);
     BinState& bin = bins_.back();
@@ -92,26 +107,28 @@ class Engine {
       throw PolicyViolation("item does not fit even in an empty bin");
     }
     bin.add(item);
+    views_.push_back(BinView{id, &bin.load(), bin.opened_at(),
+                             bin.num_active(), bin.latest_departure(),
+                             bin.capacity()});
     records_.back().items.push_back(item.id);
     assignment_[item.id] = id;
     policy_.on_open(now, id, item);
   }
 
   void pack_into(Time now, BinId chosen, const Item& item) {
-    auto it = std::find_if(open_order_.begin(), open_order_.end(),
-                           [&](std::size_t idx) {
-                             return bins_[idx].id() == chosen;
-                           });
-    if (it == open_order_.end()) {
+    if (chosen >= bins_.size() || slot_of_[chosen] == kNoSlot) {
       throw PolicyViolation("policy '" + std::string(policy_.name()) +
                             "' selected bin that is not open");
     }
-    BinState& bin = bins_[*it];
+    const std::uint32_t slot = slot_of_[chosen];
+    BinState& bin = bins_[open_order_[slot]];
     if (!bin.fits(item.size)) {
       throw PolicyViolation("policy '" + std::string(policy_.name()) +
                             "' selected a bin that cannot hold the item");
     }
     bin.add(item);
+    views_[slot].num_items = bin.num_active();
+    views_[slot].latest_departure = bin.latest_departure();
     records_[bin.id()].items.push_back(item.id);
     assignment_[item.id] = bin.id();
     policy_.on_pack(now, bin.id(), item);
@@ -120,23 +137,51 @@ class Engine {
   void handle_departure(const Event& ev) {
     const Item& item = inst_[ev.item];
     const BinId bin_id = assignment_[item.id];
-    assert(bin_id != kNoBin && "departure before arrival");
-    auto it = std::find_if(open_order_.begin(), open_order_.end(),
-                           [&](std::size_t idx) {
-                             return bins_[idx].id() == bin_id;
-                           });
-    assert(it != open_order_.end() && "departure from a closed bin");
-    BinState& bin = bins_[*it];
-    const bool emptied = bin.remove(item, inst_.items());
+    if (bin_id == kNoBin) {
+      throw std::logic_error(
+          "simulate: departure of item " + std::to_string(item.id) +
+          " before its arrival (inconsistent event stream)");
+    }
+    const std::uint32_t slot = slot_of_[bin_id];
+    if (slot == kNoSlot) {
+      throw std::logic_error(
+          "simulate: departure of item " + std::to_string(item.id) +
+          " from bin " + std::to_string(bin_id) +
+          " which already closed (duplicate departure?)");
+    }
+    BinState& bin = bins_[open_order_[slot]];
+    const bool emptied = bin.remove(item);
     if (emptied) {
       records_[bin_id].closed = ev.time;
-      open_order_.erase(it);
+      close_slot(slot);
+    } else {
+      views_[slot].num_items = bin.num_active();
+      views_[slot].latest_departure = bin.latest_departure();
     }
     if (obs_ != nullptr) {
       obs_->on_depart(ev.time, item.id, bin_id, emptied);
       if (emptied) obs_->on_close(ev.time, bin_id, bin.opened_at());
     }
     policy_.on_depart(ev.time, bin_id, item, emptied);
+  }
+
+  /// Removes the bin at `slot` from the opening-order arrays, preserving
+  /// order (First Fit iterates views_ in opening order) and reindexing the
+  /// shifted suffix.
+  void close_slot(std::uint32_t slot) {
+    slot_of_[bins_[open_order_[slot]].id()] = kNoSlot;
+    open_order_.erase(open_order_.begin() + slot);
+    views_.erase(views_.begin() + slot);
+    for (std::size_t k = slot; k < open_order_.size(); ++k) {
+      slot_of_[bins_[open_order_[k]].id()] = static_cast<std::uint32_t>(k);
+    }
+  }
+
+  /// bins_ reallocated: every view's load pointer moved with it.
+  void repatch_view_loads() {
+    for (std::size_t k = 0; k < views_.size(); ++k) {
+      views_[k].load = &bins_[open_order_[k]].load();
+    }
   }
 
   void note_timeline(Time t) {
@@ -170,16 +215,15 @@ class Engine {
 
   std::vector<BinState> bins_;        // every bin ever opened, by id
   std::vector<std::size_t> open_order_;  // indices of open bins, opening order
+  std::vector<std::uint32_t> slot_of_;  // BinId -> slot in open_order_/views_
   std::vector<BinRecord> records_;
   std::vector<BinId> assignment_;
-  std::vector<BinView> views_;  // scratch
+  std::vector<BinView> views_;  // open-bin views, parallel to open_order_
   std::size_t max_open_ = 0;
   std::vector<std::pair<Time, std::size_t>> timeline_;
 };
 
-}  // namespace
-
-SimResult simulate(const Instance& inst, Policy& policy, SimOptions opts) {
+void check_options(const Instance& inst, const SimOptions& opts) {
   if (auto err = inst.validate()) {
     throw std::invalid_argument("simulate: invalid instance: " + *err);
   }
@@ -190,8 +234,21 @@ SimResult simulate(const Instance& inst, Policy& policy, SimOptions opts) {
     throw std::invalid_argument(
         "simulate: audit assumes unit bins; disable it under augmentation");
   }
+}
+
+}  // namespace
+
+SimResult simulate(const Instance& inst, Policy& policy, SimOptions opts) {
+  check_options(inst, opts);
   Engine engine(inst, policy, opts);
-  return engine.run();
+  return engine.run(build_event_stream(inst));
+}
+
+SimResult simulate_events(const Instance& inst, std::span<const Event> events,
+                          Policy& policy, SimOptions opts) {
+  check_options(inst, opts);
+  Engine engine(inst, policy, opts);
+  return engine.run(events);
 }
 
 SimResult simulate(const Instance& inst, std::string_view policy_name,

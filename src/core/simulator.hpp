@@ -7,11 +7,13 @@
 // programming error and raises PolicyViolation.
 #pragma once
 
+#include <span>
 #include <stdexcept>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "core/event.hpp"
 #include "core/instance.hpp"
 #include "core/packing.hpp"
 #include "core/policies/policy.hpp"
@@ -63,6 +65,14 @@ struct SimResult {
 /// std::invalid_argument when the instance fails validation and
 /// PolicyViolation on illegal policy decisions.
 SimResult simulate(const Instance& inst, Policy& policy, SimOptions opts = {});
+
+/// Replays a caller-supplied event stream instead of the instance's own
+/// (useful for custom tie-breaking or replay tooling). The stream must be
+/// consistent and complete: arrivals precede departures, no duplicates,
+/// and every opened bin must drain. Violations raise std::logic_error --
+/// checked unconditionally, in NDEBUG builds too.
+SimResult simulate_events(const Instance& inst, std::span<const Event> events,
+                          Policy& policy, SimOptions opts = {});
 
 /// Convenience: construct the policy by registry name, run it, return the
 /// result.

@@ -6,6 +6,7 @@
 // centralized here so the whole library agrees on what "fits" means.
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 #include <limits>
 
@@ -34,6 +35,18 @@ inline constexpr double kCapacityEps = 1e-9;
 
 /// Tolerance for comparing timestamps / interval endpoints.
 inline constexpr double kTimeEps = 1e-9;
+
+/// Subtracted inside ceil-of-load computations: summing many item sizes
+/// leaves residue like 3.0000000001 which must round to 3 bins, not 4.
+/// Sizes are no finer than ~1e-6 (see kCapacityEps), so 1e-9 absorbs the
+/// float noise without changing any exact ceiling.
+inline constexpr double kCeilEps = 1e-9;
+
+/// ceil with protection against accumulated floating residue (kCeilEps).
+/// Every ceil-of-load site in the library goes through this.
+inline double robust_ceil(double x) noexcept {
+  return std::ceil(x - kCeilEps);
+}
 
 /// Returns true when `a` and `b` are equal up to kTimeEps.
 constexpr bool time_eq(Time a, Time b) noexcept {

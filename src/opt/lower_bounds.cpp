@@ -4,16 +4,9 @@
 #include <cmath>
 
 #include "core/event.hpp"
+#include "core/types.hpp"  // robust_ceil (tolerances live in one place)
 
 namespace dvbp {
-
-namespace {
-
-/// ceil with protection against 3.0000000001-style floating noise created
-/// by summing many item sizes.
-double robust_ceil(double x) { return std::ceil(x - 1e-9); }
-
-}  // namespace
 
 double lb_height(const Instance& inst) {
   if (inst.empty()) return 0.0;

@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "opt/ffd.hpp"
+#include "core/types.hpp"  // robust_ceil
 
 namespace dvbp {
 
@@ -41,7 +42,7 @@ class Solver {
   VbpResult solve() {
     best_ = ffd_bin_count(sizes_);
     const auto lb0 = static_cast<std::size_t>(
-        std::ceil(suffix_[0].linf() - 1e-9));
+        robust_ceil(suffix_[0].linf()));
     if (best_ <= std::max<std::size_t>(lb0, 1) || sizes_.size() <= 1) {
       return {best_, true, nodes_};  // FFD already optimal
     }
@@ -102,7 +103,7 @@ class Solver {
       worst = std::max(worst, suffix_[i][j] - free_cap);
     }
     if (worst <= 0.0) return 0;
-    return static_cast<std::size_t>(std::ceil(worst - 1e-9));
+    return static_cast<std::size_t>(robust_ceil(worst));
   }
 
   std::vector<RVec> sizes_;

@@ -42,10 +42,10 @@ TEST(BinState, RemoveUpdatesLoadAndLatestDeparture) {
   BinState bin(0, 2, 0.0);
   bin.add(items[0]);
   bin.add(items[1]);
-  EXPECT_FALSE(bin.remove(items[1], items));
+  EXPECT_FALSE(bin.remove(items[1]));
   EXPECT_DOUBLE_EQ(bin.latest_departure(), 2.0);
   EXPECT_NEAR(bin.load()[0], 0.5, 1e-12);
-  EXPECT_TRUE(bin.remove(items[0], items));
+  EXPECT_TRUE(bin.remove(items[0]));
   EXPECT_TRUE(bin.is_empty());
   EXPECT_TRUE(bin.load().is_nonnegative());
   // total_packed survives removals (lifetime counter).

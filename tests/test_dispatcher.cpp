@@ -42,6 +42,25 @@ TEST(Dispatcher, LiveCostMetersOpenBins) {
   EXPECT_DOUBLE_EQ(dispatcher.cost_so_far(4.0), 4.0 + 3.0);
 }
 
+TEST(Dispatcher, CostSoFarClampsClosedBinsAtHistoricalTimestamps) {
+  // Regression: a closed bin used to contribute its full usage time even
+  // when `at` predated its close, overstating historical costs.
+  PolicyPtr policy = make_policy("FirstFit");
+  Dispatcher dispatcher(1, *policy);
+  const auto a = dispatcher.arrive(0.0, RVec{0.9});   // bin 0: [0, 10)
+  const auto b = dispatcher.arrive(2.0, RVec{0.9});   // bin 1: [2, ...)
+  dispatcher.depart(10.0, a.job);                     // bin 0 closes at 10
+  // at=5: bin 0 contributes min(5,10)-0 = 5 (not 10), bin 1 contributes 3.
+  EXPECT_DOUBLE_EQ(dispatcher.cost_so_far(5.0), 5.0 + 3.0);
+  // at=1 predates bin 1 entirely: only bin 0's first unit counts.
+  EXPECT_DOUBLE_EQ(dispatcher.cost_so_far(1.0), 1.0);
+  // at past every event: closed bin in full, open bin metered to `at`.
+  EXPECT_DOUBLE_EQ(dispatcher.cost_so_far(12.0), 10.0 + 10.0);
+  dispatcher.depart(14.0, b.job);
+  EXPECT_DOUBLE_EQ(dispatcher.cost_so_far(14.0), 10.0 + 12.0);
+  EXPECT_DOUBLE_EQ(dispatcher.cost_so_far(12.0), 10.0 + 10.0);
+}
+
 TEST(Dispatcher, UnknownDeparturesUseInfinity) {
   // Non-clairvoyant policies never read the expected departure; the
   // default (infinity) must flow through without breaking bookkeeping.
