@@ -1,34 +1,55 @@
 #!/usr/bin/env bash
-# Runs the hot-path benchmark ladder (bench/bench_hotpath.cpp) and emits
-# its google-benchmark JSON as BENCH_hotpath.json, the repo's per-event
-# performance trajectory (schema: docs/PERFORMANCE.md). Re-run after any
-# engine change and compare against the committed bench/BENCH_hotpath.json
-# before/after record.
+# Runs a benchmark ladder and emits its google-benchmark JSON -- the repo's
+# performance trajectory. Targets:
+#   hotpath  bench/bench_hotpath.cpp, per-event engine cost
+#            (curated record: bench/BENCH_hotpath.json, docs/PERFORMANCE.md)
+#   sharded  bench/bench_sharded.cpp, aggregate arrival throughput of the
+#            sharded placement service
+#            (curated record: bench/BENCH_sharded.json, docs/ARCHITECTURE.md)
+# Re-run after any engine or service change and compare against the
+# committed record.
 #
-# Usage: scripts/bench_baseline.sh [--smoke] [--build-dir=DIR] [--out=FILE]
-#   --smoke      tiny min_time; exercises every rung so the binaries cannot
-#                bit-rot (used by the Release CI job), numbers meaningless
-#   --build-dir  cmake build tree containing bench/bench_hotpath
-#                (default: build)
-#   --out        output JSON path (default: BENCH_hotpath.json in the cwd)
+# Usage: scripts/bench_baseline.sh [--target=hotpath|sharded] [--smoke]
+#                                  [--build-dir=DIR] [--out=FILE]
+#                                  [--repetitions=N]
+#   --target       which ladder to run (default: hotpath)
+#   --smoke        tiny min_time; exercises every rung so the binaries
+#                  cannot bit-rot (used by the Release CI job), numbers
+#                  meaningless
+#   --build-dir    cmake build tree containing the bench binaries
+#                  (default: build)
+#   --out          output JSON path (default: BENCH_<target>.json in cwd)
+#   --repetitions  run each rung N times and emit min/median/mean/stddev
+#                  aggregates; curated records use the medians (the boxes
+#                  this runs on are shared, so single-run means are noisy)
 set -euo pipefail
 
 build_dir=build
-out=BENCH_hotpath.json
+out=""
 smoke=0
+target=hotpath
+repetitions=0
 for arg in "$@"; do
   case "$arg" in
     --smoke) smoke=1 ;;
+    --target=*) target="${arg#*=}" ;;
     --build-dir=*) build_dir="${arg#*=}" ;;
     --out=*) out="${arg#*=}" ;;
+    --repetitions=*) repetitions="${arg#*=}" ;;
     *) echo "unknown argument: $arg" >&2; exit 2 ;;
   esac
 done
 
-bench="$build_dir/bench/bench_hotpath"
+case "$target" in
+  hotpath|sharded) ;;
+  *) echo "unknown target: $target (hotpath|sharded)" >&2; exit 2 ;;
+esac
+[[ -n "$out" ]] || out="BENCH_${target}.json"
+
+bench="$build_dir/bench/bench_$target"
 if [[ ! -x "$bench" ]]; then
   echo "error: $bench not found or not executable;" \
-       "build the 'bench_hotpath' target first" >&2
+       "build the 'bench_$target' target first" >&2
   exit 1
 fi
 
@@ -37,6 +58,9 @@ args=(--benchmark_format=json
       --benchmark_out_format=json)
 if [[ "$smoke" == 1 ]]; then
   args+=(--benchmark_min_time=0.01)
+fi
+if [[ "$repetitions" -gt 0 ]]; then
+  args+=(--benchmark_repetitions="$repetitions")
 fi
 
 "$bench" "${args[@]}" > /dev/null

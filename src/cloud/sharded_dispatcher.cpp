@@ -1,0 +1,543 @@
+#include "cloud/sharded_dispatcher.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "obs/trace.hpp"
+
+namespace dvbp::cloud {
+
+namespace {
+
+/// Powers-of-two bounds for the ops-per-drain histogram.
+std::vector<double> batch_size_bounds(std::size_t max_batch) {
+  std::vector<double> bounds;
+  for (std::size_t b = 1; b < max_batch; b *= 2) {
+    bounds.push_back(static_cast<double>(b));
+  }
+  bounds.push_back(static_cast<double>(max_batch));
+  return bounds;
+}
+
+}  // namespace
+
+ShardedDispatcher::ShardedDispatcher(std::size_t dim,
+                                     const PolicyFactory& factory,
+                                     ShardedOptions options)
+    : dim_(dim), options_(std::move(options)) {
+  if (dim_ == 0) {
+    throw std::invalid_argument("ShardedDispatcher: dim must be >= 1");
+  }
+  if (options_.shards == 0) {
+    throw std::invalid_argument("ShardedDispatcher: shards must be >= 1");
+  }
+  if (options_.bin_capacity < 1.0) {
+    throw std::invalid_argument(
+        "ShardedDispatcher: bin_capacity must be >= 1");
+  }
+  if (options_.queue_capacity == 0 || options_.max_batch == 0 ||
+      options_.snapshot_every == 0) {
+    throw std::invalid_argument(
+        "ShardedDispatcher: queue_capacity, max_batch, and snapshot_every "
+        "must be >= 1");
+  }
+  if (!options_.shard_tracers.empty() &&
+      options_.shard_tracers.size() != options_.shards) {
+    throw std::invalid_argument(
+        "ShardedDispatcher: shard_tracers must be empty or have one entry "
+        "per shard");
+  }
+  if (!factory) {
+    throw std::invalid_argument("ShardedDispatcher: null policy factory");
+  }
+
+  router_ = make_router(options_.router, options_.shards);
+
+  shards_.reserve(options_.shards);
+  for (std::size_t s = 0; s < options_.shards; ++s) {
+    auto shard = std::make_unique<Shard>();
+    shard->policy = factory(s);
+    if (shard->policy == nullptr) {
+      throw std::invalid_argument(
+          "ShardedDispatcher: policy factory returned null for shard " +
+          std::to_string(s));
+    }
+    obs::Tracer* tracer =
+        options_.shard_tracers.empty() ? nullptr : options_.shard_tracers[s];
+    if (options_.metrics != nullptr || tracer != nullptr) {
+      shard->observer =
+          std::make_unique<obs::Observer>(options_.metrics, tracer);
+    }
+    shard->dispatcher = std::make_unique<Dispatcher>(
+        dim_, *shard->policy, options_.bin_capacity, shard->observer.get());
+    if (options_.metrics != nullptr) {
+      const std::string prefix = "dvbp.shard." + std::to_string(s) + ".";
+      shard->queue_depth = &options_.metrics->gauge(prefix + "queue_depth");
+      shard->batch_size = &options_.metrics->histogram(
+          prefix + "batch_size", batch_size_bounds(options_.max_batch));
+      shard->placement_latency =
+          &options_.metrics->histogram(prefix + "placement_latency_ns");
+      shard->ops_applied_total =
+          &options_.metrics->counter(prefix + "ops_applied_total");
+    }
+    shards_.push_back(std::move(shard));
+  }
+  // Workers start only after every shard is fully constructed.
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    shards_[s]->worker = std::thread([this, s] { worker_loop(s); });
+  }
+}
+
+ShardedDispatcher::~ShardedDispatcher() {
+  for (auto& shard : shards_) {
+    shard->stopping.store(true, std::memory_order_release);
+    {
+      std::lock_guard<std::mutex> lock(shard->qmu);
+      shard->stop = true;
+    }
+    shard->not_empty.notify_all();
+    shard->not_full.notify_all();
+  }
+  for (auto& shard : shards_) {
+    if (shard->worker.joinable()) shard->worker.join();
+  }
+  for (auto& chunk : job_chunks_) {
+    delete[] chunk.load(std::memory_order_acquire);
+  }
+}
+
+JobId ShardedDispatcher::arrive(Time now, RVec size,
+                                Time expected_departure) {
+  // Validate here, in the producer, so the asynchronous apply cannot throw
+  // for caller mistakes (mirrors Dispatcher::arrive's checks).
+  if (size.dim() != dim_) {
+    throw std::invalid_argument(
+        "ShardedDispatcher::arrive: dimension mismatch");
+  }
+  if (!size.is_nonnegative() || !size.fits_in_capacity(1.0)) {
+    throw std::invalid_argument(
+        "ShardedDispatcher::arrive: size outside [0,1]^d");
+  }
+  if (!(expected_departure > now)) {
+    throw std::invalid_argument(
+        "ShardedDispatcher::arrive: expected departure must exceed arrival");
+  }
+
+  std::size_t target = 0;
+  if (router_->kind() == RouterKind::kLeastUsage) {
+    std::vector<double> loads(shards_.size());
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      // Snapshot load plus queued-but-unapplied arrivals: keeps a burst
+      // from piling onto one shard between snapshot refreshes.
+      loads[s] =
+          shards_[s]->load_snapshot.load(std::memory_order_relaxed) +
+          static_cast<double>(std::max<std::int64_t>(
+              0, shards_[s]->pending_arrivals.load(
+                     std::memory_order_relaxed)));
+    }
+    target = router_->route(0, loads);
+  }
+
+  const std::uint64_t id = next_job_.fetch_add(1, std::memory_order_relaxed);
+  if (id >= static_cast<std::uint64_t>(kMaxChunks) * kJobChunkSize) {
+    throw std::length_error(
+        "ShardedDispatcher::arrive: job id space exhausted");
+  }
+  const JobId job = static_cast<JobId>(id);
+  const std::size_t chunk = job >> kJobChunkBits;
+  if (job_chunks_[chunk].load(std::memory_order_acquire) == nullptr) {
+    std::lock_guard<std::mutex> lock(chunk_mu_);
+    if (job_chunks_[chunk].load(std::memory_order_relaxed) == nullptr) {
+      job_chunks_[chunk].store(new JobRec[kJobChunkSize],
+                               std::memory_order_release);
+    }
+  }
+  if (router_->kind() != RouterKind::kLeastUsage) {
+    target = router_->route(job, {});
+  }
+  job_rec(job).shard.store(static_cast<std::uint32_t>(target),
+                           std::memory_order_release);
+
+  Op op;
+  op.kind = Op::Kind::kArrive;
+  op.time = now;
+  op.job = job;
+  op.size = std::move(size);
+  op.expected_departure = expected_departure;
+  if (options_.metrics != nullptr) {
+    op.enqueued = std::chrono::steady_clock::now();
+  }
+  if (router_->kind() == RouterKind::kLeastUsage) {
+    // Only the least-usage router reads this; skip the shared-line RMW for
+    // the routers that do not balance on load.
+    shards_[target]->pending_arrivals.fetch_add(1,
+                                                std::memory_order_relaxed);
+  }
+  enqueue(target, std::move(op));
+  return job;
+}
+
+ShardedDispatcher::JobRec& ShardedDispatcher::checked_job_rec(
+    JobId job, const char* caller) const {
+  if (job >= next_job_.load(std::memory_order_acquire) ||
+      job_chunks_[job >> kJobChunkBits].load(std::memory_order_acquire) ==
+          nullptr) {
+    throw std::invalid_argument(std::string("ShardedDispatcher::") + caller +
+                                ": unknown job");
+  }
+  return job_rec(job);
+}
+
+void ShardedDispatcher::depart(Time now, JobId job) {
+  JobRec& rec = checked_job_rec(job, "depart");
+  // exchange() makes racing double-departs fail deterministically in
+  // exactly one caller.
+  if (rec.departed.exchange(true, std::memory_order_acq_rel)) {
+    throw std::invalid_argument(
+        "ShardedDispatcher::depart: job already departed");
+  }
+  const std::size_t target = rec.shard.load(std::memory_order_acquire);
+  Op op;
+  op.kind = Op::Kind::kDepart;
+  op.time = now;
+  op.job = job;
+  if (options_.metrics != nullptr) {
+    op.enqueued = std::chrono::steady_clock::now();
+  }
+  enqueue(target, std::move(op));
+}
+
+void ShardedDispatcher::enqueue(std::size_t shard_idx, Op op) {
+  Shard& shard = *shards_[shard_idx];
+  shard.ops_enqueued.fetch_add(1, std::memory_order_relaxed);
+  std::size_t depth;
+  bool was_empty;
+  {
+    std::unique_lock<std::mutex> lock(shard.qmu);
+    shard.not_full.wait(lock, [&] {
+      return shard.stop || shard.queue.size() < options_.queue_capacity;
+    });
+    if (shard.stop) {
+      throw std::logic_error(
+          "ShardedDispatcher: enqueue after shutdown started");
+    }
+    was_empty = shard.queue.empty();
+    shard.queue.push_back(std::move(op));
+    depth = shard.queue.size();
+    shard.qsize.store(depth, std::memory_order_release);
+  }
+  if (shard.queue_depth != nullptr) {
+    shard.queue_depth->set(static_cast<double>(depth));
+  }
+  // The worker only sleeps on an empty queue (it rechecks the predicate
+  // under qmu before waiting), so only the empty -> non-empty transition
+  // needs a wakeup; skipping the rest keeps the producer hot path cheap.
+  if (was_empty) shard.not_empty.notify_one();
+}
+
+void ShardedDispatcher::worker_loop(std::size_t shard_idx) {
+  Shard& shard = *shards_[shard_idx];
+  std::vector<Op> batch;
+  batch.reserve(options_.max_batch);
+  for (;;) {
+    // Spin briefly before sleeping: under sustained load the queue refills
+    // within microseconds, and skipping the condvar round-trip (futex wake
+    // + scheduler latency per empty->non-empty transition) is what keeps
+    // a lightly-loaded shard's throughput from being wakeup-bound. Falls
+    // through to a normal blocking wait when the spin finds nothing.
+    for (int spin = 0;
+         spin < 4000 &&
+         shard.qsize.load(std::memory_order_acquire) == 0 &&
+         !shard.stopping.load(std::memory_order_acquire);
+         ++spin) {
+      // Donate the slice periodically: on an oversubscribed machine the
+      // producer that would refill this queue may be waiting for this very
+      // core, and a blind spin would burn the whole quantum starving it.
+      // With spare cores and nothing runnable, yield() returns immediately
+      // and the loop stays hot.
+      if ((spin & 63) == 63) std::this_thread::yield();
+    }
+    std::size_t depth_after;
+    {
+      std::unique_lock<std::mutex> lock(shard.qmu);
+      shard.not_empty.wait(
+          lock, [&] { return shard.stop || !shard.queue.empty(); });
+      if (shard.queue.empty()) return;  // stop requested and fully drained
+      while (!shard.queue.empty() && batch.size() < options_.max_batch) {
+        batch.push_back(std::move(shard.queue.front()));
+        shard.queue.pop_front();
+      }
+      depth_after = shard.queue.size();
+      shard.qsize.store(depth_after, std::memory_order_release);
+    }
+    shard.not_full.notify_all();
+    if (shard.queue_depth != nullptr) {
+      shard.queue_depth->set(static_cast<double>(depth_after));
+    }
+    if (shard.batch_size != nullptr) {
+      shard.batch_size->observe(static_cast<double>(batch.size()));
+    }
+
+    apply_batch(shard, batch);
+
+    // Publish progress, then notify only if somebody is draining. Both
+    // sides use seq_cst (Dekker pattern: applied-store/waiters-load here,
+    // waiters-store/applied-load in drain()), and the empty lock keeps the
+    // notify from slipping between the drainer's predicate check and its
+    // wait.
+    ops_applied_.fetch_add(batch.size());
+    if (drain_waiters_.load() > 0) {
+      { std::lock_guard<std::mutex> lock(drain_mu_); }
+      drain_cv_.notify_all();
+    }
+    batch.clear();
+  }
+}
+
+void ShardedDispatcher::apply_batch(Shard& shard, std::vector<Op>& batch) {
+  std::lock_guard<std::mutex> lock(shard.mu);
+  Dispatcher& dispatcher = *shard.dispatcher;
+  std::size_t since_snapshot = 0;
+  for (Op& op : batch) {
+    try {
+      // Per-shard monotone clamp: multiple producers can interleave, so an
+      // op's timestamp may lag the shard clock; it is applied at the clock
+      // (the way an ingestion front-end stamps requests). Single-producer
+      // feeds are monotone and never clamped.
+      const Time t = std::max(op.time, dispatcher.last_event_time());
+      if (op.kind == Op::Kind::kArrive) {
+        const JobId local = static_cast<JobId>(dispatcher.jobs_admitted());
+        // The advisory departure can be overtaken by the clamp; it is only
+        // a clairvoyant hint, so degrade it to "unknown" rather than throw.
+        const Time expected =
+            op.expected_departure > t
+                ? op.expected_departure
+                : std::numeric_limits<Time>::infinity();
+        dispatcher.arrive(t, std::move(op.size), expected);
+        shard.global_of_local.push_back(op.job);
+        // `local` is worker-owned: the only other readers are the FIFO-
+        // later depart op (applied by this same worker) and quiescent
+        // accessors, which synchronize through ops_applied_ in drain().
+        job_rec(op.job).local = local;
+        if (router_->kind() == RouterKind::kLeastUsage) {
+          shard.pending_arrivals.fetch_sub(1, std::memory_order_relaxed);
+        }
+      } else {
+        dispatcher.depart(t, job_rec(op.job).local);
+      }
+    } catch (...) {
+      // A failure here is a service bug (producer-side validation screens
+      // caller mistakes); remember the first error for drain() and keep
+      // counting ops so nobody deadlocks waiting for them.
+      std::lock_guard<std::mutex> error_lock(error_mu_);
+      if (!worker_error_) worker_error_ = std::current_exception();
+    }
+    if (shard.ops_applied_total != nullptr) shard.ops_applied_total->inc();
+    if (shard.placement_latency != nullptr) {
+      const auto elapsed = std::chrono::steady_clock::now() - op.enqueued;
+      shard.placement_latency->observe(static_cast<double>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+              .count()));
+    }
+    if (++since_snapshot >= options_.snapshot_every) {
+      since_snapshot = 0;
+      shard.load_snapshot.store(dispatcher.total_active_load(),
+                                std::memory_order_relaxed);
+    }
+  }
+  shard.load_snapshot.store(dispatcher.total_active_load(),
+                            std::memory_order_relaxed);
+}
+
+std::uint64_t ShardedDispatcher::ops_enqueued() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard->ops_enqueued.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void ShardedDispatcher::drain() {
+  const std::uint64_t target = ops_enqueued();
+  if (ops_applied_.load() < target) {
+    drain_waiters_.fetch_add(1);
+    {
+      std::unique_lock<std::mutex> lock(drain_mu_);
+      drain_cv_.wait(lock, [&] { return ops_applied_.load() >= target; });
+    }
+    drain_waiters_.fetch_sub(1);
+  }
+  std::lock_guard<std::mutex> lock(error_mu_);
+  if (worker_error_) std::rethrow_exception(worker_error_);
+}
+
+std::uint64_t ShardedDispatcher::ops_applied() const {
+  return ops_applied_.load(std::memory_order_acquire);
+}
+
+std::size_t ShardedDispatcher::jobs_admitted() const {
+  return static_cast<std::size_t>(
+      next_job_.load(std::memory_order_acquire));
+}
+
+std::size_t ShardedDispatcher::shard_of(JobId job) const {
+  return checked_job_rec(job, "shard_of")
+      .shard.load(std::memory_order_acquire);
+}
+
+double ShardedDispatcher::cost_so_far(Time at) const {
+  double total = 0.0;
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    total += shard_cost_so_far(s, at);
+  }
+  return total;
+}
+
+std::size_t ShardedDispatcher::open_bins() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->dispatcher->open_bins();
+  }
+  return total;
+}
+
+std::size_t ShardedDispatcher::bins_opened() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->dispatcher->bins_opened();
+  }
+  return total;
+}
+
+std::size_t ShardedDispatcher::jobs_active() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->dispatcher->jobs_active();
+  }
+  return total;
+}
+
+double ShardedDispatcher::shard_cost_so_far(std::size_t shard,
+                                            Time at) const {
+  if (shard >= shards_.size()) {
+    throw std::invalid_argument(
+        "ShardedDispatcher::shard_cost_so_far: bad shard");
+  }
+  std::lock_guard<std::mutex> lock(shards_[shard]->mu);
+  return shards_[shard]->dispatcher->cost_so_far(at);
+}
+
+std::size_t ShardedDispatcher::shard_open_bins(std::size_t shard) const {
+  if (shard >= shards_.size()) {
+    throw std::invalid_argument(
+        "ShardedDispatcher::shard_open_bins: bad shard");
+  }
+  std::lock_guard<std::mutex> lock(shards_[shard]->mu);
+  return shards_[shard]->dispatcher->open_bins();
+}
+
+std::size_t ShardedDispatcher::shard_bins_opened(std::size_t shard) const {
+  if (shard >= shards_.size()) {
+    throw std::invalid_argument(
+        "ShardedDispatcher::shard_bins_opened: bad shard");
+  }
+  std::lock_guard<std::mutex> lock(shards_[shard]->mu);
+  return shards_[shard]->dispatcher->bins_opened();
+}
+
+std::size_t ShardedDispatcher::shard_jobs_admitted(std::size_t shard) const {
+  if (shard >= shards_.size()) {
+    throw std::invalid_argument(
+        "ShardedDispatcher::shard_jobs_admitted: bad shard");
+  }
+  std::lock_guard<std::mutex> lock(shards_[shard]->mu);
+  return shards_[shard]->dispatcher->jobs_admitted();
+}
+
+void ShardedDispatcher::require_quiescent() const {
+  if (ops_applied_.load(std::memory_order_acquire) != ops_enqueued()) {
+    throw std::logic_error(
+        "ShardedDispatcher: snapshot requires quiescence (call drain() "
+        "with no concurrent producers)");
+  }
+  std::lock_guard<std::mutex> lock(error_mu_);
+  if (worker_error_) std::rethrow_exception(worker_error_);
+}
+
+Packing ShardedDispatcher::shard_packing(std::size_t shard) const {
+  if (shard >= shards_.size()) {
+    throw std::invalid_argument(
+        "ShardedDispatcher::shard_packing: bad shard");
+  }
+  require_quiescent();
+  std::lock_guard<std::mutex> lock(shards_[shard]->mu);
+  const Dispatcher& dispatcher = *shards_[shard]->dispatcher;
+  std::vector<BinId> assignment(dispatcher.jobs_admitted(), kNoBin);
+  for (const BinRecord& rec : dispatcher.records()) {
+    for (ItemId item : rec.items) assignment[item] = rec.id;
+  }
+  return Packing(std::move(assignment),
+                 dispatcher.records());
+}
+
+Packing ShardedDispatcher::snapshot() const {
+  require_quiescent();
+  // Bin ids are renumbered shard-major: shard s's bins keep their relative
+  // opening order and live at [offset(s), offset(s) + bins_opened(s)).
+  std::vector<BinId> offsets(shards_.size(), 0);
+  std::size_t total_bins = 0;
+  std::size_t total_jobs = 0;
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    std::lock_guard<std::mutex> lock(shards_[s]->mu);
+    offsets[s] = static_cast<BinId>(total_bins);
+    total_bins += shards_[s]->dispatcher->bins_opened();
+    total_jobs += shards_[s]->dispatcher->jobs_admitted();
+  }
+
+  std::vector<BinId> assignment(total_jobs, kNoBin);
+  std::vector<BinRecord> bins;
+  bins.reserve(total_bins);
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    std::lock_guard<std::mutex> lock(shards_[s]->mu);
+    const Shard& shard = *shards_[s];
+    for (const BinRecord& rec : shard.dispatcher->records()) {
+      BinRecord merged = rec;
+      merged.id = rec.id + offsets[s];
+      for (ItemId& item : merged.items) {
+        item = shard.global_of_local[item];
+        assignment[item] = merged.id;
+      }
+      bins.push_back(std::move(merged));
+    }
+  }
+  return Packing(std::move(assignment), std::move(bins));
+}
+
+JobId ShardedDispatcher::global_job(std::size_t shard, JobId local) const {
+  if (shard >= shards_.size()) {
+    throw std::invalid_argument(
+        "ShardedDispatcher::global_job: bad shard");
+  }
+  std::lock_guard<std::mutex> lock(shards_[shard]->mu);
+  if (local >= shards_[shard]->global_of_local.size()) {
+    throw std::invalid_argument(
+        "ShardedDispatcher::global_job: unknown local job");
+  }
+  return shards_[shard]->global_of_local[local];
+}
+
+const Item& ShardedDispatcher::job_item(JobId job) const {
+  require_quiescent();
+  const JobRec& rec = checked_job_rec(job, "job_item");
+  const std::uint32_t shard = rec.shard.load(std::memory_order_acquire);
+  const JobId local = rec.local;
+  std::lock_guard<std::mutex> lock(shards_[shard]->mu);
+  return shards_[shard]->dispatcher->items()[local];
+}
+
+}  // namespace dvbp::cloud

@@ -1,0 +1,264 @@
+// ShardedDispatcher: a thread-safe placement service over K Dispatcher
+// shards.
+//
+// The paper's allocator is inherently sequential: every placement decision
+// depends on the full bin state. To serve heavy arrival traffic the service
+// layer partitions the stream instead -- K independent Dispatcher shards,
+// each owned by a dedicated worker thread and fed through a bounded MPSC
+// queue. A Router (cloud/router.hpp) picks the shard at admission time, in
+// the producer's thread; the job's departure is steered to the same shard,
+// so each shard observes a self-consistent substream and its competitive
+// behavior is exactly that of a serial Dispatcher on that substream.
+//
+// Equivalence contract (pinned by tests/test_sharded_parity.cpp):
+//   * K = 1, any router: the service reproduces the serial Dispatcher --
+//     and hence simulate() -- bin for bin on any monotone event feed.
+//   * K > 1: shard s's packing equals a serial Dispatcher fed shard s's
+//     substream in admission order, and the global cost is the sum of the
+//     per-shard costs at every timestamp.
+//
+// Timestamps: each worker applies its queue in FIFO order and clamps event
+// times to be monotone within the shard (an op whose timestamp lags the
+// shard clock is applied at the shard clock, the way an ingestion front-end
+// stamps requests). With a single producer the feed is already monotone and
+// no clamping ever fires.
+//
+// Consistency: cost_so_far() / open_bins() / jobs_active() aggregate the
+// shards under their mutexes and are safe to call at any time, but reflect
+// only *applied* ops -- call drain() first for an exact figure. snapshot()
+// and shard_packing() additionally require quiescence (drain() and no
+// concurrent producers) and materialize real Packing objects.
+//
+// Observability: with a MetricRegistry attached, each shard registers
+//   dvbp.shard.<i>.queue_depth            gauge, ops waiting in the queue
+//   dvbp.shard.<i>.batch_size             histogram, ops per drain
+//   dvbp.shard.<i>.placement_latency_ns   histogram, enqueue -> applied
+//   dvbp.shard.<i>.ops_applied_total      counter, survives shutdown
+// and the shard's Dispatcher feeds the shared dvbp.alloc.* instruments
+// (aggregated across shards) plus an optional per-shard Tracer.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "cloud/router.hpp"
+#include "core/dispatcher.hpp"
+#include "core/packing.hpp"
+#include "core/policies/policy.hpp"
+#include "core/types.hpp"
+#include "obs/metrics.hpp"
+#include "obs/observer.hpp"
+
+namespace dvbp::obs {
+class Tracer;  // obs/trace.hpp
+}  // namespace dvbp::obs
+
+namespace dvbp::cloud {
+
+struct ShardedOptions {
+  std::size_t shards = 1;
+  RouterKind router = RouterKind::kRoundRobin;
+  double bin_capacity = 1.0;
+  /// Per-shard queue bound; producers block when a shard's queue is full.
+  std::size_t queue_capacity = 4096;
+  /// Max ops a worker applies per drain (one lock round-trip per batch).
+  std::size_t max_batch = 256;
+  /// Applied ops between refreshes of the shard load snapshot the
+  /// least-usage router reads.
+  std::size_t snapshot_every = 64;
+  /// Borrowed, nullable; receives the per-shard queue/batch/latency
+  /// instruments and the shared dvbp.alloc.* allocator metrics.
+  obs::MetricRegistry* metrics = nullptr;
+  /// Borrowed per-shard tracers: empty (tracing off) or size == shards.
+  std::vector<obs::Tracer*> shard_tracers;
+};
+
+class ShardedDispatcher {
+ public:
+  /// `factory(shard)` builds the policy instance shard `shard` owns; it is
+  /// called once per shard at construction (policies are stateful and not
+  /// thread-safe, so they are never shared). Throws std::invalid_argument
+  /// on bad options.
+  using PolicyFactory = std::function<PolicyPtr(std::size_t shard)>;
+  ShardedDispatcher(std::size_t dim, const PolicyFactory& factory,
+                    ShardedOptions options = {});
+
+  /// Drains every queued op, then stops and joins the workers: shutdown
+  /// with a non-empty queue still applies everything already enqueued.
+  /// Worker-side errors are swallowed here (read them via drain() before
+  /// destruction if you care).
+  ~ShardedDispatcher();
+
+  ShardedDispatcher(const ShardedDispatcher&) = delete;
+  ShardedDispatcher& operator=(const ShardedDispatcher&) = delete;
+
+  /// Admits a job: validates the size, routes it to a shard, and enqueues
+  /// the placement (applied asynchronously by the shard worker, in FIFO
+  /// order). Returns the service-global job id immediately. Blocks while
+  /// the target shard's queue is full. Thread-safe.
+  JobId arrive(Time now, RVec size,
+               Time expected_departure =
+                   std::numeric_limits<Time>::infinity());
+
+  /// Marks `job` finished: enqueues the departure on the shard that owns
+  /// it. Throws std::invalid_argument for unknown or already-departed jobs
+  /// (checked eagerly, so racing double-departs fail deterministically in
+  /// exactly one caller). Thread-safe.
+  void depart(Time now, JobId job);
+
+  /// Blocks until every op enqueued before the call has been applied, then
+  /// rethrows the first worker-side error, if any.
+  void drain();
+
+  // --- Global view -----------------------------------------------------
+
+  std::size_t dim() const noexcept { return dim_; }
+  std::size_t shards() const noexcept { return shards_.size(); }
+  RouterKind router() const noexcept { return router_->kind(); }
+
+  /// Ops admitted (arrivals + departures enqueued so far). Summed over the
+  /// shards; exact once the producers that matter have returned.
+  std::uint64_t ops_enqueued() const noexcept;
+  /// Ops the workers have applied so far.
+  std::uint64_t ops_applied() const;
+
+  std::size_t jobs_admitted() const;
+  /// Shard `job` was routed to (fixed at arrive()).
+  std::size_t shard_of(JobId job) const;
+
+  /// Sum of the per-shard eq. (1) costs at `at` -- exact for historical
+  /// timestamps, reflects applied ops only. Thread-safe.
+  double cost_so_far(Time at) const;
+  std::size_t open_bins() const;
+  std::size_t bins_opened() const;
+  std::size_t jobs_active() const;
+
+  // --- Per-shard view --------------------------------------------------
+
+  double shard_cost_so_far(std::size_t shard, Time at) const;
+  std::size_t shard_open_bins(std::size_t shard) const;
+  std::size_t shard_bins_opened(std::size_t shard) const;
+  std::size_t shard_jobs_admitted(std::size_t shard) const;
+
+  // --- Quiescent snapshots (drain() first; throw std::logic_error while
+  // --- ops are in flight) ----------------------------------------------
+
+  /// Shard `shard`'s packing in shard-local job/bin ids -- directly
+  /// comparable against a serial Dispatcher fed the shard's substream.
+  Packing shard_packing(std::size_t shard) const;
+
+  /// The merged global packing: bin ids renumbered shard-major (shard 0's
+  /// bins first, in opening order), items as service-global job ids.
+  Packing snapshot() const;
+
+  /// Global job id of shard-local job `local` on `shard`.
+  JobId global_job(std::size_t shard, JobId local) const;
+
+  /// The job's admission record on its shard (applied, possibly clamped,
+  /// arrival time; actual departure once departed). Quiescent only.
+  const Item& job_item(JobId job) const;
+
+ private:
+  struct Op {
+    enum class Kind : std::uint8_t { kArrive, kDepart } kind = Kind::kArrive;
+    Time time = 0.0;
+    JobId job = kNoItem;  // global id
+    RVec size;            // arrivals only
+    Time expected_departure = 0.0;
+    std::chrono::steady_clock::time_point enqueued{};  // metrics only
+  };
+
+  struct Shard {
+    // Placement state: guarded by `mu`.
+    mutable std::mutex mu;
+    PolicyPtr policy;
+    std::unique_ptr<obs::Observer> observer;  // null when obs is off
+    std::unique_ptr<Dispatcher> dispatcher;
+    std::vector<JobId> global_of_local;  // local JobId -> global JobId
+
+    // Queue: guarded by `qmu`.
+    std::mutex qmu;
+    std::condition_variable not_full;
+    std::condition_variable not_empty;
+    std::deque<Op> queue;
+    bool stop = false;
+    /// queue.size() mirror, maintained inside qmu critical sections; lets
+    /// the worker spin-poll for new work without taking the lock.
+    std::atomic<std::size_t> qsize{0};
+    std::atomic<bool> stopping{false};
+    /// Ops enqueued to this shard. Kept per-shard (and summed on read) so
+    /// concurrent producers do not serialize on one global counter line.
+    std::atomic<std::uint64_t> ops_enqueued{0};
+
+    // Router signals (written by the worker / producers, read by route()).
+    std::atomic<double> load_snapshot{0.0};
+    std::atomic<std::int64_t> pending_arrivals{0};
+
+    // Cached instruments (null when metrics are off).
+    obs::Gauge* queue_depth = nullptr;
+    obs::Histogram* batch_size = nullptr;
+    obs::Histogram* placement_latency = nullptr;
+    obs::Counter* ops_applied_total = nullptr;
+
+    std::thread worker;
+  };
+
+  /// Per-job admission record. Lives in chunked, pointer-stable storage so
+  /// the arrive/depart hot paths never share a lock: ids come from an
+  /// atomic counter, `shard`/`departed` are per-record atomics, and
+  /// `local` is written by the owning shard's worker only (readers must be
+  /// quiescent; the happens-before edge is the ops_applied_ release/
+  /// acquire pair in drain()).
+  struct JobRec {
+    std::atomic<std::uint32_t> shard{0};
+    std::atomic<bool> departed{false};  // set eagerly in depart()
+    JobId local = kNoItem;              // written by the worker when applied
+  };
+
+  /// Job records are allocated in chunks of 2^kJobChunkBits; the chunk
+  /// directory is a fixed array of atomic pointers, so readers index it
+  /// without locks. Caps the service at kMaxChunks << kJobChunkBits
+  /// (~67M) jobs -- far beyond any single run, and checked in arrive().
+  static constexpr std::size_t kJobChunkBits = 13;
+  static constexpr std::size_t kJobChunkSize = 1u << kJobChunkBits;
+  static constexpr std::size_t kMaxChunks = 1u << 13;
+
+  JobRec& job_rec(JobId job) const {
+    return job_chunks_[job >> kJobChunkBits].load(
+        std::memory_order_acquire)[job & (kJobChunkSize - 1)];
+  }
+
+  void enqueue(std::size_t shard_idx, Op op);
+  void worker_loop(std::size_t shard_idx);
+  void apply_batch(Shard& shard, std::vector<Op>& batch);
+  void require_quiescent() const;
+  JobRec& checked_job_rec(JobId job, const char* caller) const;
+
+  std::size_t dim_;
+  ShardedOptions options_;
+  std::unique_ptr<Router> router_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  std::atomic<std::uint64_t> next_job_{0};
+  std::array<std::atomic<JobRec*>, kMaxChunks> job_chunks_{};
+  std::mutex chunk_mu_;  // serializes chunk allocation only
+
+  std::atomic<std::uint64_t> ops_applied_{0};
+  std::atomic<int> drain_waiters_{0};
+  mutable std::mutex drain_mu_;
+  mutable std::condition_variable drain_cv_;
+  mutable std::mutex error_mu_;
+  std::exception_ptr worker_error_;        // guarded by error_mu_
+};
+
+}  // namespace dvbp::cloud

@@ -166,6 +166,12 @@ void Dispatcher::repatch_view_loads() {
   }
 }
 
+double Dispatcher::total_active_load() const noexcept {
+  double total = 0.0;
+  for (std::size_t idx : open_order_) total += bins_[idx].load().l1();
+  return total;
+}
+
 BinId Dispatcher::bin_of(JobId job) const {
   if (job >= assignment_.size()) {
     throw std::invalid_argument("Dispatcher::bin_of: unknown job");

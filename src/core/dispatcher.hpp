@@ -13,6 +13,7 @@
 #pragma once
 
 #include <limits>
+#include <span>
 #include <vector>
 
 #include "core/bin_state.hpp"
@@ -67,6 +68,22 @@ class Dispatcher {
 
   /// Bin currently hosting `job` (kNoBin after departure).
   BinId bin_of(JobId job) const;
+
+  /// Read-only views of the open bins in opening order. The spans and the
+  /// load pointers inside them are invalidated by the next arrive()/depart();
+  /// callers that share the dispatcher across threads must hold their own
+  /// lock across the call and any use of the result (the sharded service's
+  /// router reads these under the shard mutex).
+  std::span<const BinView> open_views() const noexcept { return views_; }
+
+  /// Sum over open bins and dimensions of the current load -- the
+  /// "total usage" signal the least-usage router balances on. O(open bins).
+  double total_active_load() const noexcept;
+
+  /// Every job ever admitted, by JobId. A job's `departure` field holds the
+  /// expected departure passed to arrive() until depart() patches in the
+  /// actual one; `arrival` is the (possibly clamped) admission time.
+  const std::vector<Item>& items() const noexcept { return items_; }
 
   /// Total usage time accrued up to `at`: every bin contributes
   /// max(0, min(at, close time) - open time), where open bins have no

@@ -13,13 +13,19 @@
 // via obs::replay_packing_file, and fails (exit 2) unless it matches the
 // simulator's packing exactly -- the telemetry acceptance gate, also run
 // from tests/test_obs_cli.cpp.
+#include <chrono>
 #include <fstream>
 #include <iostream>
 #include <memory>
 #include <set>
 #include <string>
+#include <vector>
 
+#include "cloud/router.hpp"
+#include "cloud/sharded_dispatcher.hpp"
+#include "core/event.hpp"
 #include "core/instance.hpp"
+#include "core/policies/registry.hpp"
 #include "core/simulator.hpp"
 #include "gen/registry.hpp"
 #include "harness/cli.hpp"
@@ -40,9 +46,13 @@ int usage() {
       "             --n=1000 --d=2 --mu=10 --span=1000 --bin-size=100\n"
       "             --seed=1 --trial=0   (or --trace=<instance.csv>)\n"
       "  policy:    --policy=MoveToFront --capacity=1.0\n"
+      "  service:   --shards=K  (run the sharded placement service instead\n"
+      "             of the serial simulator; reports wall-clock throughput)\n"
+      "             --router=round-robin|rendezvous|least-usage\n"
       "  outputs:   --metrics-out=<path.json> --trace-out=<path.jsonl>\n"
       "             --check-roundtrip  (replay trace, verify packing)\n"
-      "             --quiet\n";
+      "             --quiet\n"
+      "  --trace-out/--check-roundtrip apply to the serial path only.\n";
   return 0;
 }
 
@@ -55,7 +65,7 @@ void reject_unknown_flags(const harness::Args& args) {
       "d",         "mu",           "span",      "bin-size",
       "seed",      "trial",        "capacity",  "policy-seed",
       "metrics-out", "trace-out",  "check-roundtrip", "quiet",
-      "help"};
+      "shards",    "router",       "help"};
   for (const std::string& key : args.keys()) {
     if (!kKnown.count(key)) {
       throw std::runtime_error("unknown flag '--" + key +
@@ -86,6 +96,100 @@ Instance load_instance(const harness::Args& args) {
   return generate(trial);
 }
 
+/// Throughput mode: feed the instance's event stream through the sharded
+/// placement service, wall-clock the whole ingest, and report aggregate +
+/// per-shard figures. The event feed is the same one simulate() consumes,
+/// so at --shards=1 the resulting cost matches the serial path exactly
+/// (pinned by tests/test_sharded_parity.cpp).
+int run_sharded(const harness::Args& args, const Instance& inst) {
+  if (!args.get("trace-out", "").empty() ||
+      args.get_bool("check-roundtrip")) {
+    throw std::runtime_error(
+        "--trace-out/--check-roundtrip are serial-only (decision traces "
+        "are per-shard; see docs/ARCHITECTURE.md)");
+  }
+  const auto shards = static_cast<std::size_t>(args.get_int("shards", 1));
+  const std::string policy = args.get("policy", "MoveToFront");
+  const auto policy_seed =
+      static_cast<std::uint64_t>(args.get_int("policy-seed", 0xD1CEu));
+  const std::string metrics_out = args.get("metrics-out", "");
+  const bool quiet = args.get_bool("quiet");
+
+  obs::MetricRegistry registry;
+  cloud::ShardedOptions options;
+  options.shards = shards;
+  options.router = cloud::parse_router(args.get("router", "round-robin"));
+  options.bin_capacity = args.get_double("capacity", 1.0);
+  options.metrics = &registry;
+  cloud::ShardedDispatcher service(
+      inst.dim(),
+      [&](std::size_t) { return make_policy(policy, policy_seed); },
+      options);
+
+  const std::vector<Event> events = build_event_stream(inst);
+  std::vector<JobId> job_of_item(inst.size(), kNoItem);
+  const auto start = std::chrono::steady_clock::now();
+  for (const Event& ev : events) {
+    const Item& item = inst[ev.item];
+    if (ev.kind == EventKind::kArrival) {
+      job_of_item[ev.item] =
+          service.arrive(item.arrival, item.size, item.departure);
+    } else {
+      service.depart(ev.time, job_of_item[ev.item]);
+    }
+  }
+  service.drain();
+  const std::chrono::duration<double> wall =
+      std::chrono::steady_clock::now() - start;
+
+  const Packing packing = service.snapshot();
+  const double throughput =
+      wall.count() > 0.0 ? static_cast<double>(inst.size()) / wall.count()
+                         : 0.0;
+
+  if (!metrics_out.empty()) {
+    std::ofstream out(metrics_out);
+    if (!out) {
+      throw std::runtime_error("cannot open metrics-out '" + metrics_out +
+                               "'");
+    }
+    out << registry.to_json() << '\n';
+  }
+
+  if (!quiet) {
+    harness::Table summary({"policy", "shards", "router", "items", "cost",
+                            "bins", "wall_ms", "arrivals_per_s"});
+    summary.add_row(
+        {policy, std::to_string(shards),
+         std::string(cloud::router_name(service.router())),
+         std::to_string(inst.size()), harness::Table::num(packing.cost(), 1),
+         std::to_string(packing.num_bins()),
+         harness::Table::num(wall.count() * 1e3, 2),
+         harness::Table::num(throughput, 0)});
+    std::cout << summary.to_aligned_text();
+
+    harness::Table per_shard({"shard", "jobs", "bins", "cost",
+                              "placement_p50_ns"});
+    const Time horizon = events.empty() ? 0.0 : events.back().time;
+    for (std::size_t s = 0; s < shards; ++s) {
+      per_shard.add_row(
+          {std::to_string(s),
+           std::to_string(service.shard_jobs_admitted(s)),
+           std::to_string(service.shard_bins_opened(s)),
+           harness::Table::num(service.shard_cost_so_far(s, horizon), 1),
+           harness::Table::num(
+               registry
+                   .histogram("dvbp.shard." + std::to_string(s) +
+                              ".placement_latency_ns")
+                   .quantile(0.5),
+               0)});
+    }
+    std::cout << per_shard.to_aligned_text();
+    if (!metrics_out.empty()) std::cout << "metrics: " << metrics_out << '\n';
+  }
+  return 0;
+}
+
 bool same_packing(const Packing& a, const Packing& b) {
   if (a.assignment() != b.assignment()) return false;
   if (a.num_bins() != b.num_bins()) return false;
@@ -108,6 +212,7 @@ int main(int argc, char** argv) {
   try {
     reject_unknown_flags(args);
     const Instance inst = load_instance(args);
+    if (args.has("shards")) return run_sharded(args, inst);
     const std::string policy = args.get("policy", "MoveToFront");
     const std::string metrics_out = args.get("metrics-out", "");
     const std::string trace_out = args.get("trace-out", "");

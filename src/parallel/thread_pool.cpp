@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <exception>
+#include <string>
 
 namespace dvbp {
 
@@ -74,22 +75,53 @@ void parallel_for(ThreadPool& pool, std::size_t n,
   const std::size_t chunk =
       std::max(min_chunk, (n + target_chunks - 1) / target_chunks);
 
+  // Failures are captured inside the chunks (not thrown through the
+  // futures): the pre-fix code kept only whichever future's exception was
+  // harvested first and could never say *which* index failed. The shared
+  // slot keeps the failure with the lowest index, so the report is
+  // deterministic regardless of which worker lost the race.
+  struct FailureSlot {
+    std::mutex mu;
+    bool failed = false;
+    std::size_t index = 0;
+    std::exception_ptr error;
+  };
+  FailureSlot failure;
+
   std::vector<std::future<void>> futs;
   for (std::size_t begin = 0; begin < n; begin += chunk) {
     const std::size_t end = std::min(n, begin + chunk);
-    futs.push_back(pool.submit([begin, end, &fn] {
-      for (std::size_t i = begin; i < end; ++i) fn(i);
+    futs.push_back(pool.submit([begin, end, &fn, &failure] {
+      for (std::size_t i = begin; i < end; ++i) {
+        try {
+          fn(i);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(failure.mu);
+          if (!failure.failed || i < failure.index) {
+            failure.failed = true;
+            failure.index = i;
+            failure.error = std::current_exception();
+          }
+          return;  // skip the rest of this chunk only
+        }
+      }
     }));
   }
-  std::exception_ptr first_error;
-  for (auto& f : futs) {
+  for (auto& f : futs) f.get();  // barrier; chunk bodies no longer throw
+
+  if (failure.failed) {
+    std::string what = "parallel_for: task at index " +
+                       std::to_string(failure.index) + " failed";
     try {
-      f.get();
+      std::rethrow_exception(failure.error);
+    } catch (const std::exception& e) {
+      what += ": ";
+      what += e.what();
     } catch (...) {
-      if (!first_error) first_error = std::current_exception();
+      what += ": non-std exception";
     }
+    throw ParallelForError(failure.index, failure.error, what);
   }
-  if (first_error) std::rethrow_exception(first_error);
 }
 
 }  // namespace dvbp

@@ -12,6 +12,7 @@
 #include <functional>
 #include <future>
 #include <mutex>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -48,8 +49,31 @@ class ThreadPool {
   bool stop_ = false;
 };
 
+/// Thrown by parallel_for when an invocation fails. Carries the failing
+/// index (the *lowest* one when several chunks fail, so the report is
+/// deterministic regardless of scheduling) and the original exception.
+class ParallelForError : public std::runtime_error {
+ public:
+  ParallelForError(std::size_t index, std::exception_ptr cause,
+                   const std::string& what)
+      : std::runtime_error(what), index_(index), cause_(std::move(cause)) {}
+
+  /// Index `i` whose fn(i) threw.
+  std::size_t index() const noexcept { return index_; }
+  /// The original exception; std::rethrow_exception to inspect it.
+  std::exception_ptr cause() const noexcept { return cause_; }
+
+ private:
+  std::size_t index_;
+  std::exception_ptr cause_;
+};
+
 /// Runs fn(i) for i in [0, n), sharding contiguous chunks over the pool.
-/// Exceptions from any invocation are rethrown (first one wins).
+/// Every chunk runs to its own completion or first failure even when
+/// another chunk has already failed. If any invocation threw, a
+/// ParallelForError naming the lowest failing index (and nesting the
+/// original exception) is raised after all chunks finish; the remaining
+/// indices of the failing chunk itself are skipped.
 void parallel_for(ThreadPool& pool, std::size_t n,
                   const std::function<void(std::size_t)>& fn,
                   std::size_t min_chunk = 1);

@@ -5,8 +5,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <future>
 #include <numeric>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 namespace dvbp {
@@ -73,13 +75,81 @@ TEST(ParallelFor, ZeroIterationsIsNoop) {
   EXPECT_FALSE(touched);
 }
 
-TEST(ParallelFor, RethrowsWorkerException) {
+TEST(ParallelFor, SurfacesFailingIndexAndOriginalException) {
   ThreadPool pool(3);
-  EXPECT_THROW(parallel_for(pool, 100,
-                            [](std::size_t i) {
-                              if (i == 37) throw std::logic_error("bad");
-                            }),
-               std::logic_error);
+  try {
+    parallel_for(pool, 100, [](std::size_t i) {
+      if (i == 37) throw std::logic_error("bad");
+    });
+    FAIL() << "expected ParallelForError";
+  } catch (const ParallelForError& e) {
+    EXPECT_EQ(e.index(), 37u);
+    EXPECT_NE(std::string(e.what()).find("index 37"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("bad"), std::string::npos);
+    EXPECT_THROW(std::rethrow_exception(e.cause()), std::logic_error);
+  }
+}
+
+TEST(ParallelFor, ExceptionFromNonFirstChunkIsReported) {
+  // min_chunk=10 over n=100 on 2 workers forces multiple chunks; the only
+  // failure sits deep in a later chunk. Pre-fix, the error came back as the
+  // bare exception with no index; worse, a failure in any chunk but the
+  // first harvested one could be dropped entirely.
+  ThreadPool pool(2);
+  std::atomic<int> executed{0};
+  try {
+    parallel_for(
+        pool, 100,
+        [&](std::size_t i) {
+          ++executed;
+          if (i == 91) throw std::runtime_error("late chunk");
+        },
+        /*min_chunk=*/10);
+    FAIL() << "expected ParallelForError";
+  } catch (const ParallelForError& e) {
+    EXPECT_EQ(e.index(), 91u);
+    EXPECT_NE(std::string(e.what()).find("index 91"), std::string::npos);
+  }
+  // Other chunks ran to completion; only the failing chunk's tail (92..99)
+  // was skipped.
+  EXPECT_GE(executed.load(), 92);
+}
+
+TEST(ParallelFor, LowestFailingIndexWinsAcrossChunks) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 8; ++round) {
+    try {
+      parallel_for(
+          pool, 64,
+          [](std::size_t i) {
+            if (i == 5 || i == 23 || i == 58) {
+              throw std::runtime_error("idx " + std::to_string(i));
+            }
+          },
+          /*min_chunk=*/8);
+      FAIL() << "expected ParallelForError";
+    } catch (const ParallelForError& e) {
+      // Deterministic regardless of which worker finished first.
+      EXPECT_EQ(e.index(), 5u);
+    }
+  }
+}
+
+TEST(ThreadPool, ExceptionFromLastTaskBeforeShutdownSurvives) {
+  // The future must carry the exception even when the pool is destroyed
+  // (shutdown joins workers) before the caller harvests it.
+  std::future<void> fut;
+  {
+    ThreadPool pool(1);
+    pool.submit([] {});  // keep the worker busy so the next task is last
+    fut = pool.submit([] { throw std::runtime_error("last task"); });
+  }  // destructor completes pending tasks, then joins
+  try {
+    fut.get();
+    FAIL() << "expected runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "last task");
+  }
 }
 
 TEST(ParallelFor, MinChunkRespected) {
