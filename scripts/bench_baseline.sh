@@ -6,10 +6,14 @@
 #   sharded  bench/bench_sharded.cpp, aggregate arrival throughput of the
 #            sharded placement service
 #            (curated record: bench/BENCH_sharded.json, docs/ARCHITECTURE.md)
+#   persist  bench/bench_persist.cpp, journaling/fsync overhead ladder for
+#            the durable dispatcher and the sharded service
+#            (curated record: bench/BENCH_persist.json, docs/DURABILITY.md)
 # Re-run after any engine or service change and compare against the
 # committed record.
 #
-# Usage: scripts/bench_baseline.sh [--target=hotpath|sharded] [--smoke]
+# Usage: scripts/bench_baseline.sh [--target=hotpath|sharded|persist]
+#                                  [--smoke]
 #                                  [--build-dir=DIR] [--out=FILE]
 #                                  [--repetitions=N]
 #   --target       which ladder to run (default: hotpath)
@@ -41,8 +45,8 @@ for arg in "$@"; do
 done
 
 case "$target" in
-  hotpath|sharded) ;;
-  *) echo "unknown target: $target (hotpath|sharded)" >&2; exit 2 ;;
+  hotpath|sharded|persist) ;;
+  *) echo "unknown target: $target (hotpath|sharded|persist)" >&2; exit 2 ;;
 esac
 [[ -n "$out" ]] || out="BENCH_${target}.json"
 

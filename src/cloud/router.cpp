@@ -48,6 +48,12 @@ class RoundRobinRouter final : public Router {
   std::size_t route(ItemId, std::span<const double>) noexcept override {
     return next_.fetch_add(1, std::memory_order_relaxed) % shards_;
   }
+  std::uint64_t persistent_state() const noexcept override {
+    return next_.load(std::memory_order_relaxed);
+  }
+  void restore_persistent_state(std::uint64_t v) noexcept override {
+    next_.store(v, std::memory_order_relaxed);
+  }
 
  private:
   std::size_t shards_;

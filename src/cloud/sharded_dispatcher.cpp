@@ -3,9 +3,13 @@
 #include <algorithm>
 #include <stdexcept>
 #include <string>
+#include <unordered_map>
 #include <utility>
 
+#include "core/serial.hpp"
 #include "obs/trace.hpp"
+#include "persist/checkpoint.hpp"
+#include "persist/fault.hpp"
 
 namespace dvbp::cloud {
 
@@ -84,10 +88,144 @@ ShardedDispatcher::ShardedDispatcher(std::size_t dim,
     }
     shards_.push_back(std::move(shard));
   }
+  // Durable mode: recover every shard from its journal directory -- each
+  // shard independently, no cross-shard coordination -- then rebuild the
+  // global job table and router state from the recovered shards. Runs
+  // before the workers start, so recovery needs no locks.
+  if (!options_.journal_dir.empty()) {
+    for (std::size_t s = 0; s < shards_.size(); ++s) recover_shard(s);
+    rebuild_job_table();
+  }
   // Workers start only after every shard is fully constructed.
   for (std::size_t s = 0; s < shards_.size(); ++s) {
     shards_[s]->worker = std::thread([this, s] { worker_loop(s); });
   }
+}
+
+std::string ShardedDispatcher::shard_journal_dir(
+    std::size_t shard_idx) const {
+  return options_.journal_dir + "/shard-" + std::to_string(shard_idx);
+}
+
+void ShardedDispatcher::recover_shard(std::size_t shard_idx) {
+  Shard& shard = *shards_[shard_idx];
+  shard.journal_path = shard_journal_dir(shard_idx);
+  persist::RecoveryManager manager(shard.journal_path, options_.metrics);
+  // Journal frames carry service-global job ids; replay maps them onto
+  // shard-local ids exactly the way the live path does (dense, in
+  // admission order).
+  std::unordered_map<JobId, JobId> local_of_global;
+  shard.recovery = manager.run(
+      [&](const persist::CheckpointData& ckpt) {
+        if (ckpt.policy_name != shard.policy->name()) {
+          throw persist::PersistError(
+              "ShardedDispatcher: shard " + std::to_string(shard_idx) +
+              " checkpoint was written by policy '" + ckpt.policy_name +
+              "', refusing to restore into '" +
+              std::string(shard.policy->name()) + "'");
+        }
+        serial::Reader disp_in(ckpt.dispatcher_state);
+        shard.dispatcher->restore_state(disp_in);
+        shard.policy->reset();
+        serial::Reader pol_in(ckpt.policy_state);
+        shard.policy->restore_state(pol_in);
+        serial::Reader extra(ckpt.extra);
+        const std::uint64_t n = extra.u64();
+        shard.global_of_local.clear();
+        for (std::uint64_t i = 0; i < n; ++i) {
+          const JobId global = static_cast<JobId>(extra.u64());
+          local_of_global.emplace(global,
+                                  static_cast<JobId>(
+                                      shard.global_of_local.size()));
+          shard.global_of_local.push_back(global);
+        }
+        if (!extra.done()) {
+          throw serial::SerialError(
+              "ShardedDispatcher: trailing bytes in shard checkpoint");
+        }
+        if (shard.global_of_local.size() !=
+            shard.dispatcher->jobs_admitted()) {
+          throw persist::PersistError(
+              "ShardedDispatcher: shard checkpoint job map does not match "
+              "its dispatcher state");
+        }
+      },
+      [&](const persist::JournalRecord& rec) {
+        // The journaled time/expected-departure are the post-clamp values
+        // the worker actually applied, so replay passes them verbatim.
+        if (rec.kind == persist::OpKind::kArrive) {
+          const JobId global = static_cast<JobId>(rec.job);
+          shard.dispatcher->arrive(rec.time, rec.size,
+                                   rec.expected_departure);
+          local_of_global.emplace(
+              global,
+              static_cast<JobId>(shard.global_of_local.size()));
+          shard.global_of_local.push_back(global);
+        } else if (rec.kind == persist::OpKind::kDepart) {
+          const auto it = local_of_global.find(static_cast<JobId>(rec.job));
+          if (it == local_of_global.end()) {
+            throw persist::PersistError(
+                "ShardedDispatcher: journal departs job " +
+                std::to_string(rec.job) + " the shard never admitted");
+          }
+          shard.dispatcher->depart(rec.time, it->second);
+        }
+        // kAdvance: clock note only; the shard clock moves on apply.
+      });
+  persist::JournalOptions jopts;
+  jopts.fsync = options_.fsync;
+  jopts.fsync_interval_ops = options_.fsync_interval_ops;
+  jopts.metrics = options_.metrics;
+  shard.journal = std::make_unique<persist::JournalWriter>(
+      shard.journal_path, shard.recovery.next_seq, jopts);
+  shard.load_snapshot.store(shard.dispatcher->total_active_load(),
+                            std::memory_order_relaxed);
+}
+
+void ShardedDispatcher::rebuild_job_table() {
+  std::uint64_t next = 0;
+  for (const auto& shard : shards_) {
+    for (const JobId global : shard->global_of_local) {
+      next = std::max(next, static_cast<std::uint64_t>(global) + 1);
+    }
+  }
+  if (next == 0) return;  // cold start
+  if (next > static_cast<std::uint64_t>(kMaxChunks) * kJobChunkSize) {
+    throw persist::PersistError(
+        "ShardedDispatcher: recovered job ids exceed the job table");
+  }
+  next_job_.store(next, std::memory_order_release);
+  const std::size_t chunks =
+      (static_cast<std::size_t>(next) + kJobChunkSize - 1) >> kJobChunkBits;
+  for (std::size_t c = 0; c < chunks; ++c) {
+    job_chunks_[c].store(new JobRec[kJobChunkSize],
+                         std::memory_order_release);
+  }
+  // Default every recovered id to "departed": an id whose arrival frame
+  // did not survive on its shard (it was admitted but lost in the crash)
+  // must make a stale depart() fail cleanly, not dereference kNoItem.
+  for (std::uint64_t id = 0; id < next; ++id) {
+    JobRec& rec = job_rec(static_cast<JobId>(id));
+    rec.departed.store(true, std::memory_order_relaxed);
+    rec.local = kNoItem;
+  }
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    const Shard& shard = *shards_[s];
+    for (std::size_t local = 0; local < shard.global_of_local.size();
+         ++local) {
+      JobRec& rec = job_rec(shard.global_of_local[local]);
+      rec.shard.store(static_cast<std::uint32_t>(s),
+                      std::memory_order_relaxed);
+      rec.local = static_cast<JobId>(local);
+      rec.departed.store(
+          shard.dispatcher->bin_of(static_cast<JobId>(local)) == kNoBin,
+          std::memory_order_relaxed);
+    }
+  }
+  // Round-robin's counter advanced once per admission in the original
+  // run; rendezvous is a pure function and least-usage re-derives from
+  // the load snapshots refreshed in recover_shard().
+  router_->restore_persistent_state(next);
 }
 
 ShardedDispatcher::~ShardedDispatcher() {
@@ -300,6 +438,7 @@ void ShardedDispatcher::apply_batch(Shard& shard, std::vector<Op>& batch) {
   std::lock_guard<std::mutex> lock(shard.mu);
   Dispatcher& dispatcher = *shard.dispatcher;
   std::size_t since_snapshot = 0;
+  std::size_t journaled_ops = 0;
   for (Op& op : batch) {
     try {
       // Per-shard monotone clamp: multiple producers can interleave, so an
@@ -315,6 +454,13 @@ void ShardedDispatcher::apply_batch(Shard& shard, std::vector<Op>& batch) {
             op.expected_departure > t
                 ? op.expected_departure
                 : std::numeric_limits<Time>::infinity();
+        // The journal records exactly what arrive() is called with --
+        // post-clamp time, degraded hint -- so replay reproduces the run
+        // bit-exactly by passing the frame verbatim.
+        RVec journal_size;
+        const bool journal_op =
+            shard.journal != nullptr && !shard.journal_dead;
+        if (journal_op) journal_size = op.size;
         dispatcher.arrive(t, std::move(op.size), expected);
         shard.global_of_local.push_back(op.job);
         // `local` is worker-owned: the only other readers are the FIFO-
@@ -324,15 +470,33 @@ void ShardedDispatcher::apply_batch(Shard& shard, std::vector<Op>& batch) {
         if (router_->kind() == RouterKind::kLeastUsage) {
           shard.pending_arrivals.fetch_sub(1, std::memory_order_relaxed);
         }
+        if (journal_op) {
+          try {
+            shard.journal->append(persist::OpKind::kArrive, t, op.job,
+                                  expected, &journal_size);
+            ++journaled_ops;
+          } catch (...) {
+            shard.journal_dead = true;
+            record_worker_error();
+          }
+        }
       } else {
         dispatcher.depart(t, job_rec(op.job).local);
+        if (shard.journal != nullptr && !shard.journal_dead) {
+          try {
+            shard.journal->append(persist::OpKind::kDepart, t, op.job);
+            ++journaled_ops;
+          } catch (...) {
+            shard.journal_dead = true;
+            record_worker_error();
+          }
+        }
       }
     } catch (...) {
       // A failure here is a service bug (producer-side validation screens
       // caller mistakes); remember the first error for drain() and keep
       // counting ops so nobody deadlocks waiting for them.
-      std::lock_guard<std::mutex> error_lock(error_mu_);
-      if (!worker_error_) worker_error_ = std::current_exception();
+      record_worker_error();
     }
     if (shard.ops_applied_total != nullptr) shard.ops_applied_total->inc();
     if (shard.placement_latency != nullptr) {
@@ -349,6 +513,63 @@ void ShardedDispatcher::apply_batch(Shard& shard, std::vector<Op>& batch) {
   }
   shard.load_snapshot.store(dispatcher.total_active_load(),
                             std::memory_order_relaxed);
+  // Group commit: the whole drained batch goes down with one write(2) and
+  // at most one fsync. A commit failure (I/O error, injected fault)
+  // permanently kills this shard's journal -- memory may now be ahead of
+  // the durable state, so the service must be abandoned and recovered; the
+  // error surfaces through drain().
+  if (shard.journal != nullptr && !shard.journal_dead && journaled_ops > 0) {
+    try {
+      shard.journal->commit();
+      shard.ops_since_checkpoint += journaled_ops;
+      if (options_.checkpoint_every > 0 &&
+          shard.ops_since_checkpoint >= options_.checkpoint_every) {
+        checkpoint_shard(shard);
+      }
+    } catch (...) {
+      shard.journal_dead = true;
+      record_worker_error();
+    }
+  }
+}
+
+void ShardedDispatcher::checkpoint_shard(Shard& shard) {
+  // Never claim ops the journal could still lose.
+  shard.journal->sync();
+  persist::CheckpointData data;
+  data.seq = shard.journal->next_seq() - 1;
+  data.policy_name = std::string(shard.policy->name());
+  serial::Writer disp_out;
+  shard.dispatcher->save_state(disp_out);
+  data.dispatcher_state = disp_out.take();
+  serial::Writer pol_out;
+  shard.policy->save_state(pol_out);
+  data.policy_state = pol_out.take();
+  serial::Writer extra;
+  extra.u64(shard.global_of_local.size());
+  for (const JobId global : shard.global_of_local) extra.u64(global);
+  data.extra = extra.take();
+  persist::write_checkpoint(shard.journal_path, data);
+  shard.journal->rotate();
+  persist::fault_point("checkpoint.truncated");
+  shard.ops_since_checkpoint = 0;
+  if (options_.metrics != nullptr) {
+    options_.metrics->counter("dvbp.persist.checkpoints_total").inc();
+  }
+}
+
+void ShardedDispatcher::record_worker_error() {
+  std::lock_guard<std::mutex> error_lock(error_mu_);
+  if (!worker_error_) worker_error_ = std::current_exception();
+}
+
+const persist::RecoveryReport& ShardedDispatcher::shard_recovery(
+    std::size_t shard) const {
+  if (shard >= shards_.size()) {
+    throw std::invalid_argument(
+        "ShardedDispatcher::shard_recovery: bad shard");
+  }
+  return shards_[shard]->recovery;
 }
 
 std::uint64_t ShardedDispatcher::ops_enqueued() const noexcept {

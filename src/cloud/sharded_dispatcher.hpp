@@ -58,6 +58,8 @@
 #include "core/types.hpp"
 #include "obs/metrics.hpp"
 #include "obs/observer.hpp"
+#include "persist/journal.hpp"
+#include "persist/recovery.hpp"
 
 namespace dvbp::obs {
 class Tracer;  // obs/trace.hpp
@@ -81,6 +83,19 @@ struct ShardedOptions {
   obs::MetricRegistry* metrics = nullptr;
   /// Borrowed per-shard tracers: empty (tracing off) or size == shards.
   std::vector<obs::Tracer*> shard_tracers;
+
+  // --- Durability (src/persist/, docs/DURABILITY.md) -------------------
+
+  /// Root journal directory; empty disables journaling. Each shard worker
+  /// owns `<journal_dir>/shard-<s>` exclusively -- journal appends never
+  /// take a cross-shard lock. Construction recovers every shard from its
+  /// directory (checkpoint restore + journal replay) before the workers
+  /// start, rebuilding the global job table and router state.
+  std::string journal_dir;
+  persist::FsyncPolicy fsync = persist::FsyncPolicy::kInterval;
+  std::size_t fsync_interval_ops = 256;
+  /// Per-shard: checkpoint after this many journaled ops; 0 disables.
+  std::size_t checkpoint_every = 0;
 };
 
 class ShardedDispatcher {
@@ -168,6 +183,10 @@ class ShardedDispatcher {
   /// arrival time; actual departure once departed). Quiescent only.
   const Item& job_item(JobId job) const;
 
+  /// How shard `shard` recovered at construction (all-defaults when
+  /// journaling is off or the directory was empty: a cold start).
+  const persist::RecoveryReport& shard_recovery(std::size_t shard) const;
+
  private:
   struct Op {
     enum class Kind : std::uint8_t { kArrive, kDepart } kind = Kind::kArrive;
@@ -210,6 +229,15 @@ class ShardedDispatcher {
     obs::Histogram* placement_latency = nullptr;
     obs::Counter* ops_applied_total = nullptr;
 
+    // Durability (null/default when journaling is off). The journal is
+    // owned by this shard's worker: appends/commits happen inside
+    // apply_batch under `mu`, one commit per batch (group commit).
+    std::string journal_path;  ///< <journal_dir>/shard-<s>
+    std::unique_ptr<persist::JournalWriter> journal;
+    persist::RecoveryReport recovery;
+    std::uint64_t ops_since_checkpoint = 0;
+    bool journal_dead = false;  ///< sticky after a persistence failure
+
     std::thread worker;
   };
 
@@ -243,6 +271,12 @@ class ShardedDispatcher {
   void apply_batch(Shard& shard, std::vector<Op>& batch);
   void require_quiescent() const;
   JobRec& checked_job_rec(JobId job, const char* caller) const;
+
+  std::string shard_journal_dir(std::size_t shard_idx) const;
+  void recover_shard(std::size_t shard_idx);
+  void rebuild_job_table();
+  void checkpoint_shard(Shard& shard);
+  void record_worker_error();
 
   std::size_t dim_;
   ShardedOptions options_;

@@ -40,4 +40,35 @@ bool BinState::remove(const Item& item) {
   return active_.empty();
 }
 
+void BinState::save_state(serial::Writer& out) const {
+  out.u64(load_.dim());
+  for (double c : load_) out.f64(c);
+  out.u64(active_.size());
+  for (std::size_t i = 0; i < active_.size(); ++i) {
+    out.u32(active_[i]);
+    out.f64(departures_[i]);
+  }
+  out.u64(total_packed_);
+  out.f64(latest_departure_);
+}
+
+void BinState::restore_state(serial::Reader& in) {
+  const std::uint64_t dim = in.u64();
+  if (dim != load_.dim()) {
+    throw serial::SerialError("BinState::restore_state: dimension mismatch");
+  }
+  for (std::size_t j = 0; j < dim; ++j) load_[j] = in.f64();
+  const std::uint64_t n = in.u64();
+  active_.clear();
+  departures_.clear();
+  active_.reserve(n);
+  departures_.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    active_.push_back(in.u32());
+    departures_.push_back(in.f64());
+  }
+  total_packed_ = in.u64();
+  latest_departure_ = in.f64();
+}
+
 }  // namespace dvbp

@@ -16,6 +16,7 @@
 
 #include "core/item.hpp"
 #include "core/rvec.hpp"
+#include "core/serial.hpp"
 #include "core/types.hpp"
 
 namespace dvbp {
@@ -55,6 +56,21 @@ class BinState {
   /// this bin -- the check survives NDEBUG builds, where the former
   /// assert-only guard would have erased end() and corrupted the load.
   bool remove(const Item& item);
+
+  // --- Checkpointing (src/persist/) -----------------------------------
+
+  /// Serializes the mutable bin state (load bits, active items, incremental
+  /// bookkeeping). The identity fields (id, dim, opened_at, capacity) are
+  /// NOT included -- the Dispatcher checkpoint records them -- so restore()
+  /// pairs this blob with an identically constructed shell. The load vector
+  /// is written as raw IEEE-754 bits: recomputing it by re-adding active
+  /// items would reorder the floating-point sums and could flip a future
+  /// fits() decision by one ulp.
+  void save_state(serial::Writer& out) const;
+
+  /// Restores state written by save_state() into a freshly constructed
+  /// BinState of the same id/dim/opened_at/capacity.
+  void restore_state(serial::Reader& in);
 
  private:
   BinId id_;

@@ -179,6 +179,114 @@ BinId Dispatcher::bin_of(JobId job) const {
   return assignment_[job];
 }
 
+void Dispatcher::save_state(serial::Writer& out) const {
+  out.u64(dim_);
+  out.f64(capacity_);
+  out.f64(now_);
+  out.u8(started_ ? 1 : 0);
+  out.u64(active_jobs_);
+  out.f64(closed_usage_);
+
+  out.u64(items_.size());
+  for (const Item& item : items_) {
+    out.f64(item.arrival);
+    out.f64(item.departure);
+    for (double c : item.size) out.f64(c);
+  }
+  for (BinId bin : assignment_) out.u32(bin);
+
+  out.u64(records_.size());
+  for (const BinRecord& rec : records_) {
+    out.f64(rec.opened);
+    out.f64(rec.closed);
+    out.u64(rec.items.size());
+    for (ItemId r : rec.items) out.u32(r);
+  }
+
+  out.u64(open_order_.size());
+  for (std::size_t idx : open_order_) {
+    out.u64(idx);
+    bins_[idx].save_state(out);
+  }
+}
+
+void Dispatcher::restore_state(serial::Reader& in) {
+  if (!items_.empty() || !bins_.empty() || started_) {
+    throw std::logic_error(
+        "Dispatcher::restore_state: dispatcher already has state");
+  }
+  if (in.u64() != dim_) {
+    throw serial::SerialError(
+        "Dispatcher::restore_state: dimension mismatch");
+  }
+  if (in.f64() != capacity_) {
+    throw serial::SerialError(
+        "Dispatcher::restore_state: bin_capacity mismatch");
+  }
+  now_ = in.f64();
+  started_ = in.u8() != 0;
+  active_jobs_ = in.u64();
+  closed_usage_ = in.f64();
+
+  const std::uint64_t num_items = in.u64();
+  items_.reserve(num_items);
+  for (std::uint64_t i = 0; i < num_items; ++i) {
+    const Time arrival = in.f64();
+    const Time departure = in.f64();
+    RVec size(dim_);
+    for (std::size_t j = 0; j < dim_; ++j) size[j] = in.f64();
+    items_.emplace_back(static_cast<ItemId>(i), arrival, departure,
+                        std::move(size));
+  }
+  assignment_.reserve(num_items);
+  for (std::uint64_t i = 0; i < num_items; ++i) {
+    assignment_.push_back(in.u32());
+  }
+
+  const std::uint64_t num_bins = in.u64();
+  records_.reserve(num_bins);
+  for (std::uint64_t b = 0; b < num_bins; ++b) {
+    BinRecord rec;
+    rec.id = static_cast<BinId>(b);
+    rec.opened = in.f64();
+    rec.closed = in.f64();
+    const std::uint64_t n = in.u64();
+    rec.items.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) rec.items.push_back(in.u32());
+    records_.push_back(std::move(rec));
+  }
+  // Every bin gets a shell at its historical opening time; open bins are
+  // then filled below with their exact saved state.
+  bins_.reserve(num_bins);
+  for (std::uint64_t b = 0; b < num_bins; ++b) {
+    bins_.emplace_back(static_cast<BinId>(b), dim_, records_[b].opened,
+                       capacity_);
+  }
+  slot_of_.assign(num_bins, kNoSlot);
+
+  const std::uint64_t num_open = in.u64();
+  if (num_open > num_bins) {
+    throw serial::SerialError(
+        "Dispatcher::restore_state: more open bins than bins");
+  }
+  open_order_.reserve(num_open);
+  views_.reserve(num_open);
+  for (std::uint64_t k = 0; k < num_open; ++k) {
+    const std::uint64_t idx = in.u64();
+    if (idx >= num_bins) {
+      throw serial::SerialError(
+          "Dispatcher::restore_state: open-bin index out of range");
+    }
+    bins_[idx].restore_state(in);
+    slot_of_[idx] = static_cast<std::uint32_t>(k);
+    open_order_.push_back(idx);
+    const BinState& bin = bins_[idx];
+    views_.push_back(BinView{bin.id(), &bin.load(), bin.opened_at(),
+                             bin.num_active(), bin.latest_departure(),
+                             bin.capacity()});
+  }
+}
+
 double Dispatcher::cost_so_far(Time at) const {
   if (at >= now_) {
     // Every closed bin closed at or before now_ <= at, so its clamped

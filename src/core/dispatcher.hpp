@@ -98,6 +98,25 @@ class Dispatcher {
   /// opening time with `closed` == opened; consult open_bins()).
   const std::vector<BinRecord>& records() const noexcept { return records_; }
 
+  // --- Checkpointing (src/persist/checkpoint.hpp) ----------------------
+
+  /// Serializes the complete allocation state -- items, assignments, bin
+  /// records, open-bin order, and every open bin's exact load bits -- such
+  /// that restore_state() on a fresh Dispatcher (same dim/capacity, same
+  /// policy configuration; policy state is checkpointed separately through
+  /// Policy::save_state) reproduces a dispatcher whose future decisions
+  /// are bit-identical to this one's. Closed bins are restored as empty
+  /// shells (their BinState is never consulted again); their usage history
+  /// lives in records(). O(items + bins).
+  void save_state(serial::Writer& out) const;
+
+  /// Restores state written by save_state(). Must be called on a freshly
+  /// constructed dispatcher (nothing admitted yet) with the same dim and
+  /// bin_capacity; throws std::logic_error otherwise and
+  /// serial::SerialError on malformed input. Does not invoke any Policy
+  /// callback -- pair with Policy::restore_state.
+  void restore_state(serial::Reader& in);
+
  private:
   static constexpr std::uint32_t kNoSlot =
       std::numeric_limits<std::uint32_t>::max();

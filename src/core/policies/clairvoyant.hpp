@@ -49,6 +49,21 @@ class NoisyMinExtensionFitPolicy final : public MinExtensionFitPolicy {
   void reset() override;
   double sigma() const noexcept { return sigma_; }
 
+  /// Checkpoint the noise stream position (see RandomFitPolicy).
+  void save_state(serial::Writer& out) const override {
+    for (std::uint64_t w : rng_.state()) out.u64(w);
+    out.f64(rng_.spare_normal());
+    out.u8(rng_.has_spare_normal() ? 1 : 0);
+  }
+
+  void restore_state(serial::Reader& in) override {
+    std::array<std::uint64_t, 4> s;
+    for (std::uint64_t& w : s) w = in.u64();
+    const double spare = in.f64();
+    const bool has_spare = in.u8() != 0;
+    rng_.set_state(s, spare, has_spare);
+  }
+
  protected:
   Time perceived_departure(const Item& item) override;
 

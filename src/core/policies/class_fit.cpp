@@ -28,6 +28,24 @@ void ClassRestrictedFitPolicy::on_depart(Time, BinId bin, const Item&,
 
 void ClassRestrictedFitPolicy::reset() { bin_class_.clear(); }
 
+void ClassRestrictedFitPolicy::save_state(serial::Writer& out) const {
+  out.u64(bin_class_.size());
+  for (const auto& [bin, cls] : bin_class_) {
+    out.u32(bin);
+    out.u64(static_cast<std::uint64_t>(cls));
+  }
+}
+
+void ClassRestrictedFitPolicy::restore_state(serial::Reader& in) {
+  reset();
+  const std::uint64_t n = in.u64();
+  bin_class_.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const BinId bin = in.u32();
+    bin_class_[bin] = static_cast<std::int64_t>(in.u64());
+  }
+}
+
 HarmonicFitPolicy::HarmonicFitPolicy(std::int64_t max_class)
     : max_class_(max_class) {
   if (max_class_ < 1) {

@@ -31,6 +31,8 @@ class ClassRestrictedFitPolicy : public Policy {
   void on_open(Time now, BinId bin, const Item& first) override;
   void on_depart(Time now, BinId bin, const Item& item, bool closed) override;
   void reset() override;
+  void save_state(serial::Writer& out) const override;
+  void restore_state(serial::Reader& in) override;
 
   /// Class of the bin (for tests/diagnostics); throws if unknown.
   std::int64_t bin_class(BinId bin) const { return bin_class_.at(bin); }

@@ -1,6 +1,7 @@
 #include "core/policies/move_to_front.hpp"
 
 #include <cassert>
+#include <iterator>
 
 namespace dvbp {
 
@@ -64,6 +65,54 @@ void MoveToFrontPolicy::move_to_front(Time now, BinId bin, ItemId cause) {
   mru_.splice(mru_.begin(), mru_, pos_[bin]);
   stamp_[bin] = ++clock_;
   record(now, cause);
+}
+
+void MoveToFrontPolicy::save_state(serial::Writer& out) const {
+  out.u64(clock_);
+  out.u64(stamp_.size());
+  // The list front-to-back with each bin's stamp: the stamps (not just the
+  // order) are serialized so choose()'s max-stamp scan sees identical
+  // values after restore.
+  out.u64(mru_.size());
+  for (BinId bin : mru_) {
+    out.u32(bin);
+    out.u64(stamp_[bin]);
+  }
+  out.u64(history_.size());
+  for (const LeaderChange& h : history_) {
+    out.f64(h.time);
+    out.u32(h.leader);
+    out.u32(h.cause);
+  }
+}
+
+void MoveToFrontPolicy::restore_state(serial::Reader& in) {
+  reset();
+  clock_ = in.u64();
+  const std::uint64_t tracked = in.u64();
+  pos_.resize(tracked);
+  stamp_.assign(tracked, 0);
+  const std::uint64_t n = in.u64();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const BinId bin = in.u32();
+    const std::uint64_t stamp = in.u64();
+    if (bin >= tracked) {
+      throw serial::SerialError("MoveToFront::restore_state: bin id out of "
+                                "range");
+    }
+    mru_.push_back(bin);
+    pos_[bin] = std::prev(mru_.end());
+    stamp_[bin] = stamp;
+  }
+  const std::uint64_t hist = in.u64();
+  history_.reserve(hist);
+  for (std::uint64_t i = 0; i < hist; ++i) {
+    LeaderChange h;
+    h.time = in.f64();
+    h.leader = in.u32();
+    h.cause = in.u32();
+    history_.push_back(h);
+  }
 }
 
 void MoveToFrontPolicy::record(Time now, ItemId cause) {

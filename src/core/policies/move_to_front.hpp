@@ -35,6 +35,8 @@ class MoveToFrontPolicy final : public AnyFitPolicy {
   void on_pack(Time now, BinId bin, const Item& item) override;
   void on_depart(Time now, BinId bin, const Item& item, bool closed) override;
   void reset() override;
+  void save_state(serial::Writer& out) const override;
+  void restore_state(serial::Reader& in) override;
 
   /// The MRU order (front = leader = most recently used).
   const std::list<BinId>& mru_order() const noexcept { return mru_; }

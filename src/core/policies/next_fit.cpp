@@ -33,4 +33,28 @@ void NextFitPolicy::reset() {
   releases_.clear();
 }
 
+void NextFitPolicy::save_state(serial::Writer& out) const {
+  out.u32(current_);
+  out.u64(releases_.size());
+  for (const Release& r : releases_) {
+    out.u32(r.bin);
+    out.f64(r.time);
+    out.u32(r.trigger);
+  }
+}
+
+void NextFitPolicy::restore_state(serial::Reader& in) {
+  reset();
+  current_ = in.u32();
+  const std::uint64_t n = in.u64();
+  releases_.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    Release r;
+    r.bin = in.u32();
+    r.time = in.f64();
+    r.trigger = in.u32();
+    releases_.push_back(r);
+  }
+}
+
 }  // namespace dvbp

@@ -23,6 +23,8 @@ class NextFitPolicy final : public Policy {
   void on_open(Time now, BinId bin, const Item& first) override;
   void on_depart(Time now, BinId bin, const Item& item, bool closed) override;
   void reset() override;
+  void save_state(serial::Writer& out) const override;
+  void restore_state(serial::Reader& in) override;
 
   BinId current_bin() const noexcept { return current_; }
 

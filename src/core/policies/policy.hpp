@@ -20,6 +20,7 @@
 
 #include "core/item.hpp"
 #include "core/rvec.hpp"
+#include "core/serial.hpp"
 #include "core/types.hpp"
 
 namespace dvbp {
@@ -70,6 +71,25 @@ class Policy {
 
   /// Reset all internal state; called before each simulation run.
   virtual void reset();
+
+  // --- Checkpointing (src/persist/) -----------------------------------
+  //
+  // save_state() serializes every bit of internal decision state that a
+  // future select_bin() can depend on; restore_state() rebuilds it into a
+  // freshly reset() instance of the same policy (and configuration).
+  // Contract: after save on A and restore into B, A and B must make
+  // identical decisions on any identical future event stream -- this is
+  // what makes checkpoint-based crash recovery bit-exact (pinned by
+  // tests/test_persist_recovery.cpp). The default implementations carry no
+  // state (correct for the policies that decide from the BinView span
+  // alone: FirstFit, BestFit, WorstFit, LastFit, MinExtensionFit).
+
+  /// Appends the policy's internal state to `out`.
+  virtual void save_state(serial::Writer& out) const;
+
+  /// Restores state written by save_state() on an identically configured
+  /// instance. Throws serial::SerialError on malformed input.
+  virtual void restore_state(serial::Reader& in);
 };
 
 using PolicyPtr = std::unique_ptr<Policy>;

@@ -17,6 +17,22 @@ class RandomFitPolicy final : public AnyFitPolicy {
   /// reset() re-seeds so repeated runs of the same instance are identical.
   void reset() override { rng_ = Xoshiro256pp(seed_); }
 
+  /// Checkpoint the RNG stream position: recovery must continue the random
+  /// sequence exactly where the crashed process left off.
+  void save_state(serial::Writer& out) const override {
+    for (std::uint64_t w : rng_.state()) out.u64(w);
+    out.f64(rng_.spare_normal());
+    out.u8(rng_.has_spare_normal() ? 1 : 0);
+  }
+
+  void restore_state(serial::Reader& in) override {
+    std::array<std::uint64_t, 4> s;
+    for (std::uint64_t& w : s) w = in.u64();
+    const double spare = in.f64();
+    const bool has_spare = in.u8() != 0;
+    rng_.set_state(s, spare, has_spare);
+  }
+
  protected:
   BinId choose(Time now, const Item& item,
                std::span<const BinView> fitting) override;

@@ -1,9 +1,69 @@
 #include "harness/cli.hpp"
 
+#include <unistd.h>
+
+#include <filesystem>
 #include <sstream>
 #include <stdexcept>
+#include <system_error>
 
 namespace dvbp::harness {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+bool writable(const fs::path& p) {
+  return ::access(p.string().c_str(), W_OK) == 0;
+}
+
+}  // namespace
+
+void require_writable_file(const std::string& flag,
+                           const std::string& path) {
+  if (path.empty()) return;
+  const fs::path p(path);
+  std::error_code ec;
+  if (fs::is_directory(p, ec)) {
+    throw CliError("--" + flag + ": '" + path + "' is a directory");
+  }
+  if (fs::exists(p, ec)) {
+    if (!writable(p)) {
+      throw CliError("--" + flag + ": '" + path + "' is not writable");
+    }
+    return;
+  }
+  const fs::path parent = p.has_parent_path() ? p.parent_path() : ".";
+  if (!fs::is_directory(parent, ec)) {
+    throw CliError("--" + flag + ": directory '" + parent.string() +
+                   "' does not exist");
+  }
+  if (!writable(parent)) {
+    throw CliError("--" + flag + ": directory '" + parent.string() +
+                   "' is not writable");
+  }
+}
+
+void require_writable_dir(const std::string& flag, const std::string& path) {
+  if (path.empty()) return;
+  std::error_code ec;
+  // Walk up to the nearest existing ancestor: everything below it will be
+  // create_directories()'d, so only that ancestor's writability matters.
+  fs::path probe = fs::path(path);
+  while (!fs::exists(probe, ec) && probe.has_parent_path() &&
+         probe.parent_path() != probe) {
+    probe = probe.parent_path();
+  }
+  if (!fs::exists(probe, ec)) probe = ".";
+  if (!fs::is_directory(probe, ec)) {
+    throw CliError("--" + flag + ": '" + probe.string() +
+                   "' is not a directory");
+  }
+  if (!writable(probe)) {
+    throw CliError("--" + flag + ": '" + probe.string() +
+                   "' is not writable");
+  }
+}
 
 Args::Args(int argc, const char* const* argv) {
   for (int i = 1; i < argc; ++i) {

@@ -4,10 +4,31 @@
 
 #include <cstdint>
 #include <map>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 namespace dvbp::harness {
+
+/// A user-facing command-line error (unknown flag, unwritable output
+/// path): reported without a stack of context and mapped to a distinct
+/// exit code (2) so scripts can tell "bad invocation" from "run failed".
+class CliError : public std::runtime_error {
+ public:
+  explicit CliError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Fail-fast check that `path` (the value of --<flag>) can be created or
+/// appended as a file: its parent directory must exist and be writable,
+/// and the file itself, when present, must be writable. Throws CliError
+/// otherwise. No-op for an empty path. Side-effect free -- nothing is
+/// created, so a run that fails later leaves no stray output files.
+void require_writable_file(const std::string& flag, const std::string& path);
+
+/// Fail-fast check that directory `path` exists writable, or that its
+/// nearest existing ancestor is writable (so create_directories will
+/// succeed). Throws CliError otherwise; no-op for an empty path.
+void require_writable_dir(const std::string& flag, const std::string& path);
 
 class Args {
  public:

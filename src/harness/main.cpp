@@ -34,6 +34,8 @@
 #include "obs/observer.hpp"
 #include "obs/replay.hpp"
 #include "obs/trace.hpp"
+#include "persist/durable.hpp"
+#include "persist/journal.hpp"
 
 namespace {
 
@@ -52,6 +54,12 @@ int usage() {
       "  outputs:   --metrics-out=<path.json> --trace-out=<path.jsonl>\n"
       "             --check-roundtrip  (replay trace, verify packing)\n"
       "             --quiet\n"
+      "  durability (docs/DURABILITY.md):\n"
+      "             --journal-dir=<dir>  write-ahead journal + checkpoints\n"
+      "             --fsync=always|interval|none --fsync-interval=256\n"
+      "             --checkpoint-every=N  (journaled ops; 0 = never)\n"
+      "             --recover  (restore from --journal-dir, report, exit;\n"
+      "             no workload is ingested)\n"
       "  --trace-out/--check-roundtrip apply to the serial path only.\n";
   return 0;
 }
@@ -65,13 +73,23 @@ void reject_unknown_flags(const harness::Args& args) {
       "d",         "mu",           "span",      "bin-size",
       "seed",      "trial",        "capacity",  "policy-seed",
       "metrics-out", "trace-out",  "check-roundtrip", "quiet",
-      "shards",    "router",       "help"};
+      "shards",    "router",       "help",
+      "journal-dir", "checkpoint-every", "recover", "fsync",
+      "fsync-interval"};
   for (const std::string& key : args.keys()) {
     if (!kKnown.count(key)) {
-      throw std::runtime_error("unknown flag '--" + key +
-                               "' (see --help)");
+      throw harness::CliError("unknown flag '--" + key +
+                              "' (see --help)");
     }
   }
+}
+
+/// Fail fast on unwritable output paths -- before the (possibly long)
+/// simulation runs, so a typo'd path costs nothing. CliError exits 2.
+void validate_output_paths(const harness::Args& args) {
+  harness::require_writable_file("metrics-out", args.get("metrics-out", ""));
+  harness::require_writable_file("trace-out", args.get("trace-out", ""));
+  harness::require_writable_dir("journal-dir", args.get("journal-dir", ""));
 }
 
 Instance load_instance(const harness::Args& args) {
@@ -121,10 +139,37 @@ int run_sharded(const harness::Args& args, const Instance& inst) {
   options.router = cloud::parse_router(args.get("router", "round-robin"));
   options.bin_capacity = args.get_double("capacity", 1.0);
   options.metrics = &registry;
+  options.journal_dir = args.get("journal-dir", "");
+  options.fsync =
+      persist::parse_fsync_policy(args.get("fsync", "interval"));
+  options.fsync_interval_ops =
+      static_cast<std::size_t>(args.get_int("fsync-interval", 256));
+  options.checkpoint_every =
+      static_cast<std::size_t>(args.get_int("checkpoint-every", 0));
   cloud::ShardedDispatcher service(
       inst.dim(),
       [&](std::size_t) { return make_policy(policy, policy_seed); },
       options);
+
+  if (args.get_bool("recover")) {
+    if (options.journal_dir.empty()) {
+      throw harness::CliError("--recover requires --journal-dir");
+    }
+    harness::Table recovery({"shard", "checkpoint_seq", "replayed_ops",
+                             "last_seq", "torn_tail", "jobs"});
+    for (std::size_t s = 0; s < shards; ++s) {
+      const persist::RecoveryReport& rec = service.shard_recovery(s);
+      recovery.add_row(
+          {std::to_string(s),
+           rec.had_checkpoint ? std::to_string(rec.checkpoint_seq) : "-",
+           std::to_string(rec.replayed_ops), std::to_string(rec.last_seq),
+           rec.torn_tail ? std::to_string(rec.tail_bytes_discarded) + "B"
+                         : "no",
+           std::to_string(service.shard_jobs_admitted(s))});
+    }
+    std::cout << recovery.to_aligned_text();
+    return 0;
+  }
 
   const std::vector<Event> events = build_event_stream(inst);
   std::vector<JobId> job_of_item(inst.size(), kNoItem);
@@ -190,6 +235,109 @@ int run_sharded(const harness::Args& args, const Instance& inst) {
   return 0;
 }
 
+/// Durable serial mode (--journal-dir without --shards): the event stream
+/// runs through persist::DurableDispatcher, so every op is journaled and a
+/// killed run can be resumed. --recover restores from the journal
+/// directory, reports what recovery found, and exits without ingesting.
+int run_durable(const harness::Args& args, const Instance& inst) {
+  if (!args.get("trace-out", "").empty() ||
+      args.get_bool("check-roundtrip")) {
+    throw std::runtime_error(
+        "--trace-out/--check-roundtrip do not apply to the durable path");
+  }
+  const std::string journal_dir = args.get("journal-dir", "");
+  if (journal_dir.empty()) {
+    throw harness::CliError("--recover requires --journal-dir");
+  }
+  const std::string policy_name = args.get("policy", "MoveToFront");
+  const std::string metrics_out = args.get("metrics-out", "");
+  const bool quiet = args.get_bool("quiet");
+
+  obs::MetricRegistry registry;
+  const PolicyPtr policy = make_policy(
+      policy_name,
+      static_cast<std::uint64_t>(args.get_int("policy-seed", 0xD1CEu)));
+  persist::DurableOptions dopts;
+  dopts.dir = journal_dir;
+  dopts.fsync = persist::parse_fsync_policy(args.get("fsync", "interval"));
+  dopts.fsync_interval_ops =
+      static_cast<std::size_t>(args.get_int("fsync-interval", 256));
+  dopts.checkpoint_every =
+      static_cast<std::size_t>(args.get_int("checkpoint-every", 0));
+  dopts.metrics = &registry;
+  persist::DurableDispatcher service(inst.dim(), *policy, dopts,
+                                     args.get_double("capacity", 1.0));
+
+  const persist::RecoveryReport& rec = service.recovery();
+  if (!quiet && (args.get_bool("recover") || rec.last_seq > 0)) {
+    harness::Table recovery({"checkpoint_seq", "replayed_ops", "last_seq",
+                             "torn_tail", "open_bins", "jobs_active"});
+    recovery.add_row(
+        {rec.had_checkpoint ? std::to_string(rec.checkpoint_seq) : "-",
+         std::to_string(rec.replayed_ops), std::to_string(rec.last_seq),
+         rec.torn_tail ? std::to_string(rec.tail_bytes_discarded) + "B"
+                       : "no",
+         std::to_string(service.dispatcher().open_bins()),
+         std::to_string(service.dispatcher().jobs_active())});
+    std::cout << recovery.to_aligned_text();
+  }
+  if (args.get_bool("recover")) {
+    const Time now = service.dispatcher().last_event_time();
+    if (!quiet) {
+      std::cout << "cost_so_far: "
+                << harness::Table::num(service.dispatcher().cost_so_far(now),
+                                       1)
+                << '\n';
+    }
+    return 0;
+  }
+
+  const std::vector<Event> events = build_event_stream(inst);
+  std::vector<JobId> job_of_item(inst.size(), kNoItem);
+  const auto start = std::chrono::steady_clock::now();
+  for (const Event& ev : events) {
+    const Item& item = inst[ev.item];
+    if (ev.kind == EventKind::kArrival) {
+      job_of_item[ev.item] =
+          service.arrive(item.arrival, item.size, item.departure).job;
+    } else {
+      service.depart(ev.time, job_of_item[ev.item]);
+    }
+  }
+  service.flush();
+  const std::chrono::duration<double> wall =
+      std::chrono::steady_clock::now() - start;
+
+  if (!metrics_out.empty()) {
+    std::ofstream out(metrics_out);
+    if (!out) {
+      throw std::runtime_error("cannot open metrics-out '" + metrics_out +
+                               "'");
+    }
+    out << registry.to_json() << '\n';
+  }
+
+  if (!quiet) {
+    const Dispatcher& d = service.dispatcher();
+    harness::Table summary({"policy", "items", "cost", "bins", "wall_ms",
+                            "journal_bytes", "checkpoints"});
+    summary.add_row(
+        {policy_name, std::to_string(inst.size()),
+         harness::Table::num(d.cost_so_far(d.last_event_time()), 1),
+         std::to_string(d.bins_opened()),
+         harness::Table::num(wall.count() * 1e3, 2),
+         std::to_string(
+             registry.counter("dvbp.persist.journal_bytes_total").value()),
+         std::to_string(
+             registry.counter("dvbp.persist.checkpoints_total").value())});
+    std::cout << summary.to_aligned_text();
+    std::cout << "journal: " << journal_dir << '\n';
+    if (!metrics_out.empty()) std::cout << "metrics: " << metrics_out
+                                        << '\n';
+  }
+  return 0;
+}
+
 bool same_packing(const Packing& a, const Packing& b) {
   if (a.assignment() != b.assignment()) return false;
   if (a.num_bins() != b.num_bins()) return false;
@@ -211,8 +359,12 @@ int main(int argc, char** argv) {
   if (args.get_bool("help")) return usage();
   try {
     reject_unknown_flags(args);
+    validate_output_paths(args);
     const Instance inst = load_instance(args);
     if (args.has("shards")) return run_sharded(args, inst);
+    if (!args.get("journal-dir", "").empty() || args.get_bool("recover")) {
+      return run_durable(args, inst);
+    }
     const std::string policy = args.get("policy", "MoveToFront");
     const std::string metrics_out = args.get("metrics-out", "");
     const std::string trace_out = args.get("trace-out", "");
@@ -277,6 +429,9 @@ int main(int argc, char** argv) {
       if (!quiet) std::cout << "trace round-trip: ok\n";
     }
     return 0;
+  } catch (const harness::CliError& e) {
+    std::cerr << "harness: " << e.what() << '\n';
+    return 2;
   } catch (const std::exception& e) {
     std::cerr << "harness: " << e.what() << '\n';
     return 1;

@@ -11,7 +11,9 @@
 //
 // Naming convention (see docs/OBSERVABILITY.md): dot-separated lowercase
 // `dvbp.<scope>.<noun>[_<unit>|_total]`, e.g. `dvbp.alloc.placements_total`,
-// `dvbp.alloc.open_bins`, `dvbp.alloc.decision_latency_ns`.
+// `dvbp.alloc.open_bins`, `dvbp.alloc.decision_latency_ns`. The durability
+// layer reports under `dvbp.persist.*` (journal_bytes_total, fsyncs_total,
+// checkpoints_total, recovery_ms, ...; see docs/DURABILITY.md).
 #pragma once
 
 #include <atomic>

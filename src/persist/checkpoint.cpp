@@ -1,0 +1,207 @@
+#include "persist/checkpoint.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <utility>
+
+#include "core/serial.hpp"
+#include "persist/fault.hpp"
+
+namespace dvbp::persist {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x44564350;  // 'DVCP'
+constexpr std::uint8_t kVersion = 1;
+
+std::string checkpoint_name(std::uint64_t seq) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "checkpoint-%016llx.ckpt",
+                static_cast<unsigned long long>(seq));
+  return buf;
+}
+
+std::optional<std::uint64_t> parse_checkpoint_name(const std::string& name) {
+  constexpr std::string_view prefix = "checkpoint-";
+  constexpr std::string_view suffix = ".ckpt";
+  if (name.size() != prefix.size() + 16 + suffix.size()) return std::nullopt;
+  if (name.compare(0, prefix.size(), prefix) != 0) return std::nullopt;
+  if (name.compare(name.size() - suffix.size(), suffix.size(), suffix) !=
+      0) {
+    return std::nullopt;
+  }
+  std::uint64_t seq = 0;
+  for (std::size_t i = prefix.size(); i < prefix.size() + 16; ++i) {
+    const char c = name[i];
+    seq <<= 4;
+    if (c >= '0' && c <= '9') {
+      seq |= static_cast<std::uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      seq |= static_cast<std::uint64_t>(c - 'a' + 10);
+    } else {
+      return std::nullopt;
+    }
+  }
+  return seq;
+}
+
+std::vector<std::pair<std::uint64_t, std::string>> list_checkpoints(
+    const std::string& dir) {
+  std::vector<std::pair<std::uint64_t, std::string>> out;
+  if (!fs::exists(dir)) return out;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (!entry.is_regular_file()) continue;
+    const auto seq = parse_checkpoint_name(entry.path().filename().string());
+    if (seq) out.emplace_back(*seq, entry.path().string());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void fsync_path(const std::string& path, bool directory) {
+  const int flags = directory ? (O_RDONLY | O_DIRECTORY) : O_RDONLY;
+  const int fd = ::open(path.c_str(), flags);
+  if (fd < 0) {
+    throw PersistError("checkpoint: cannot open '" + path +
+                       "' for fsync: " + std::strerror(errno));
+  }
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) {
+    throw PersistError("checkpoint: fsync of '" + path +
+                       "' failed: " + std::strerror(errno));
+  }
+}
+
+/// Parses one checkpoint file; nullopt when it is torn or corrupt.
+std::optional<CheckpointData> parse_checkpoint(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::vector<std::uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                                  std::istreambuf_iterator<char>());
+  if (in.bad() || bytes.size() < 8) return std::nullopt;
+  try {
+    serial::Reader header(bytes.data(), 8);
+    const std::uint32_t len = header.u32();
+    const std::uint32_t crc = header.u32();
+    if (bytes.size() - 8 != len) return std::nullopt;
+    const std::uint8_t* payload = bytes.data() + 8;
+    if (serial::crc32(payload, len) != crc) return std::nullopt;
+    serial::Reader body(payload, len);
+    if (body.u32() != kMagic) return std::nullopt;
+    if (body.u8() != kVersion) return std::nullopt;
+    CheckpointData data;
+    data.seq = body.u64();
+    data.policy_name = body.str();
+    data.dispatcher_state = body.blob();
+    data.policy_state = body.blob();
+    data.extra = body.blob();
+    if (!body.done()) return std::nullopt;
+    return data;
+  } catch (const serial::SerialError&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace
+
+void write_checkpoint(const std::string& dir, const CheckpointData& data) {
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    throw PersistError("checkpoint: cannot create directory '" + dir +
+                       "': " + ec.message());
+  }
+
+  serial::Writer body;
+  body.u32(kMagic);
+  body.u8(kVersion);
+  body.u64(data.seq);
+  body.str(data.policy_name);
+  body.blob(data.dispatcher_state);
+  body.blob(data.policy_state);
+  body.blob(data.extra);
+  serial::Writer header;
+  header.u32(static_cast<std::uint32_t>(body.size()));
+  header.u32(serial::crc32(body.bytes()));
+
+  const std::string final_path =
+      (fs::path(dir) / checkpoint_name(data.seq)).string();
+  const std::string tmp_path = final_path + ".tmp";
+
+  const int fd = ::open(tmp_path.c_str(),
+                        O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    throw PersistError("checkpoint: cannot create '" + tmp_path +
+                       "': " + std::strerror(errno));
+  }
+  auto write_all = [&](const std::uint8_t* p, std::size_t n) {
+    std::size_t off = 0;
+    while (off < n) {
+      const ssize_t w = ::write(fd, p + off, n - off);
+      if (w < 0) {
+        if (errno == EINTR) continue;
+        const int saved = errno;
+        ::close(fd);
+        throw PersistError("checkpoint: write to '" + tmp_path +
+                           "' failed: " + std::strerror(saved));
+      }
+      off += static_cast<std::size_t>(w);
+    }
+  };
+  write_all(header.bytes().data(), header.size());
+  write_all(body.bytes().data(), body.size());
+  if (::fsync(fd) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    throw PersistError("checkpoint: fsync of '" + tmp_path +
+                       "' failed: " + std::strerror(saved));
+  }
+  ::close(fd);
+  fault_point("checkpoint.tmp_written");
+
+  std::error_code rename_ec;
+  fs::rename(tmp_path, final_path, rename_ec);
+  if (rename_ec) {
+    throw PersistError("checkpoint: rename to '" + final_path +
+                       "' failed: " + rename_ec.message());
+  }
+  fsync_path(dir, /*directory=*/true);
+  fault_point("checkpoint.renamed");
+
+  // GC: older checkpoints are superseded; best effort, a crash here only
+  // leaves extra files that load_newest_checkpoint() ignores.
+  for (const auto& [seq, path] : list_checkpoints(dir)) {
+    if (seq < data.seq) {
+      std::error_code rm_ec;
+      fs::remove(path, rm_ec);
+    }
+  }
+}
+
+std::optional<CheckpointData> load_newest_checkpoint(const std::string& dir) {
+  auto files = list_checkpoints(dir);
+  // Newest first; fall back past torn/corrupt files (e.g. a crash while
+  // overwriting nothing -- rename is atomic -- or manual tampering).
+  for (auto it = files.rbegin(); it != files.rend(); ++it) {
+    if (auto data = parse_checkpoint(it->second)) return data;
+  }
+  return std::nullopt;
+}
+
+std::vector<std::string> checkpoint_files(const std::string& dir) {
+  std::vector<std::string> out;
+  for (auto& [seq, path] : list_checkpoints(dir)) out.push_back(path);
+  return out;
+}
+
+}  // namespace dvbp::persist

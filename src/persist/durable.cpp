@@ -1,0 +1,84 @@
+#include "persist/durable.hpp"
+
+#include <utility>
+
+#include "core/serial.hpp"
+#include "persist/checkpoint.hpp"
+#include "persist/fault.hpp"
+
+namespace dvbp::persist {
+
+DurableDispatcher::DurableDispatcher(std::size_t dim, Policy& policy,
+                                     DurableOptions options,
+                                     double bin_capacity)
+    : policy_(policy), options_(std::move(options)),
+      dispatcher_(dim, policy, bin_capacity, options_.observer) {
+  policy_.reset();
+  RecoveryManager manager(options_.dir, options_.metrics);
+  recovery_ = manager.recover_dispatcher(dispatcher_, policy_);
+  JournalOptions jopts;
+  jopts.fsync = options_.fsync;
+  jopts.fsync_interval_ops = options_.fsync_interval_ops;
+  jopts.metrics = options_.metrics;
+  writer_ = std::make_unique<JournalWriter>(options_.dir,
+                                            recovery_.next_seq, jopts);
+  if (options_.metrics != nullptr) {
+    checkpoints_total_ =
+        &options_.metrics->counter("dvbp.persist.checkpoints_total");
+  }
+}
+
+Dispatcher::Admission DurableDispatcher::arrive(Time now, RVec size,
+                                                Time expected_departure) {
+  // Apply first: a rejected op (throws here) must never reach the journal.
+  const auto admission = dispatcher_.arrive(now, size, expected_departure);
+  writer_->append(OpKind::kArrive, now, admission.job, expected_departure,
+                  &size);
+  writer_->commit();
+  ++ops_since_checkpoint_;
+  maybe_checkpoint();
+  return admission;
+}
+
+void DurableDispatcher::depart(Time now, JobId job) {
+  dispatcher_.depart(now, job);
+  writer_->append(OpKind::kDepart, now, job);
+  writer_->commit();
+  ++ops_since_checkpoint_;
+  maybe_checkpoint();
+}
+
+void DurableDispatcher::advance(Time now) {
+  writer_->append(OpKind::kAdvance, now, 0);
+  writer_->commit();
+  ++ops_since_checkpoint_;
+  maybe_checkpoint();
+}
+
+void DurableDispatcher::maybe_checkpoint() {
+  if (options_.checkpoint_every == 0) return;
+  if (ops_since_checkpoint_ >= options_.checkpoint_every) checkpoint();
+}
+
+void DurableDispatcher::checkpoint() {
+  if (ops_since_checkpoint_ == 0) return;
+  // The checkpoint must never claim ops the journal could still lose, so
+  // force everything durable first.
+  writer_->sync();
+  CheckpointData data;
+  data.seq = writer_->next_seq() - 1;
+  data.policy_name = std::string(policy_.name());
+  serial::Writer disp_out;
+  dispatcher_.save_state(disp_out);
+  data.dispatcher_state = disp_out.take();
+  serial::Writer pol_out;
+  policy_.save_state(pol_out);
+  data.policy_state = pol_out.take();
+  write_checkpoint(options_.dir, data);
+  writer_->rotate();
+  fault_point("checkpoint.truncated");
+  ops_since_checkpoint_ = 0;
+  if (checkpoints_total_ != nullptr) checkpoints_total_->inc();
+}
+
+}  // namespace dvbp::persist

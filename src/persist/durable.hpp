@@ -1,0 +1,100 @@
+// DurableDispatcher: the serial Dispatcher wrapped with write-ahead
+// journaling, periodic checkpointing, and automatic crash recovery.
+//
+// Construction recovers: the newest valid checkpoint under `options.dir`
+// is restored into the fresh dispatcher/policy pair and the journal tail
+// is replayed through the real policy code, so the object starts exactly
+// where the previous incarnation (crashed or not) left off. A torn journal
+// tail is truncated and reported, never fatal.
+//
+// Ordering: each op is applied in memory first, then journaled and
+// committed -- an op is acknowledged (the call returns) only after its
+// frame is down the write(2) path under the configured fsync policy. An
+// op that the dispatcher rejects (time regression, bad size) therefore
+// never reaches the journal, and replay can never hit an invalid op. A
+// crash between apply and commit loses exactly the unacknowledged tail,
+// which is the torn-tail contract recovery already handles.
+//
+// This type is the serial (single-owner) binding; the sharded service
+// wires the same journal/checkpoint/recovery pieces per shard (see
+// cloud/sharded_dispatcher.hpp).
+#pragma once
+
+#include <limits>
+#include <memory>
+#include <string>
+
+#include "core/dispatcher.hpp"
+#include "persist/journal.hpp"
+#include "persist/recovery.hpp"
+
+namespace dvbp::persist {
+
+struct DurableOptions {
+  /// Journal + checkpoint directory (one owner per directory).
+  std::string dir;
+  FsyncPolicy fsync = FsyncPolicy::kInterval;
+  std::size_t fsync_interval_ops = 256;
+  /// Write a checkpoint every this many journaled ops; 0 disables
+  /// automatic checkpoints (checkpoint() can still be called manually).
+  std::size_t checkpoint_every = 0;
+  /// Borrowed, nullable; receives the dvbp.persist.* metric families.
+  obs::MetricRegistry* metrics = nullptr;
+  /// Borrowed, nullable; forwarded to the inner Dispatcher. Replayed ops
+  /// fire observer callbacks again (a recovery is a re-run of history).
+  obs::Observer* observer = nullptr;
+};
+
+class DurableDispatcher {
+ public:
+  /// Recovers from `options.dir` (creating it when missing) and opens the
+  /// journal for append. `policy` is borrowed and reset() -- its
+  /// checkpointed state, if any, is restored into it. Throws PersistError
+  /// when the directory's checkpoint belongs to a different policy.
+  DurableDispatcher(std::size_t dim, Policy& policy, DurableOptions options,
+                    double bin_capacity = 1.0);
+
+  /// Journaled Dispatcher::arrive. Returns after the frame is committed.
+  Dispatcher::Admission arrive(Time now, RVec size,
+                               Time expected_departure =
+                                   std::numeric_limits<Time>::infinity());
+
+  /// Journaled Dispatcher::depart.
+  void depart(Time now, JobId job);
+
+  /// Journals a clock advance with no placement mutation, so the journal
+  /// records observed time even across idle stretches.
+  void advance(Time now);
+
+  /// Forces a checkpoint at the current sequence number: fsyncs the
+  /// journal, durably writes the checkpoint file, then rotates the journal
+  /// (old segments deleted). No-op when nothing was journaled since the
+  /// last checkpoint.
+  void checkpoint();
+
+  /// Commits and fsyncs any buffered frames regardless of fsync policy.
+  void flush() { writer_->sync(); }
+
+  /// How the constructor recovered (cold start: had_checkpoint == false,
+  /// replayed_ops == 0).
+  const RecoveryReport& recovery() const noexcept { return recovery_; }
+
+  /// The live dispatcher. Read-only: mutations must flow through the
+  /// journaling calls above or they will not survive a crash.
+  const Dispatcher& dispatcher() const noexcept { return dispatcher_; }
+
+  std::uint64_t next_seq() const noexcept { return writer_->next_seq(); }
+
+ private:
+  void maybe_checkpoint();
+
+  Policy& policy_;
+  DurableOptions options_;
+  Dispatcher dispatcher_;
+  RecoveryReport recovery_;
+  std::unique_ptr<JournalWriter> writer_;
+  std::uint64_t ops_since_checkpoint_ = 0;
+  obs::Counter* checkpoints_total_ = nullptr;
+};
+
+}  // namespace dvbp::persist

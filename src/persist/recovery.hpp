@@ -1,0 +1,82 @@
+// Crash recovery: checkpoint load + journal replay.
+//
+// RecoveryManager stitches the other persist pieces into the startup
+// sequence a durable dispatcher runs before accepting traffic:
+//
+//   1. scan_journal(): read every valid frame; detect the torn tail a
+//      crash mid-commit leaves behind.
+//   2. truncate_torn_tail(): cut the invalid bytes so the reopened writer
+//      appends after the last valid frame (never buries garbage).
+//   3. load_newest_checkpoint(): restore dispatcher + policy state from
+//      the newest valid checkpoint, if any (falling back past corrupt
+//      ones).
+//   4. Replay journal frames with seq > checkpoint seq through the REAL
+//      dispatcher/policy code -- not a parallel reimplementation -- so the
+//      recovered packing is bit-identical to the pre-crash one (pinned by
+//      tests/test_persist_recovery.cpp).
+//
+// The generic run() takes restore/replay callbacks so the sharded service
+// can map the journal's global job ids onto shard-local ones;
+// recover_dispatcher() is the ready-made serial binding.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "persist/checkpoint.hpp"
+#include "persist/journal.hpp"
+
+namespace dvbp {
+class Dispatcher;  // core/dispatcher.hpp
+class Policy;      // core/policies/policy.hpp
+}  // namespace dvbp
+
+namespace dvbp::persist {
+
+struct RecoveryReport {
+  bool had_checkpoint = false;
+  std::uint64_t checkpoint_seq = 0;  ///< 0 when !had_checkpoint
+  std::uint64_t replayed_ops = 0;    ///< frames applied after the checkpoint
+  /// Highest sequence number folded into the recovered state (checkpoint
+  /// or replay); 0 for a cold start on an empty directory.
+  std::uint64_t last_seq = 0;
+  /// Sequence number the reopened JournalWriter must continue from.
+  std::uint64_t next_seq = 1;
+  bool torn_tail = false;  ///< a partial/corrupt tail was found + truncated
+  std::uint64_t tail_bytes_discarded = 0;
+  /// The checkpoint's caller-owned blob (sharded job-table slice / router
+  /// state); empty without a checkpoint.
+  std::vector<std::uint8_t> extra;
+};
+
+class RecoveryManager {
+ public:
+  /// `metrics` (borrowed, nullable) receives dvbp.persist.recovery_ms,
+  /// dvbp.persist.replayed_ops_total, dvbp.persist.torn_tail_bytes_total.
+  explicit RecoveryManager(std::string dir,
+                           obs::MetricRegistry* metrics = nullptr)
+      : dir_(std::move(dir)), metrics_(metrics) {}
+
+  /// Generic recovery. `restore` is invoked at most once, with the loaded
+  /// checkpoint, before any replay; `replay` once per journal frame with
+  /// seq > the checkpoint's. Either callback may throw (e.g. policy-name
+  /// mismatch) -- the exception propagates. Missing directory == cold
+  /// start: returns a default report with next_seq == 1.
+  RecoveryReport run(
+      const std::function<void(const CheckpointData&)>& restore,
+      const std::function<void(const JournalRecord&)>& replay);
+
+  /// Serial binding: restores `dispatcher` (freshly constructed) and
+  /// `policy` (matched by Policy::name() against the checkpoint, throws
+  /// PersistError on mismatch), then replays arrive/depart frames through
+  /// them, verifying each replayed arrival lands on the journaled JobId.
+  RecoveryReport recover_dispatcher(Dispatcher& dispatcher, Policy& policy);
+
+ private:
+  std::string dir_;
+  obs::MetricRegistry* metrics_;
+};
+
+}  // namespace dvbp::persist

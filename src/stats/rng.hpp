@@ -61,6 +61,22 @@ class Xoshiro256pp {
   static Xoshiro256pp for_trial(std::uint64_t master_seed,
                                 std::uint64_t trial) noexcept;
 
+  // --- Checkpointing access (src/persist/) --------------------------------
+  // The full generator state, exposed so randomized policies can serialize
+  // and restore their stream position bit-exactly across a crash/recovery
+  // cycle (Policy::save_state / restore_state).
+
+  const std::array<std::uint64_t, 4>& state() const noexcept { return s_; }
+  double spare_normal() const noexcept { return spare_normal_; }
+  bool has_spare_normal() const noexcept { return has_spare_; }
+
+  void set_state(const std::array<std::uint64_t, 4>& s, double spare_normal,
+                 bool has_spare) noexcept {
+    s_ = s;
+    spare_normal_ = spare_normal;
+    has_spare_ = has_spare;
+  }
+
  private:
   std::array<std::uint64_t, 4> s_{};
   double spare_normal_ = 0.0;

@@ -29,6 +29,7 @@
 #include "core/simulator.hpp"
 #include "gen/adversarial.hpp"
 #include "gen/uniform.hpp"
+#include "packing_hash.hpp"
 
 namespace dvbp {
 namespace {
@@ -64,26 +65,8 @@ std::vector<std::pair<std::string, Instance>> golden_workloads() {
   return out;
 }
 
-void fnv(std::uint64_t& h, std::uint64_t v) {
-  for (int i = 0; i < 8; ++i) {
-    h ^= (v >> (8 * i)) & 0xFFu;
-    h *= 0x100000001B3ull;
-  }
-}
-
-/// Order-sensitive hash of every packing decision: item->bin assignment,
-/// per-bin open/close timestamps (exact bit patterns) and item lists.
-std::uint64_t packing_hash(const Packing& p) {
-  std::uint64_t h = 0xCBF29CE484222325ull;
-  for (BinId b : p.assignment()) fnv(h, b);
-  for (const BinRecord& rec : p.bins()) {
-    fnv(h, rec.id);
-    fnv(h, std::bit_cast<std::uint64_t>(rec.opened));
-    fnv(h, std::bit_cast<std::uint64_t>(rec.closed));
-    for (ItemId r : rec.items) fnv(h, r);
-  }
-  return h;
-}
+// fnv / packing_hash moved to packing_hash.hpp (shared with the
+// crash-recovery parity suite).
 
 struct GoldenEntry {
   const char* workload;

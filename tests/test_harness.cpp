@@ -4,6 +4,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <filesystem>
+#include <fstream>
 #include <limits>
 
 #include "harness/cli.hpp"
@@ -51,6 +53,61 @@ TEST(Cli, ListsAndIntLists) {
   EXPECT_EQ(args.get_list("who"), (std::vector<std::string>{"a", "b"}));
   EXPECT_EQ(args.get_int_list("absent", {9}),
             (std::vector<std::int64_t>{9}));
+}
+
+// Fail-fast output-path validation: a typo'd --metrics-out/--trace-out/
+// --journal-dir must be rejected at parse time (CliError, exit code 2 in
+// main), not after minutes of simulation.
+TEST(Cli, WritablePathChecksAcceptValidTargets) {
+  namespace fs = std::filesystem;
+  const fs::path dir =
+      fs::temp_directory_path() / "dvbp_cli_writable_test";
+  fs::create_directories(dir);
+  // Existing writable directory -> new file inside it is fine.
+  EXPECT_NO_THROW(harness::require_writable_file(
+      "metrics-out", (dir / "metrics.json").string()));
+  // Existing writable directory, and a to-be-created child of it.
+  EXPECT_NO_THROW(harness::require_writable_dir("journal-dir", dir.string()));
+  EXPECT_NO_THROW(harness::require_writable_dir(
+      "journal-dir", (dir / "sub" / "deeper").string()));
+  // Empty path means "flag unused": always fine.
+  EXPECT_NO_THROW(harness::require_writable_file("metrics-out", ""));
+  EXPECT_NO_THROW(harness::require_writable_dir("journal-dir", ""));
+  fs::remove_all(dir);
+}
+
+TEST(Cli, WritablePathChecksRejectBadTargetsWithTypedError) {
+  namespace fs = std::filesystem;
+  // Parent directory does not exist.
+  EXPECT_THROW(harness::require_writable_file(
+                   "metrics-out", "/nonexistent_dvbp/metrics.json"),
+               harness::CliError);
+  // Nearest existing ancestor (/) is not writable for non-root... but tests
+  // may run as root, so use a file in the way of a directory instead: a
+  // path whose "directory" component is a regular file can never be
+  // created.
+  const fs::path dir =
+      fs::temp_directory_path() / "dvbp_cli_unwritable_test";
+  fs::create_directories(dir);
+  { std::ofstream(dir / "file") << "x"; }
+  EXPECT_THROW(harness::require_writable_file(
+                   "trace-out", (dir / "file" / "trace.jsonl").string()),
+               harness::CliError);
+  EXPECT_THROW(harness::require_writable_dir(
+                   "journal-dir", (dir / "file" / "wal").string()),
+               harness::CliError);
+  // Target exists but is a directory where a file is required.
+  EXPECT_THROW(harness::require_writable_file("metrics-out", dir.string()),
+               harness::CliError);
+  // The error message names the offending flag so the user can find it.
+  try {
+    harness::require_writable_file("metrics-out",
+                                   "/nonexistent_dvbp/metrics.json");
+    FAIL() << "expected CliError";
+  } catch (const harness::CliError& e) {
+    EXPECT_NE(std::string(e.what()).find("metrics-out"), std::string::npos);
+  }
+  fs::remove_all(dir);
 }
 
 TEST(Cli, RejectsMalformedNumbers) {

@@ -4,6 +4,7 @@
 // with the expected allocator counters, and the JSONL trace must replay
 // into a structurally complete Packing.
 #include <gtest/gtest.h>
+#include <sys/wait.h>
 
 #include <cstdio>
 #include <cstdlib>
@@ -101,6 +102,24 @@ TEST_F(HarnessCli, RoundTripHoldsUnderAugmentationAndOtherPolicies) {
 TEST_F(HarnessCli, FailsCleanlyOnBadInput) {
   EXPECT_NE(run("--policy=NoSuchPolicy --quiet"), 0);
   EXPECT_NE(run("--quiet --check-roundtrip"), 0);  // needs --trace-out
+}
+
+TEST_F(HarnessCli, UnwritableOutputPathsFailFastWithExitCode2) {
+  // A typo'd output path must be caught before any simulation runs, with
+  // the dedicated usage-error exit code (2) rather than the generic 1.
+  // A regular file used as a directory component is unwritable for every
+  // uid (unlike permission-based setups, which root walks through).
+  const std::string blocker = ::testing::TempDir() + "obs_cli_blocker";
+  { std::ofstream(blocker) << "x"; }
+  for (const std::string flags :
+       {"--quiet --metrics-out=" + blocker + "/m.json",
+        "--quiet --trace-out=" + blocker + "/t.jsonl",
+        "--quiet --journal-dir=" + blocker + "/x/wal"}) {
+    const int rc = run(flags + " 2>/dev/null");
+    ASSERT_TRUE(WIFEXITED(rc)) << flags;
+    EXPECT_EQ(WEXITSTATUS(rc), 2) << flags;
+  }
+  std::remove(blocker.c_str());
 }
 
 }  // namespace
