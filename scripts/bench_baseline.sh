@@ -9,10 +9,14 @@
 #   persist  bench/bench_persist.cpp, journaling/fsync overhead ladder for
 #            the durable dispatcher and the sharded service
 #            (curated record: bench/BENCH_persist.json, docs/DURABILITY.md)
+#   net      bench/bench_net.cpp, loopback client/server throughput and
+#            latency tail of the binary-RPC placement server; emits its
+#            own JSON (not google-benchmark), so --repetitions does not
+#            apply (curated record: bench/BENCH_net.json, docs/PROTOCOL.md)
 # Re-run after any engine or service change and compare against the
 # committed record.
 #
-# Usage: scripts/bench_baseline.sh [--target=hotpath|sharded|persist]
+# Usage: scripts/bench_baseline.sh [--target=hotpath|sharded|persist|net]
 #                                  [--smoke]
 #                                  [--build-dir=DIR] [--out=FILE]
 #                                  [--repetitions=N]
@@ -45,8 +49,9 @@ for arg in "$@"; do
 done
 
 case "$target" in
-  hotpath|sharded|persist) ;;
-  *) echo "unknown target: $target (hotpath|sharded|persist)" >&2; exit 2 ;;
+  hotpath|sharded|persist|net) ;;
+  *) echo "unknown target: $target (hotpath|sharded|persist|net)" >&2
+     exit 2 ;;
 esac
 [[ -n "$out" ]] || out="BENCH_${target}.json"
 
@@ -55,6 +60,17 @@ if [[ ! -x "$bench" ]]; then
   echo "error: $bench not found or not executable;" \
        "build the 'bench_$target' target first" >&2
   exit 1
+fi
+
+# bench_net speaks the harness CLI and writes its own JSON.
+if [[ "$target" == net ]]; then
+  args=(--out="$out")
+  if [[ "$smoke" == 1 ]]; then
+    args+=(--smoke)
+  fi
+  "$bench" "${args[@]}" > /dev/null
+  echo "wrote $out"
+  exit 0
 fi
 
 args=(--benchmark_format=json

@@ -246,8 +246,10 @@ ShardedDispatcher::~ShardedDispatcher() {
   }
 }
 
-JobId ShardedDispatcher::arrive(Time now, RVec size,
-                                Time expected_departure) {
+ShardedDispatcher::Op ShardedDispatcher::prepare_arrive(
+    Time now, RVec size, Time expected_departure,
+    std::shared_ptr<CompletionSink> sink, std::uint64_t cookie,
+    std::size_t& target_out) {
   // Validate here, in the producer, so the asynchronous apply cannot throw
   // for caller mistakes (mirrors Dispatcher::arrive's checks).
   if (size.dim() != dim_) {
@@ -304,6 +306,8 @@ JobId ShardedDispatcher::arrive(Time now, RVec size,
   op.job = job;
   op.size = std::move(size);
   op.expected_departure = expected_departure;
+  op.sink = std::move(sink);
+  op.cookie = cookie;
   if (options_.metrics != nullptr) {
     op.enqueued = std::chrono::steady_clock::now();
   }
@@ -313,8 +317,36 @@ JobId ShardedDispatcher::arrive(Time now, RVec size,
     shards_[target]->pending_arrivals.fetch_add(1,
                                                 std::memory_order_relaxed);
   }
+  target_out = target;
+  return op;
+}
+
+JobId ShardedDispatcher::arrive(Time now, RVec size,
+                                Time expected_departure) {
+  std::size_t target = 0;
+  Op op = prepare_arrive(now, std::move(size), expected_departure, nullptr,
+                         0, target);
+  const JobId job = op.job;
   enqueue(target, std::move(op));
   return job;
+}
+
+std::optional<JobId> ShardedDispatcher::try_arrive(
+    Time now, RVec size, Time expected_departure,
+    std::shared_ptr<CompletionSink> sink, std::uint64_t cookie) {
+  std::size_t target = 0;
+  Op op = prepare_arrive(now, std::move(size), expected_departure,
+                         std::move(sink), cookie, target);
+  const JobId job = op.job;
+  if (try_enqueue(target, op)) return job;
+  // Rejected by backpressure: the job id was already published, so retire
+  // it -- a stray depart() for it fails cleanly ("already departed") and
+  // quiescent readers see local == kNoItem, like a recovered-but-lost id.
+  job_rec(job).departed.store(true, std::memory_order_release);
+  if (router_->kind() == RouterKind::kLeastUsage) {
+    shards_[target]->pending_arrivals.fetch_sub(1, std::memory_order_relaxed);
+  }
+  return std::nullopt;
 }
 
 ShardedDispatcher::JobRec& ShardedDispatcher::checked_job_rec(
@@ -347,6 +379,34 @@ void ShardedDispatcher::depart(Time now, JobId job) {
   enqueue(target, std::move(op));
 }
 
+bool ShardedDispatcher::try_depart(Time now, JobId job,
+                                   std::shared_ptr<CompletionSink> sink,
+                                   std::uint64_t cookie) {
+  JobRec& rec = checked_job_rec(job, "depart");
+  if (rec.departed.exchange(true, std::memory_order_acq_rel)) {
+    throw std::invalid_argument(
+        "ShardedDispatcher::depart: job already departed");
+  }
+  const std::size_t target = rec.shard.load(std::memory_order_acquire);
+  Op op;
+  op.kind = Op::Kind::kDepart;
+  op.time = now;
+  op.job = job;
+  op.sink = std::move(sink);
+  op.cookie = cookie;
+  if (options_.metrics != nullptr) {
+    op.enqueued = std::chrono::steady_clock::now();
+  }
+  if (try_enqueue(target, op)) return true;
+  // Backpressure: roll the departed flag back so the caller can retry.
+  // Note the rollback is not linearizable against a *concurrent* depart of
+  // the same job by another caller (it could observe "already departed"
+  // during our window); the network front-end owns each job id via a
+  // single connection, so the race cannot arise there.
+  rec.departed.store(false, std::memory_order_release);
+  return false;
+}
+
 void ShardedDispatcher::enqueue(std::size_t shard_idx, Op op) {
   Shard& shard = *shards_[shard_idx];
   shard.ops_enqueued.fetch_add(1, std::memory_order_relaxed);
@@ -375,10 +435,36 @@ void ShardedDispatcher::enqueue(std::size_t shard_idx, Op op) {
   if (was_empty) shard.not_empty.notify_one();
 }
 
+bool ShardedDispatcher::try_enqueue(std::size_t shard_idx, Op& op) {
+  Shard& shard = *shards_[shard_idx];
+  std::size_t depth;
+  bool was_empty;
+  {
+    std::unique_lock<std::mutex> lock(shard.qmu);
+    if (shard.stop || shard.queue.size() >= options_.queue_capacity) {
+      return false;
+    }
+    // Counted before the push (like enqueue(), which counts before even
+    // taking the lock) so ops_applied_ can never transiently exceed
+    // ops_enqueued() and fool require_quiescent().
+    shard.ops_enqueued.fetch_add(1, std::memory_order_relaxed);
+    was_empty = shard.queue.empty();
+    shard.queue.push_back(std::move(op));
+    depth = shard.queue.size();
+    shard.qsize.store(depth, std::memory_order_release);
+  }
+  if (shard.queue_depth != nullptr) {
+    shard.queue_depth->set(static_cast<double>(depth));
+  }
+  if (was_empty) shard.not_empty.notify_one();
+  return true;
+}
+
 void ShardedDispatcher::worker_loop(std::size_t shard_idx) {
   Shard& shard = *shards_[shard_idx];
   std::vector<Op> batch;
   batch.reserve(options_.max_batch);
+  std::vector<Completion> completions;
   for (;;) {
     // Spin briefly before sleeping: under sustained load the queue refills
     // within microseconds, and skipping the condvar round-trip (futex wake
@@ -418,7 +504,17 @@ void ShardedDispatcher::worker_loop(std::size_t shard_idx) {
       shard.batch_size->observe(static_cast<double>(batch.size()));
     }
 
-    apply_batch(shard, batch);
+    apply_batch(shard, batch, completions);
+
+    // Completions fire after the batch's journal commit and outside the
+    // shard lock, but BEFORE the applied counter publishes progress: when
+    // drain() returns, every accepted op's completion has already run --
+    // the guarantee the server's graceful drain leans on (every accepted
+    // request gets its response before the drain snapshot is taken).
+    for (Completion& c : completions) {
+      c.sink->op_applied(c.cookie, c.job);
+    }
+    completions.clear();
 
     // Publish progress, then notify only if somebody is draining. Both
     // sides use seq_cst (Dekker pattern: applied-store/waiters-load here,
@@ -434,12 +530,16 @@ void ShardedDispatcher::worker_loop(std::size_t shard_idx) {
   }
 }
 
-void ShardedDispatcher::apply_batch(Shard& shard, std::vector<Op>& batch) {
+void ShardedDispatcher::apply_batch(Shard& shard, std::vector<Op>& batch,
+                                    std::vector<Completion>& completions) {
   std::lock_guard<std::mutex> lock(shard.mu);
   Dispatcher& dispatcher = *shard.dispatcher;
   std::size_t since_snapshot = 0;
   std::size_t journaled_ops = 0;
   for (Op& op : batch) {
+    if (op.sink != nullptr) {
+      completions.push_back({std::move(op.sink), op.cookie, op.job});
+    }
     try {
       // Per-shard monotone clamp: multiple producers can interleave, so an
       // op's timestamp may lag the shard clock; it is applied at the clock
@@ -592,6 +692,22 @@ void ShardedDispatcher::drain() {
   }
   std::lock_guard<std::mutex> lock(error_mu_);
   if (worker_error_) std::rethrow_exception(worker_error_);
+}
+
+void ShardedDispatcher::sync_journals() {
+  for (auto& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    // The worker touches the journal only inside apply_batch under
+    // shard.mu, so holding it here excludes concurrent appends.
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (shard.journal == nullptr || shard.journal_dead) continue;
+    try {
+      shard.journal->sync();
+    } catch (...) {
+      shard.journal_dead = true;
+      record_worker_error();
+    }
+  }
 }
 
 std::uint64_t ShardedDispatcher::ops_applied() const {

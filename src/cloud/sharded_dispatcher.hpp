@@ -48,6 +48,7 @@
 #include <limits>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <vector>
 
@@ -98,6 +99,22 @@ struct ShardedOptions {
   std::size_t checkpoint_every = 0;
 };
 
+/// Completion hook for asynchronous submissions (the network front-end,
+/// src/net/server.cpp). The owning shard worker calls op_applied() exactly
+/// once per accepted try_arrive/try_depart, after the op has been applied
+/// to the shard's Dispatcher (and appended to its journal when durability
+/// is on), *before* the op counts as applied for drain() -- so when
+/// drain() returns every accepted op's completion has already fired.
+/// Called from shard worker threads with no shard lock held; it must not
+/// block on anything that waits for shard progress.
+class CompletionSink {
+ public:
+  virtual ~CompletionSink() = default;
+  /// `cookie` is the value passed at submission; `job` is the service
+  /// global job id of the op.
+  virtual void op_applied(std::uint64_t cookie, JobId job) noexcept = 0;
+};
+
 class ShardedDispatcher {
  public:
   /// `factory(shard)` builds the policy instance shard `shard` owns; it is
@@ -131,9 +148,43 @@ class ShardedDispatcher {
   /// exactly one caller). Thread-safe.
   void depart(Time now, JobId job);
 
+  // --- Asynchronous admission (the network front-end) ------------------
+  //
+  // Non-blocking variants for callers that must never park a thread on a
+  // full shard queue (an epoll event loop): instead of blocking, they
+  // return "no" and the caller converts that into backpressure (a typed
+  // RETRY_LATER response). When a sink is supplied, the shard worker calls
+  // sink->op_applied(cookie, job) once the op has been applied -- the
+  // completion hookup that lets a server answer a request only when the
+  // placement actually happened.
+
+  /// Like arrive(), but returns std::nullopt instead of blocking when the
+  /// routed shard's queue is full (the op is NOT admitted; a burned job id
+  /// is retired internally). Validation errors still throw. Thread-safe.
+  std::optional<JobId> try_arrive(
+      Time now, RVec size,
+      Time expected_departure = std::numeric_limits<Time>::infinity(),
+      std::shared_ptr<CompletionSink> sink = nullptr,
+      std::uint64_t cookie = 0);
+
+  /// Like depart(), but returns false instead of blocking when the owning
+  /// shard's queue is full (the job is NOT marked departed and the caller
+  /// may retry). Unknown/double departs still throw. Thread-safe.
+  bool try_depart(Time now, JobId job,
+                  std::shared_ptr<CompletionSink> sink = nullptr,
+                  std::uint64_t cookie = 0);
+
   /// Blocks until every op enqueued before the call has been applied, then
   /// rethrows the first worker-side error, if any.
   void drain();
+
+  /// Forces an fsync on every live shard journal (no-op when durability is
+  /// off). The graceful-drain path calls this after drain() so that an
+  /// acknowledged-then-drained state is on disk even under
+  /// FsyncPolicy::kInterval. Thread-safe. A journal that fails here is
+  /// poisoned exactly as a worker-side failure would poison it; the error
+  /// surfaces through the next drain().
+  void sync_journals();
 
   // --- Global view -----------------------------------------------------
 
@@ -195,6 +246,16 @@ class ShardedDispatcher {
     RVec size;            // arrivals only
     Time expected_departure = 0.0;
     std::chrono::steady_clock::time_point enqueued{};  // metrics only
+    std::shared_ptr<CompletionSink> sink;  // null for synchronous callers
+    std::uint64_t cookie = 0;
+  };
+
+  /// A fired-after-apply completion, staged by apply_batch and delivered
+  /// by the worker outside the shard lock.
+  struct Completion {
+    std::shared_ptr<CompletionSink> sink;
+    std::uint64_t cookie = 0;
+    JobId job = kNoItem;
   };
 
   struct Shard {
@@ -266,9 +327,19 @@ class ShardedDispatcher {
         std::memory_order_acquire)[job & (kJobChunkSize - 1)];
   }
 
+  /// Validation, routing, job-id allocation, and record setup shared by
+  /// arrive() and try_arrive(); returns the ready-to-enqueue op and the
+  /// routed shard via `target_out`.
+  Op prepare_arrive(Time now, RVec size, Time expected_departure,
+                    std::shared_ptr<CompletionSink> sink,
+                    std::uint64_t cookie, std::size_t& target_out);
   void enqueue(std::size_t shard_idx, Op op);
+  /// Non-blocking enqueue: returns false (leaving `op` untouched) when the
+  /// shard queue is at capacity or shutdown has started.
+  bool try_enqueue(std::size_t shard_idx, Op& op);
   void worker_loop(std::size_t shard_idx);
-  void apply_batch(Shard& shard, std::vector<Op>& batch);
+  void apply_batch(Shard& shard, std::vector<Op>& batch,
+                   std::vector<Completion>& completions);
   void require_quiescent() const;
   JobRec& checked_job_rec(JobId job, const char* caller) const;
 

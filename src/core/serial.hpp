@@ -17,12 +17,31 @@
 #include <bit>
 #include <cstdint>
 #include <cstring>
+#include <limits>
 #include <stdexcept>
 #include <string>
 #include <string_view>
 #include <vector>
 
 namespace dvbp::serial {
+
+// The wire format (journal segments, checkpoints, and the network frames of
+// src/net/) is little-endian with raw IEEE-754 float bits. Writer/Reader
+// assemble integers byte-by-byte, so they would work on any host, but the
+// persisted artifacts and the RPC protocol are *defined* as little-endian
+// IEEE-754 -- assert the assumptions a port would have to revisit instead
+// of silently shipping frames a big-endian or non-IEC-559 host cannot
+// exchange with the rest of the fleet. (Round-trip coverage lives in
+// tests/test_net_frame.cpp.)
+static_assert(std::endian::native == std::endian::little,
+              "dvbp wire format is little-endian; big-endian hosts need "
+              "byte-order conversion audited before this assert is relaxed");
+static_assert(std::numeric_limits<double>::is_iec559 &&
+                  sizeof(double) == 8,
+              "dvbp wire format stores raw IEEE-754 binary64 bit patterns");
+static_assert(std::numeric_limits<float>::is_iec559 &&
+                  sizeof(float) == 4,
+              "dvbp wire format assumes IEEE-754 binary32 floats");
 
 /// Thrown by Reader on malformed input (overrun, oversized string, ...).
 class SerialError : public std::runtime_error {

@@ -14,6 +14,7 @@
 // simulator's packing exactly -- the telemetry acceptance gate, also run
 // from tests/test_obs_cli.cpp.
 #include <chrono>
+#include <csignal>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -25,11 +26,15 @@
 #include "cloud/sharded_dispatcher.hpp"
 #include "core/event.hpp"
 #include "core/instance.hpp"
+#include "core/packing_hash.hpp"
 #include "core/policies/registry.hpp"
 #include "core/simulator.hpp"
 #include "gen/registry.hpp"
 #include "harness/cli.hpp"
 #include "harness/table.hpp"
+#include "net/client.hpp"
+#include "net/loadgen.hpp"
+#include "net/server.hpp"
 #include "obs/metrics.hpp"
 #include "obs/observer.hpp"
 #include "obs/replay.hpp"
@@ -60,7 +65,20 @@ int usage() {
       "             --checkpoint-every=N  (journaled ops; 0 = never)\n"
       "             --recover  (restore from --journal-dir, report, exit;\n"
       "             no workload is ingested)\n"
-      "  --trace-out/--check-roundtrip apply to the serial path only.\n";
+      "  --trace-out/--check-roundtrip apply to the serial path only.\n"
+      "\n"
+      "subcommands (docs/PROTOCOL.md):\n"
+      "  harness serve   --port=7070 --shards=K --policy=... [--d=2]\n"
+      "                  [--router=...] [--event-loops=1] [--max-inflight=N]\n"
+      "                  [--journal-dir=... --fsync=... --checkpoint-every=N]\n"
+      "                  [--metrics-out=...]  run the binary-RPC placement\n"
+      "                  server; SIGTERM/SIGINT or a Drain RPC drains it\n"
+      "  harness loadgen --port=7070 [--host=127.0.0.1] [--connections=4]\n"
+      "                  [--requests=10000] [--window=64] [--dim=2]\n"
+      "                  [--depart-fraction=0.45] [--seed=42]\n"
+      "                  [--rate=0 --duration=1]  (rate>0: open loop)\n"
+      "                  [--drain]  send a Drain RPC afterwards and report\n"
+      "                  the server's final packing hash\n";
   return 0;
 }
 
@@ -338,6 +356,147 @@ int run_durable(const harness::Args& args, const Instance& inst) {
   return 0;
 }
 
+/// `harness serve`: the binary-RPC placement server over a fresh sharded
+/// service. Blocks until drained (Drain RPC, SIGTERM, or SIGINT), then
+/// reports the final packing.
+int run_serve(const harness::Args& args) {
+  static const std::set<std::string> kKnown{
+      "port",        "host",       "shards",          "policy",
+      "policy-seed", "d",          "capacity",        "router",
+      "event-loops", "max-inflight", "queue-capacity", "metrics-out",
+      "journal-dir", "fsync",      "fsync-interval",  "checkpoint-every",
+      "quiet",       "help"};
+  for (const std::string& key : args.keys()) {
+    if (!kKnown.count(key)) {
+      throw harness::CliError("serve: unknown flag '--" + key +
+                              "' (see --help)");
+    }
+  }
+  harness::require_writable_file("metrics-out", args.get("metrics-out", ""));
+  harness::require_writable_dir("journal-dir", args.get("journal-dir", ""));
+
+  const auto dim = static_cast<std::size_t>(args.get_int("d", 2));
+  const std::string policy = args.get("policy", "MoveToFront");
+  const auto policy_seed =
+      static_cast<std::uint64_t>(args.get_int("policy-seed", 0xD1CEu));
+  const bool quiet = args.get_bool("quiet");
+
+  obs::MetricRegistry registry;
+  cloud::ShardedOptions sopts;
+  sopts.shards = static_cast<std::size_t>(args.get_int("shards", 1));
+  sopts.router = cloud::parse_router(args.get("router", "round-robin"));
+  sopts.bin_capacity = args.get_double("capacity", 1.0);
+  sopts.queue_capacity =
+      static_cast<std::size_t>(args.get_int("queue-capacity", 4096));
+  sopts.metrics = &registry;
+  sopts.journal_dir = args.get("journal-dir", "");
+  sopts.fsync = persist::parse_fsync_policy(args.get("fsync", "interval"));
+  sopts.fsync_interval_ops =
+      static_cast<std::size_t>(args.get_int("fsync-interval", 256));
+  sopts.checkpoint_every =
+      static_cast<std::size_t>(args.get_int("checkpoint-every", 0));
+  cloud::ShardedDispatcher service(
+      dim, [&](std::size_t) { return make_policy(policy, policy_seed); },
+      sopts);
+
+  net::ServerOptions nopts;
+  nopts.host = args.get("host", "127.0.0.1");
+  nopts.port = static_cast<std::uint16_t>(args.get_int("port", 7070));
+  nopts.event_loops =
+      static_cast<std::size_t>(args.get_int("event-loops", 1));
+  nopts.max_inflight_per_conn =
+      static_cast<std::size_t>(args.get_int("max-inflight", 1024));
+  nopts.metrics = &registry;
+  net::PlacementServer server(service, nopts);
+  server.install_signal_drain(SIGTERM);
+  server.install_signal_drain(SIGINT);
+
+  // Flushed immediately so wrappers can read the (possibly ephemeral)
+  // port before any client connects.
+  std::cout << "listening on " << nopts.host << ":" << server.port()
+            << std::endl;
+  server.wait();
+
+  const std::string metrics_out = args.get("metrics-out", "");
+  if (!metrics_out.empty()) {
+    std::ofstream out(metrics_out);
+    if (!out) {
+      throw std::runtime_error("cannot open metrics-out '" + metrics_out +
+                               "'");
+    }
+    out << registry.to_json() << '\n';
+  }
+  if (!quiet) {
+    // Drained and quiescent: this hash is what the Drain RPC reported.
+    const Packing packing = service.snapshot();
+    harness::Table summary(
+        {"policy", "shards", "jobs", "bins", "cost", "packing_hash"});
+    summary.add_row({policy, std::to_string(service.shards()),
+                     std::to_string(service.jobs_admitted()),
+                     std::to_string(packing.num_bins()),
+                     harness::Table::num(packing.cost(), 1),
+                     std::to_string(packing_hash(packing))});
+    std::cout << summary.to_aligned_text();
+    if (!metrics_out.empty()) std::cout << "metrics: " << metrics_out << '\n';
+  }
+  return 0;
+}
+
+/// `harness loadgen`: drive a running placement server and report
+/// throughput + latency order statistics.
+int run_loadgen_cmd(const harness::Args& args) {
+  static const std::set<std::string> kKnown{
+      "host",   "port",     "connections", "requests", "window",
+      "dim",    "depart-fraction", "seed", "rate",     "duration",
+      "drain",  "quiet",    "help"};
+  for (const std::string& key : args.keys()) {
+    if (!kKnown.count(key)) {
+      throw harness::CliError("loadgen: unknown flag '--" + key +
+                              "' (see --help)");
+    }
+  }
+  net::LoadgenOptions opts;
+  opts.host = args.get("host", "127.0.0.1");
+  opts.port = static_cast<std::uint16_t>(args.get_int("port", 7070));
+  opts.connections =
+      static_cast<std::size_t>(args.get_int("connections", 4));
+  opts.dim = static_cast<std::size_t>(args.get_int("dim", 2));
+  opts.depart_fraction = args.get_double("depart-fraction", 0.45);
+  opts.seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+  opts.window = static_cast<std::size_t>(args.get_int("window", 64));
+  opts.requests_per_connection =
+      static_cast<std::uint64_t>(args.get_int("requests", 10000));
+  opts.open_loop_rate = args.get_double("rate", 0.0);
+  opts.duration_s = args.get_double("duration", 1.0);
+
+  const net::LoadgenResult r = net::run_loadgen(opts);
+  harness::Table summary({"mode", "conns", "sent", "ok", "retry_later",
+                          "throughput_rps", "p50_us", "p99_us", "p999_us"});
+  summary.add_row({opts.open_loop_rate > 0.0 ? "open" : "closed",
+                   std::to_string(opts.connections),
+                   std::to_string(r.requests_sent), std::to_string(r.ok),
+                   std::to_string(r.retry_later),
+                   harness::Table::num(r.throughput_rps, 0),
+                   harness::Table::num(r.p50_ns / 1e3, 1),
+                   harness::Table::num(r.p99_ns / 1e3, 1),
+                   harness::Table::num(r.p999_ns / 1e3, 1)});
+  std::cout << summary.to_aligned_text();
+
+  if (args.get_bool("drain")) {
+    net::Client client(opts.host, opts.port);
+    const net::Response resp = client.drain();
+    if (resp.status != net::Status::kOk) {
+      std::cerr << "loadgen: drain failed: "
+                << net::status_name(resp.status) << '\n';
+      return 1;
+    }
+    std::cout << "drained: packing_hash=" << resp.packing_hash
+              << " bins=" << resp.num_bins
+              << " cost=" << harness::Table::num(resp.cost, 1) << '\n';
+  }
+  return 0;
+}
+
 bool same_packing(const Packing& a, const Packing& b) {
   if (a.assignment() != b.assignment()) return false;
   if (a.num_bins() != b.num_bins()) return false;
@@ -358,6 +517,13 @@ int main(int argc, char** argv) {
   const harness::Args args(argc, argv);
   if (args.get_bool("help")) return usage();
   try {
+    if (!args.positional().empty()) {
+      const std::string& cmd = args.positional().front();
+      if (cmd == "serve") return run_serve(args);
+      if (cmd == "loadgen") return run_loadgen_cmd(args);
+      throw harness::CliError("unknown subcommand '" + cmd +
+                              "' (see --help)");
+    }
     reject_unknown_flags(args);
     validate_output_paths(args);
     const Instance inst = load_instance(args);

@@ -1,0 +1,154 @@
+// Wire protocol of the placement server (docs/PROTOCOL.md).
+//
+// Frames reuse the CRC32 length-prefixed layout of the write-ahead journal
+// (src/persist/journal.hpp), little-endian throughout (asserted at compile
+// time in core/serial.hpp):
+//
+//   u32 payload_len | u32 crc32(payload) | payload
+//
+// Request payload:
+//   u64 request_id | u8 type | body
+//     kArrive:   f64 time | f64 expected_departure | u32 dim | dim x f64
+//     kDepart:   f64 time | u64 job
+//     kQuery:    f64 time
+//     kSnapshot: (empty)
+//     kDrain:    (empty)
+//     kPing:     (empty)
+//
+// Response payload:
+//   u64 request_id | u8 type | u8 status | body (kOk only)
+//     kArrive:   u64 job
+//     kDepart:   (empty)
+//     kQuery:    f64 cost | u64 open_bins | u64 jobs_active | u64 jobs_admitted
+//     kSnapshot: u64 packing_hash | u64 num_bins | f64 cost
+//     kDrain:    u64 packing_hash | u64 num_bins | f64 cost
+//     kPing:     (empty)
+//
+// A frame is either wholly valid (sane length, CRC match, body parses and
+// is fully consumed) or the connection is broken: unlike the journal's
+// torn-tail tolerance, a corrupt frame on a live socket means the peer and
+// we disagree about framing, and resynchronization is impossible -- the
+// decoder throws FrameError and the server closes the connection (counted
+// by dvbp.net.decode_errors_total, fuzzed in tests/test_net_frame.cpp).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/rvec.hpp"
+#include "core/types.hpp"
+
+namespace dvbp::net {
+
+/// Thrown on malformed wire bytes (bad length, CRC mismatch, body that
+/// does not parse). The connection that produced them must be closed.
+class FrameError : public std::runtime_error {
+ public:
+  explicit FrameError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// u32 len + u32 crc32.
+inline constexpr std::size_t kFrameHeaderBytes = 8;
+
+/// One frame is one request/response; anything claiming more than this is
+/// corruption (matches the journal's bound for the same reason).
+inline constexpr std::uint32_t kMaxPayloadBytes = 1u << 20;
+
+enum class MsgType : std::uint8_t {
+  kArrive = 1,
+  kDepart = 2,
+  kQuery = 3,
+  kSnapshot = 4,
+  kDrain = 5,
+  kPing = 6,
+};
+
+enum class Status : std::uint8_t {
+  kOk = 0,
+  /// Admission control: shard queue full or the per-connection in-flight
+  /// window exhausted. The request was NOT applied; retry after backoff.
+  kRetryLater = 1,
+  /// Request decoded but failed validation (dimension mismatch, size
+  /// outside [0,1]^d, non-increasing departure...). Never applied.
+  kBadRequest = 2,
+  /// Depart for a job the service does not know or that already departed.
+  kUnknownJob = 3,
+  /// Server is draining: no new arrive/depart is admitted.
+  kShuttingDown = 4,
+  /// Snapshot requested while ops were in flight (needs quiescence).
+  kNotQuiescent = 5,
+  kInternalError = 6,
+};
+
+/// Human-readable status name (for logs and the loadgen report).
+std::string_view status_name(Status s) noexcept;
+
+struct Request {
+  std::uint64_t id = 0;
+  MsgType type = MsgType::kPing;
+  Time time = 0.0;  ///< kArrive / kDepart / kQuery
+  std::uint64_t job = 0;  ///< kDepart
+  Time expected_departure =
+      std::numeric_limits<Time>::infinity();  ///< kArrive
+  RVec size;                                  ///< kArrive
+};
+
+struct Response {
+  std::uint64_t id = 0;
+  MsgType type = MsgType::kPing;
+  Status status = Status::kOk;
+  std::uint64_t job = 0;  ///< kArrive
+  // kQuery:
+  double cost = 0.0;  ///< also kSnapshot / kDrain
+  std::uint64_t open_bins = 0;
+  std::uint64_t jobs_active = 0;
+  std::uint64_t jobs_admitted = 0;
+  // kSnapshot / kDrain:
+  std::uint64_t packing_hash = 0;
+  std::uint64_t num_bins = 0;
+};
+
+/// Encodes `req` as one frame (header + payload) appended to `out`.
+void encode_request(const Request& req, std::vector<std::uint8_t>& out);
+
+/// Encodes `resp` as one frame appended to `out`.
+void encode_response(const Response& resp, std::vector<std::uint8_t>& out);
+
+/// Parses one request payload (the bytes after the frame header). Throws
+/// FrameError when the body is malformed or not fully consumed.
+Request decode_request(const std::uint8_t* payload, std::size_t len);
+
+/// Parses one response payload. Throws FrameError on malformed bytes.
+Response decode_response(const std::uint8_t* payload, std::size_t len);
+
+/// Streaming frame reassembly over a byte stream: feed() raw socket bytes
+/// in whatever chunks recv(2) produced, then drain complete payloads with
+/// next(). Partial frames are buffered until their remainder arrives; the
+/// buffer is compacted as frames are consumed, so steady-state memory is
+/// one partial frame, not the connection's history.
+class FrameDecoder {
+ public:
+  /// Appends raw bytes. Throws FrameError as soon as the buffered prefix
+  /// is provably corrupt (implausible length or CRC mismatch on a complete
+  /// frame) -- the caller must close the connection.
+  void feed(const std::uint8_t* data, std::size_t len);
+
+  /// Returns the next complete payload, or nullopt when more bytes are
+  /// needed. Throws FrameError on corruption (see feed()).
+  std::optional<std::vector<std::uint8_t>> next();
+
+  /// Bytes currently buffered (partial frame + unconsumed completes).
+  std::size_t buffered() const noexcept { return buf_.size() - pos_; }
+
+ private:
+  void check_header() const;
+
+  std::vector<std::uint8_t> buf_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace dvbp::net

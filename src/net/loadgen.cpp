@@ -1,0 +1,275 @@
+#include "net/loadgen.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstddef>
+#include <exception>
+#include <mutex>
+#include <random>
+#include <stdexcept>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "core/rvec.hpp"
+#include "net/client.hpp"
+
+namespace dvbp::net {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ns_between(Clock::time_point a, Clock::time_point b) {
+  return static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(b - a).count());
+}
+
+struct ConnStats {
+  std::uint64_t sent = 0;
+  std::uint64_t ok = 0;
+  std::uint64_t retry_later = 0;
+  std::uint64_t shutting_down = 0;
+  std::uint64_t bad_request = 0;
+  std::uint64_t unknown_job = 0;
+  std::uint64_t other_errors = 0;
+  std::vector<double> latencies_ns;  // OK responses only
+};
+
+struct InFlight {
+  bool is_depart = false;
+  std::uint64_t job = 0;  // departs: the job being departed
+  Clock::time_point sent_at{};
+};
+
+/// Tallies one response; returns the job to the live set when a depart was
+/// refused retriably. The caller holds whatever lock guards `live`.
+void account(const Response& resp, const InFlight& rec, ConnStats& stats,
+             std::vector<std::uint64_t>& live) {
+  switch (resp.status) {
+    case Status::kOk:
+      ++stats.ok;
+      stats.latencies_ns.push_back(ns_between(rec.sent_at, Clock::now()));
+      if (!rec.is_depart) live.push_back(resp.job);
+      break;
+    case Status::kRetryLater:
+      ++stats.retry_later;
+      if (rec.is_depart) live.push_back(rec.job);
+      break;
+    case Status::kShuttingDown:
+      ++stats.shutting_down;
+      break;
+    case Status::kBadRequest:
+      ++stats.bad_request;
+      break;
+    case Status::kUnknownJob:
+      ++stats.unknown_job;
+      break;
+    default:
+      ++stats.other_errors;
+      break;
+  }
+}
+
+/// Draws the next request and sends it (buffered); the returned id is
+/// already entered in `inflight` before any byte can reach the wire.
+std::uint64_t issue(Client& client, const LoadgenOptions& opt,
+                    std::mt19937_64& rng, double& vtime,
+                    std::vector<std::uint64_t>& live,
+                    std::unordered_map<std::uint64_t, InFlight>& inflight) {
+  vtime += 1e-6;
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+  const bool do_depart = !live.empty() && coin(rng) < opt.depart_fraction;
+  std::uint64_t id = 0;
+  if (do_depart) {
+    const std::size_t k = static_cast<std::size_t>(rng() % live.size());
+    const std::uint64_t job = live[k];
+    live[k] = live.back();
+    live.pop_back();
+    id = client.send_depart(vtime, job);
+    inflight.emplace(id, InFlight{true, job, Clock::now()});
+  } else {
+    std::uniform_real_distribution<double> unit(0.05, 0.6);
+    RVec size(opt.dim);
+    for (std::size_t j = 0; j < opt.dim; ++j) size[j] = unit(rng);
+    id = client.send_arrive(vtime, size);
+    inflight.emplace(id, InFlight{false, 0, Clock::now()});
+  }
+  return id;
+}
+
+void closed_loop_worker(const LoadgenOptions& opt, std::size_t idx,
+                        ConnStats& stats) {
+  Client client(opt.host, opt.port);
+  std::mt19937_64 rng(opt.seed * 1000003 + idx);
+  std::unordered_map<std::uint64_t, InFlight> inflight;
+  std::vector<std::uint64_t> live;
+  double vtime = 0.0;
+  const std::uint64_t total = opt.requests_per_connection;
+
+  // `terminal + inflight.size()` is the number of window slots consumed:
+  // a RETRY_LATER counts in neither, so its slot re-issues automatically.
+  auto terminal = [&] {
+    return stats.ok + stats.shutting_down + stats.bad_request +
+           stats.unknown_job + stats.other_errors;
+  };
+  while (terminal() < total) {
+    while (terminal() + inflight.size() < total &&
+           inflight.size() < opt.window) {
+      issue(client, opt, rng, vtime, live, inflight);
+      ++stats.sent;
+    }
+    client.flush();
+    const Response resp = client.recv_response();
+    const auto it = inflight.find(resp.id);
+    if (it == inflight.end()) {
+      throw std::logic_error("loadgen: response for unknown request id");
+    }
+    const InFlight rec = it->second;
+    inflight.erase(it);
+    account(resp, rec, stats, live);
+  }
+}
+
+void open_loop_worker(const LoadgenOptions& opt, std::size_t idx,
+                      ConnStats& stats) {
+  Client client(opt.host, opt.port);
+  std::mt19937_64 rng(opt.seed * 1000003 + idx);
+  std::mutex mu;  // guards inflight + live between sender and receiver
+  std::unordered_map<std::uint64_t, InFlight> inflight;
+  std::vector<std::uint64_t> live;
+  std::atomic<bool> sender_done{false};
+  std::exception_ptr sender_error;
+
+  std::thread sender([&] {
+    try {
+      double vtime = 0.0;
+      const double rate =
+          opt.open_loop_rate / static_cast<double>(opt.connections);
+      const auto period = std::chrono::duration_cast<Clock::duration>(
+          std::chrono::duration<double>(1.0 / rate));
+      const auto start = Clock::now();
+      const auto end =
+          start + std::chrono::duration_cast<Clock::duration>(
+                      std::chrono::duration<double>(opt.duration_s));
+      auto deadline = start;
+      while (Clock::now() < end) {
+        deadline += period;
+        // If we fall behind the schedule we do NOT stretch it -- requests
+        // burst out late at wire speed, which is what open loop means.
+        std::this_thread::sleep_until(deadline);
+        {
+          std::lock_guard<std::mutex> lock(mu);
+          issue(client, opt, rng, vtime, live, inflight);
+        }
+        client.flush();
+        ++stats.sent;
+      }
+    } catch (...) {
+      sender_error = std::current_exception();
+    }
+    sender_done.store(true, std::memory_order_release);
+  });
+
+  try {
+    for (;;) {
+      if (client.outstanding() == 0) {
+        if (sender_done.load(std::memory_order_acquire)) break;
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+        continue;
+      }
+      const Response resp = client.recv_response();
+      std::lock_guard<std::mutex> lock(mu);
+      const auto it = inflight.find(resp.id);
+      if (it == inflight.end()) {
+        throw std::logic_error("loadgen: response for unknown request id");
+      }
+      const InFlight rec = it->second;
+      inflight.erase(it);
+      account(resp, rec, stats, live);
+    }
+  } catch (...) {
+    sender_done.store(true, std::memory_order_release);
+    sender.join();
+    throw;
+  }
+  sender.join();
+  if (sender_error) std::rethrow_exception(sender_error);
+}
+
+double nearest_rank(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const double rank = std::ceil(q * static_cast<double>(sorted.size()));
+  std::size_t idx =
+      rank <= 1.0 ? 0 : static_cast<std::size_t>(rank) - 1;
+  if (idx >= sorted.size()) idx = sorted.size() - 1;
+  return sorted[idx];
+}
+
+}  // namespace
+
+LoadgenResult run_loadgen(const LoadgenOptions& options) {
+  if (options.connections == 0) {
+    throw std::invalid_argument("loadgen: connections must be >= 1");
+  }
+  if (options.dim == 0) {
+    throw std::invalid_argument("loadgen: dim must be >= 1");
+  }
+  if (options.open_loop_rate > 0.0 && options.duration_s <= 0.0) {
+    throw std::invalid_argument("loadgen: open loop needs duration_s > 0");
+  }
+
+  std::vector<ConnStats> stats(options.connections);
+  std::vector<std::exception_ptr> errors(options.connections);
+  std::vector<std::thread> workers;
+  workers.reserve(options.connections);
+
+  const auto start = Clock::now();
+  for (std::size_t i = 0; i < options.connections; ++i) {
+    workers.emplace_back([&, i] {
+      try {
+        if (options.open_loop_rate > 0.0) {
+          open_loop_worker(options, i, stats[i]);
+        } else {
+          closed_loop_worker(options, i, stats[i]);
+        }
+      } catch (...) {
+        errors[i] = std::current_exception();
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  const double elapsed =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  for (auto& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+
+  LoadgenResult result;
+  std::vector<double> latencies;
+  for (const ConnStats& s : stats) {
+    result.requests_sent += s.sent;
+    result.ok += s.ok;
+    result.retry_later += s.retry_later;
+    result.shutting_down += s.shutting_down;
+    result.bad_request += s.bad_request;
+    result.unknown_job += s.unknown_job;
+    result.other_errors += s.other_errors;
+    latencies.insert(latencies.end(), s.latencies_ns.begin(),
+                     s.latencies_ns.end());
+  }
+  result.elapsed_s = elapsed;
+  result.throughput_rps =
+      elapsed > 0.0 ? static_cast<double>(result.ok) / elapsed : 0.0;
+  std::sort(latencies.begin(), latencies.end());
+  result.samples = latencies.size();
+  result.p50_ns = nearest_rank(latencies, 0.50);
+  result.p99_ns = nearest_rank(latencies, 0.99);
+  result.p999_ns = nearest_rank(latencies, 0.999);
+  result.max_ns = latencies.empty() ? 0.0 : latencies.back();
+  return result;
+}
+
+}  // namespace dvbp::net

@@ -1,0 +1,77 @@
+// Load generator for the placement server (bench/bench_net.cpp, `harness
+// loadgen`).
+//
+// Drives N concurrent connections with a synthetic arrive/depart mix and
+// measures end-to-end request latency (send -> response, client side) and
+// sustained throughput. Two modes:
+//
+//   * Closed loop (open_loop_rate == 0): each connection keeps a fixed
+//     window of pipelined requests in flight and tops it up as responses
+//     arrive -- the classic saturation measurement. RETRY_LATER responses
+//     are counted and the slot is re-issued (for a depart, the job returns
+//     to the live set), so the admitted-op count is exact.
+//
+//   * Open loop (open_loop_rate > 0): a sender thread per connection paces
+//     requests at the target aggregate rate regardless of responses, while
+//     a receiver thread drains them -- the mode that overruns the server
+//     on purpose and makes backpressure visible: RETRY_LATER responses are
+//     counted, never retried.
+//
+// Latencies are recorded exactly (one sample per OK response; sorted at
+// the end), so p999 is a real order statistic, not an interpolation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace dvbp::net {
+
+struct LoadgenOptions {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  std::size_t connections = 1;
+  std::size_t dim = 2;
+  /// Fraction of requests that depart a previously admitted job (the rest
+  /// are arrivals); drawn per request from a per-connection PRNG.
+  double depart_fraction = 0.45;
+  std::uint64_t seed = 42;
+
+  // Closed loop.
+  std::size_t window = 64;
+  std::uint64_t requests_per_connection = 10000;
+
+  // Open loop: aggregate target rate (requests/s across all connections);
+  // 0 selects closed loop. Runs for `duration_s` wall seconds.
+  double open_loop_rate = 0.0;
+  double duration_s = 1.0;
+};
+
+struct LoadgenResult {
+  std::uint64_t requests_sent = 0;
+  std::uint64_t ok = 0;
+  std::uint64_t retry_later = 0;
+  std::uint64_t shutting_down = 0;
+  std::uint64_t bad_request = 0;
+  std::uint64_t unknown_job = 0;
+  std::uint64_t other_errors = 0;
+  double elapsed_s = 0.0;
+  /// OK responses per wall second (applied placements + departures).
+  double throughput_rps = 0.0;
+  // Exact order statistics over OK-response latencies, nanoseconds.
+  double p50_ns = 0.0;
+  double p99_ns = 0.0;
+  double p999_ns = 0.0;
+  double max_ns = 0.0;
+  std::uint64_t samples = 0;
+};
+
+/// Runs the configured workload to completion and aggregates across
+/// connections. Throws NetError when a connection cannot be established or
+/// dies mid-run (the server closing a draining connection is an error
+/// here: the loadgen is meant to finish before any drain).
+LoadgenResult run_loadgen(const LoadgenOptions& options);
+
+}  // namespace dvbp::net

@@ -1,0 +1,839 @@
+#include "net/server.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstring>
+#include <unordered_map>
+#include <utility>
+
+#include "core/packing.hpp"
+#include "core/packing_hash.hpp"
+
+namespace dvbp::net {
+
+namespace {
+
+constexpr std::size_t kReadChunk = 64 * 1024;
+
+/// A connection whose unflushed responses exceed this is not reading what
+/// it asked for; close it rather than buffer without bound. (Arrive/Depart
+/// responses are already bounded by the in-flight window; this bounds the
+/// inline-answered types: Ping, Query, rejections.)
+constexpr std::size_t kMaxWriteBuffer = 16 * 1024 * 1024;
+
+std::string errno_str(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+std::chrono::steady_clock::time_point now_tp() {
+  return std::chrono::steady_clock::now();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Connection / EventLoop
+
+struct PlacementServer::Connection
+    : cloud::CompletionSink,
+      std::enable_shared_from_this<Connection> {
+  struct Pending {
+    MsgType type = MsgType::kPing;
+    std::chrono::steady_clock::time_point received{};
+  };
+
+  PlacementServer* server = nullptr;
+  EventLoop* loop = nullptr;
+
+  // Loop-thread-only state. `fd` doubles as the liveness flag on the loop
+  // thread (-1 once closed); shard workers must use `closed` instead.
+  int fd = -1;
+  FrameDecoder decoder;
+  std::vector<std::uint8_t> write_buf;
+  std::size_t write_pos = 0;
+  bool want_write = false;  ///< EPOLLOUT currently armed
+  bool close_after_flush = false;
+
+  // Shared with shard workers, guarded by `mu`.
+  std::mutex mu;
+  bool closed = false;
+  /// Encoded completion responses awaiting pickup by the loop thread.
+  std::vector<std::uint8_t> completed;
+  std::uint64_t completed_frames = 0;
+  /// request_id -> in-flight op (entered *before* submission: the
+  /// completion can fire before try_arrive/try_depart even returns).
+  std::unordered_map<std::uint64_t, Pending> pending;
+
+  /// Accepted-but-unanswered ops (admission window).
+  std::atomic<std::size_t> inflight{0};
+
+  void op_applied(std::uint64_t cookie, JobId job) noexcept override;
+};
+
+struct PlacementServer::EventLoop {
+  PlacementServer* server = nullptr;
+  int epfd = -1;
+  int wake_fd = -1;
+  std::thread thread;
+
+  // Inbox: filled by the acceptor (new connections) and shard workers
+  // (completion flushes), drained by the loop thread on each wake.
+  std::mutex inbox_mu;
+  std::vector<std::shared_ptr<Connection>> incoming;
+  std::vector<std::shared_ptr<Connection>> flushes;
+  /// Dedupes eventfd writes: one wake covers any number of inbox pushes.
+  std::atomic<bool> wake_pending{false};
+
+  // Loop-thread-only.
+  std::unordered_map<int, std::shared_ptr<Connection>> conns;
+
+  ~EventLoop() {
+    if (epfd >= 0) ::close(epfd);
+    if (wake_fd >= 0) ::close(wake_fd);
+  }
+
+  void notify() noexcept {
+    if (!wake_pending.exchange(true, std::memory_order_acq_rel)) {
+      const std::uint64_t one = 1;
+      [[maybe_unused]] ssize_t n = ::write(wake_fd, &one, sizeof(one));
+    }
+  }
+
+  /// Called by shard workers from op_applied: hand the connection to the
+  /// loop thread for response pickup. noexcept: an allocation failure here
+  /// leaves the response staged in conn->completed, to be collected on the
+  /// connection's next pump.
+  void schedule_flush(std::shared_ptr<Connection> conn) noexcept {
+    try {
+      {
+        std::lock_guard<std::mutex> lock(inbox_mu);
+        flushes.push_back(std::move(conn));
+      }
+      notify();
+    } catch (...) {
+    }
+  }
+};
+
+void PlacementServer::Connection::op_applied(std::uint64_t cookie,
+                                             JobId job) noexcept {
+  const auto applied_at = now_tp();
+  std::chrono::nanoseconds latency{0};
+  bool deliver = false;
+  try {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      // A closed connection has its pending map cleared, so a completion
+      // that raced the close drops out here -- and, crucially, never
+      // touches `loop`, which may be tearing down by then.
+      auto it = pending.find(cookie);
+      if (closed || it == pending.end()) return;
+      latency = applied_at - it->second.received;
+      Response resp;
+      resp.id = cookie;
+      resp.type = it->second.type;
+      resp.status = Status::kOk;
+      resp.job = job;
+      pending.erase(it);
+      encode_response(resp, completed);
+      ++completed_frames;
+      deliver = true;
+    }
+    inflight.fetch_sub(1, std::memory_order_acq_rel);
+    if (server->request_latency_ != nullptr) {
+      server->request_latency_->observe(
+          static_cast<double>(latency.count()));
+    }
+    if (deliver) loop->schedule_flush(shared_from_this());
+  } catch (...) {
+    // Allocation failure encoding the response: the client will see the
+    // connection close (or time out) rather than a missing frame.
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Signal hookup
+
+namespace {
+std::atomic<PlacementServer*> g_signal_server{nullptr};
+
+extern "C" void dvbp_net_signal_handler(int) {
+  PlacementServer* s = g_signal_server.load(std::memory_order_relaxed);
+  if (s != nullptr) s->request_drain();  // atomic store + eventfd write
+}
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Lifecycle
+
+PlacementServer::PlacementServer(cloud::ShardedDispatcher& service,
+                                 ServerOptions options)
+    : service_(service), options_(std::move(options)) {
+  if (options_.event_loops == 0) {
+    throw std::invalid_argument("PlacementServer: event_loops must be >= 1");
+  }
+  if (options_.max_inflight_per_conn == 0) {
+    throw std::invalid_argument(
+        "PlacementServer: max_inflight_per_conn must be >= 1");
+  }
+
+  if (options_.metrics != nullptr) {
+    auto& m = *options_.metrics;
+    connections_total_ = &m.counter("dvbp.net.connections_total");
+    connections_active_ = &m.gauge("dvbp.net.connections_active");
+    frames_in_ = &m.counter("dvbp.net.frames_in_total");
+    frames_out_ = &m.counter("dvbp.net.frames_out_total");
+    bytes_in_ = &m.counter("dvbp.net.bytes_in_total");
+    bytes_out_ = &m.counter("dvbp.net.bytes_out_total");
+    decode_errors_ = &m.counter("dvbp.net.decode_errors_total");
+    requests_total_ = &m.counter("dvbp.net.requests_total");
+    backpressure_ = &m.counter("dvbp.net.backpressure_rejections_total");
+    request_latency_ = &m.histogram("dvbp.net.request_latency_ns",
+                                    obs::default_latency_bounds_ns());
+  }
+
+  // All fds first (cleanup on failure), threads last.
+  auto fail = [this](const std::string& why) {
+    if (listen_fd_ >= 0) ::close(listen_fd_);
+    if (acceptor_wake_fd_ >= 0) ::close(acceptor_wake_fd_);
+    loops_.clear();  // ~EventLoop closes its fds
+    throw NetError(why);
+  };
+
+  listen_fd_ =
+      ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) fail(errno_str("socket"));
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    fail("PlacementServer: bad listen host " + options_.host);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) < 0) {
+    fail(errno_str("bind"));
+  }
+  if (::listen(listen_fd_, 128) < 0) fail(errno_str("listen"));
+
+  sockaddr_in bound{};
+  socklen_t blen = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                    &blen) < 0) {
+    fail(errno_str("getsockname"));
+  }
+  port_ = ntohs(bound.sin_port);
+
+  acceptor_wake_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (acceptor_wake_fd_ < 0) fail(errno_str("eventfd"));
+
+  loops_.reserve(options_.event_loops);
+  for (std::size_t i = 0; i < options_.event_loops; ++i) {
+    auto loop = std::make_unique<EventLoop>();
+    loop->server = this;
+    loop->epfd = ::epoll_create1(EPOLL_CLOEXEC);
+    loop->wake_fd = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+    if (loop->epfd < 0 || loop->wake_fd < 0) {
+      loops_.push_back(std::move(loop));  // so fail() closes its fds
+      fail(errno_str("epoll_create1/eventfd"));
+    }
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = loop->wake_fd;
+    if (::epoll_ctl(loop->epfd, EPOLL_CTL_ADD, loop->wake_fd, &ev) < 0) {
+      loops_.push_back(std::move(loop));
+      fail(errno_str("epoll_ctl(wake)"));
+    }
+    loops_.push_back(std::move(loop));
+  }
+
+  try {
+    for (auto& loop : loops_) {
+      EventLoop* l = loop.get();
+      l->thread = std::thread([this, l] { loop_run(*l); });
+    }
+    acceptor_ = std::thread([this] { acceptor_run(); });
+  } catch (...) {
+    shutdown_loops_.store(true);
+    acceptor_stop_.store(true);
+    for (auto& loop : loops_) {
+      if (loop->thread.joinable()) {
+        loop->notify();
+        loop->thread.join();
+      }
+    }
+    if (acceptor_.joinable()) {
+      wake_acceptor();
+      acceptor_.join();
+    }
+    if (listen_fd_ >= 0) ::close(listen_fd_);
+    if (acceptor_wake_fd_ >= 0) ::close(acceptor_wake_fd_);
+    loops_.clear();
+    throw;
+  }
+}
+
+PlacementServer::~PlacementServer() {
+  stop();
+  PlacementServer* self = this;
+  g_signal_server.compare_exchange_strong(self, nullptr);
+  if (acceptor_wake_fd_ >= 0) ::close(acceptor_wake_fd_);
+  // listen_fd_ is closed by the acceptor thread on exit (or by stop()).
+}
+
+void PlacementServer::wake_acceptor() noexcept {
+  const std::uint64_t one = 1;
+  [[maybe_unused]] ssize_t n =
+      ::write(acceptor_wake_fd_, &one, sizeof(one));
+}
+
+void PlacementServer::request_drain() noexcept {
+  draining_.store(true, std::memory_order_release);
+  wake_acceptor();
+}
+
+void PlacementServer::install_signal_drain(int signo) {
+  PlacementServer* expected = nullptr;
+  if (!g_signal_server.compare_exchange_strong(expected, this) &&
+      expected != this) {
+    throw std::logic_error(
+        "install_signal_drain: another PlacementServer owns the handlers");
+  }
+  struct sigaction sa{};
+  sa.sa_handler = &dvbp_net_signal_handler;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = SA_RESTART;
+  if (::sigaction(signo, &sa, nullptr) != 0) {
+    throw NetError(errno_str("sigaction"));
+  }
+}
+
+void PlacementServer::wait() { join_threads(); }
+
+void PlacementServer::join_threads() {
+  std::lock_guard<std::mutex> lock(join_mu_);
+  if (acceptor_.joinable()) acceptor_.join();
+  for (auto& loop : loops_) {
+    if (loop->thread.joinable()) loop->thread.join();
+  }
+}
+
+void PlacementServer::stop() {
+  bool expected = false;
+  if (stopped_.compare_exchange_strong(expected, true)) {
+    // seq_cst store order matters: a thread that observes draining_ must
+    // also observe shutdown_loops_, so nobody starts a graceful drain in
+    // response to a hard stop.
+    shutdown_loops_.store(true);
+    acceptor_stop_.store(true);
+    draining_.store(true);
+    read_stopped_.store(true);
+    wake_acceptor();
+    for (auto& loop : loops_) loop->notify();
+  }
+  join_threads();
+  // Ops submitted by the loops' final iterations may still be in flight on
+  // shard workers; wait them out so no completion can run concurrently
+  // with our destruction. (Completions fire before an op counts as
+  // applied, so drain() returning bounds op_applied too.)
+  try {
+    service_.drain();
+  } catch (...) {
+  }
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Drain state machine
+
+void PlacementServer::execute_drain() {
+  std::lock_guard<std::mutex> lock(drain_mu_);
+  if (drain_done_) return;
+  draining_.store(true, std::memory_order_release);
+  acceptor_stop_.store(true, std::memory_order_release);
+  wake_acceptor();
+  // Quiesce. A request that raced the draining_ flag can slip one more op
+  // in after a drain() returns; each loop admits finitely many such
+  // stragglers before it observes the flag, so this converges.
+  for (;;) {
+    try {
+      service_.drain();
+    } catch (...) {
+      // Worker-side error (e.g. journal failure): the placement state is
+      // still consistent and worth reporting; the error stays readable
+      // through the service's next drain().
+    }
+    try {
+      const Packing p = service_.snapshot();
+      drain_hash_ = packing_hash(p);
+      drain_bins_ = p.num_bins();
+      drain_cost_ = p.cost();
+      break;
+    } catch (const std::logic_error&) {
+      continue;  // ops slipped in: drain again
+    }
+  }
+  service_.sync_journals();
+  drain_done_ = true;
+}
+
+void PlacementServer::begin_graceful_close() {
+  graceful_close_.store(true, std::memory_order_release);
+  for (auto& loop : loops_) loop->notify();
+}
+
+// ---------------------------------------------------------------------------
+// Acceptor
+
+void PlacementServer::acceptor_run() {
+  const int epfd = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epfd >= 0) {
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = listen_fd_;
+    ::epoll_ctl(epfd, EPOLL_CTL_ADD, listen_fd_, &ev);
+    ev.events = EPOLLIN;
+    ev.data.fd = acceptor_wake_fd_;
+    ::epoll_ctl(epfd, EPOLL_CTL_ADD, acceptor_wake_fd_, &ev);
+    std::array<epoll_event, 4> events{};
+    while (!acceptor_stop_.load(std::memory_order_acquire) &&
+           !draining_.load(std::memory_order_acquire)) {
+      const int n = ::epoll_wait(epfd, events.data(),
+                                 static_cast<int>(events.size()), -1);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        break;
+      }
+      for (int i = 0; i < n; ++i) {
+        if (events[i].data.fd == acceptor_wake_fd_) {
+          std::uint64_t v = 0;
+          while (::read(acceptor_wake_fd_, &v, sizeof(v)) > 0) {
+          }
+        } else {
+          handle_accept();
+        }
+      }
+    }
+    ::close(epfd);
+  }
+  // Stop taking connections before the drain quiesces the service.
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  if (draining_.load() && !shutdown_loops_.load()) {
+    // Drain requested out-of-band (signal / request_drain): run it here.
+    // If a Drain RPC is already running it, execute_drain() just waits.
+    execute_drain();
+    begin_graceful_close();
+  }
+}
+
+void PlacementServer::handle_accept() {
+  for (;;) {
+    const int fd =
+        ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // EAGAIN, or transient (EMFILE...): retry on next wake
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    auto conn = std::make_shared<Connection>();
+    conn->server = this;
+    conn->fd = fd;
+    EventLoop& loop =
+        *loops_[next_loop_.fetch_add(1, std::memory_order_relaxed) %
+                loops_.size()];
+    conn->loop = &loop;
+    if (connections_total_ != nullptr) connections_total_->inc();
+    if (connections_active_ != nullptr) connections_active_->add(1.0);
+    {
+      std::lock_guard<std::mutex> lock(loop.inbox_mu);
+      loop.incoming.push_back(std::move(conn));
+    }
+    loop.notify();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Event loop
+
+void PlacementServer::loop_run(EventLoop& loop) {
+  std::array<epoll_event, 64> events{};
+  std::vector<std::shared_ptr<Connection>> incoming;
+  std::vector<std::shared_ptr<Connection>> flushes;
+  for (;;) {
+    const int n = ::epoll_wait(loop.epfd, events.data(),
+                               static_cast<int>(events.size()), -1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == loop.wake_fd) {
+        std::uint64_t v = 0;
+        while (::read(loop.wake_fd, &v, sizeof(v)) > 0) {
+        }
+        // Reset before draining the inbox: a push that misses this drain
+        // rearms the eventfd and gets the next one.
+        loop.wake_pending.store(false, std::memory_order_release);
+        {
+          std::lock_guard<std::mutex> lock(loop.inbox_mu);
+          incoming.swap(loop.incoming);
+          flushes.swap(loop.flushes);
+        }
+        for (auto& conn : incoming) register_conn(loop, conn);
+        incoming.clear();
+        for (auto& conn : flushes) pump_completions(loop, conn);
+        flushes.clear();
+        continue;
+      }
+      auto it = loop.conns.find(fd);
+      if (it == loop.conns.end()) continue;  // closed earlier this batch
+      std::shared_ptr<Connection> conn = it->second;  // close erases the map
+      const std::uint32_t ev = events[i].events;
+      if ((ev & (EPOLLHUP | EPOLLERR)) != 0) {
+        close_conn(loop, conn);
+        continue;
+      }
+      if ((ev & EPOLLOUT) != 0) flush_writes(loop, conn);
+      if (conn->fd >= 0 && (ev & EPOLLIN) != 0) handle_readable(loop, conn);
+    }
+    if (shutdown_loops_.load(std::memory_order_acquire)) {
+      while (!loop.conns.empty()) {
+        close_conn(loop, loop.conns.begin()->second);
+      }
+      break;
+    }
+    if (graceful_close_.load(std::memory_order_acquire)) {
+      // Close-out sweep: every connection closes once its last response is
+      // flushed. Snapshot the map first -- closing mutates it.
+      std::vector<std::shared_ptr<Connection>> all;
+      all.reserve(loop.conns.size());
+      for (auto& [cfd, c] : loop.conns) all.push_back(c);
+      for (auto& c : all) {
+        c->close_after_flush = true;
+        pump_completions(loop, c);  // also flushes and closes when empty
+      }
+      if (loop.conns.empty()) break;
+    }
+  }
+}
+
+void PlacementServer::register_conn(EventLoop& loop,
+                                    const std::shared_ptr<Connection>& conn) {
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = conn->fd;
+  if (::epoll_ctl(loop.epfd, EPOLL_CTL_ADD, conn->fd, &ev) < 0) {
+    ::close(conn->fd);
+    conn->fd = -1;
+    std::lock_guard<std::mutex> lock(conn->mu);
+    conn->closed = true;
+    if (connections_active_ != nullptr) connections_active_->add(-1.0);
+    return;
+  }
+  loop.conns.emplace(conn->fd, conn);
+  if (graceful_close_.load(std::memory_order_acquire)) {
+    conn->close_after_flush = true;  // late arrival during drain
+  }
+}
+
+void PlacementServer::handle_readable(
+    EventLoop& loop, const std::shared_ptr<Connection>& conn) {
+  if (read_stopped_.load(std::memory_order_acquire)) return;
+  std::uint8_t buf[kReadChunk];
+  for (;;) {
+    const ssize_t n = ::read(conn->fd, buf, sizeof(buf));
+    if (n > 0) {
+      if (bytes_in_ != nullptr) {
+        bytes_in_->inc(static_cast<std::uint64_t>(n));
+      }
+      try {
+        conn->decoder.feed(buf, static_cast<std::size_t>(n));
+        for (;;) {
+          auto payload = conn->decoder.next();
+          if (!payload.has_value()) break;
+          if (frames_in_ != nullptr) frames_in_->inc();
+          if (!process_request(loop, conn, *payload)) return;
+        }
+      } catch (const FrameError&) {
+        if (decode_errors_ != nullptr) decode_errors_->inc();
+        close_conn(loop, conn);
+        return;
+      }
+      if (static_cast<std::size_t>(n) < sizeof(buf)) break;  // drained
+    } else if (n == 0) {
+      close_conn(loop, conn);  // peer closed
+      return;
+    } else if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      break;
+    } else if (errno == EINTR) {
+      continue;
+    } else {
+      close_conn(loop, conn);
+      return;
+    }
+  }
+  flush_writes(loop, conn);  // push out the responses this batch produced
+}
+
+bool PlacementServer::process_request(
+    EventLoop& loop, const std::shared_ptr<Connection>& conn,
+    const std::vector<std::uint8_t>& payload) {
+  Request req;
+  try {
+    req = decode_request(payload.data(), payload.size());
+  } catch (const FrameError&) {
+    if (decode_errors_ != nullptr) decode_errors_->inc();
+    close_conn(loop, conn);
+    return false;
+  }
+  if (requests_total_ != nullptr) requests_total_->inc();
+
+  Response resp;
+  resp.id = req.id;
+  resp.type = req.type;
+
+  switch (req.type) {
+    case MsgType::kPing:
+      respond(conn, resp);
+      return true;
+
+    case MsgType::kQuery:
+      try {
+        resp.cost = service_.cost_so_far(req.time);
+        resp.open_bins = service_.open_bins();
+        resp.jobs_active = service_.jobs_active();
+        resp.jobs_admitted = service_.jobs_admitted();
+      } catch (const std::invalid_argument&) {
+        resp.status = Status::kBadRequest;
+      } catch (...) {
+        resp.status = Status::kInternalError;
+      }
+      respond(conn, resp);
+      return true;
+
+    case MsgType::kSnapshot:
+      try {
+        const Packing p = service_.snapshot();
+        resp.packing_hash = packing_hash(p);
+        resp.num_bins = p.num_bins();
+        resp.cost = p.cost();
+      } catch (const std::logic_error&) {
+        resp.status = Status::kNotQuiescent;
+      } catch (...) {
+        resp.status = Status::kInternalError;
+      }
+      respond(conn, resp);
+      return true;
+
+    case MsgType::kDrain:
+      try {
+        execute_drain();
+        {
+          std::lock_guard<std::mutex> lock(drain_mu_);
+          resp.packing_hash = drain_hash_;
+          resp.num_bins = drain_bins_;
+          resp.cost = drain_cost_;
+        }
+      } catch (...) {
+        resp.status = Status::kInternalError;
+      }
+      respond(conn, resp);
+      // The drain response is this connection's last frame; the close-out
+      // sweep flushes it and closes every connection.
+      begin_graceful_close();
+      return conn->fd >= 0;
+
+    case MsgType::kArrive:
+    case MsgType::kDepart:
+      break;
+  }
+
+  // Arrive / Depart: asynchronous, answered by the completion hookup.
+  if (draining_.load(std::memory_order_acquire)) {
+    resp.status = Status::kShuttingDown;
+    respond(conn, resp);
+    return true;
+  }
+  if (conn->inflight.load(std::memory_order_acquire) >=
+      options_.max_inflight_per_conn) {
+    if (backpressure_ != nullptr) backpressure_->inc();
+    resp.status = Status::kRetryLater;
+    respond(conn, resp);
+    return true;
+  }
+
+  // Enter the pending map before submitting: the completion can fire on a
+  // shard worker before try_arrive/try_depart even returns.
+  bool duplicate = false;
+  {
+    std::lock_guard<std::mutex> lock(conn->mu);
+    duplicate = !conn->pending
+                     .emplace(req.id,
+                              Connection::Pending{req.type, now_tp()})
+                     .second;
+  }
+  if (duplicate) {
+    resp.status = Status::kBadRequest;  // request id already in flight
+    respond(conn, resp);
+    return true;
+  }
+  conn->inflight.fetch_add(1, std::memory_order_acq_rel);
+
+  bool accepted = false;
+  Status failure = Status::kRetryLater;
+  try {
+    if (req.type == MsgType::kArrive) {
+      accepted = service_
+                     .try_arrive(req.time, std::move(req.size),
+                                 req.expected_departure, conn, req.id)
+                     .has_value();
+    } else {
+      accepted = service_.try_depart(req.time, req.job, conn, req.id);
+    }
+  } catch (const std::invalid_argument&) {
+    failure = req.type == MsgType::kArrive ? Status::kBadRequest
+                                           : Status::kUnknownJob;
+  } catch (...) {
+    failure = Status::kInternalError;
+  }
+  if (!accepted) {
+    {
+      std::lock_guard<std::mutex> lock(conn->mu);
+      conn->pending.erase(req.id);
+    }
+    conn->inflight.fetch_sub(1, std::memory_order_acq_rel);
+    if (failure == Status::kRetryLater && backpressure_ != nullptr) {
+      backpressure_->inc();
+    }
+    resp.status = failure;
+    respond(conn, resp);
+  }
+  return true;
+}
+
+void PlacementServer::respond(const std::shared_ptr<Connection>& conn,
+                              const Response& resp) {
+  if (conn->fd < 0) return;
+  encode_response(resp, conn->write_buf);
+  if (frames_out_ != nullptr) frames_out_->inc();
+  // Not flushed here: handle_readable flushes once per read batch, which
+  // coalesces pipelined responses into one write(2).
+}
+
+void PlacementServer::pump_completions(
+    EventLoop& loop, const std::shared_ptr<Connection>& conn) {
+  if (conn->fd < 0) return;
+  std::uint64_t frames = 0;
+  {
+    std::lock_guard<std::mutex> lock(conn->mu);
+    if (!conn->completed.empty()) {
+      conn->write_buf.insert(conn->write_buf.end(), conn->completed.begin(),
+                             conn->completed.end());
+      conn->completed.clear();
+      frames = conn->completed_frames;
+      conn->completed_frames = 0;
+    }
+  }
+  if (frames > 0 && frames_out_ != nullptr) frames_out_->inc(frames);
+  flush_writes(loop, conn);
+}
+
+void PlacementServer::flush_writes(EventLoop& loop,
+                                   const std::shared_ptr<Connection>& conn) {
+  if (conn->fd < 0) return;
+  while (conn->write_pos < conn->write_buf.size()) {
+    const ssize_t n =
+        ::write(conn->fd, conn->write_buf.data() + conn->write_pos,
+                conn->write_buf.size() - conn->write_pos);
+    if (n > 0) {
+      conn->write_pos += static_cast<std::size_t>(n);
+      if (bytes_out_ != nullptr) {
+        bytes_out_->inc(static_cast<std::uint64_t>(n));
+      }
+    } else if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      // Socket full: arm EPOLLOUT and come back when it drains.
+      if (!conn->want_write) {
+        conn->want_write = true;
+        epoll_event ev{};
+        ev.events = EPOLLIN | EPOLLOUT;
+        ev.data.fd = conn->fd;
+        ::epoll_ctl(loop.epfd, EPOLL_CTL_MOD, conn->fd, &ev);
+      }
+      if (conn->write_pos > 0) {
+        conn->write_buf.erase(
+            conn->write_buf.begin(),
+            conn->write_buf.begin() +
+                static_cast<std::ptrdiff_t>(conn->write_pos));
+        conn->write_pos = 0;
+      }
+      if (conn->write_buf.size() > kMaxWriteBuffer) {
+        close_conn(loop, conn);  // peer is not reading its responses
+      }
+      return;
+    } else if (n < 0 && errno == EINTR) {
+      continue;
+    } else {
+      close_conn(loop, conn);
+      return;
+    }
+  }
+  conn->write_buf.clear();
+  conn->write_pos = 0;
+  if (conn->want_write) {
+    conn->want_write = false;
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = conn->fd;
+    ::epoll_ctl(loop.epfd, EPOLL_CTL_MOD, conn->fd, &ev);
+  }
+  if (conn->close_after_flush) {
+    bool idle = false;
+    {
+      std::lock_guard<std::mutex> lock(conn->mu);
+      idle = conn->completed.empty() && conn->pending.empty();
+    }
+    if (idle) close_conn(loop, conn);
+  }
+}
+
+void PlacementServer::close_conn(EventLoop& loop,
+                                 const std::shared_ptr<Connection>& conn) {
+  // `conn` may alias the map's own shared_ptr (the shutdown sweep passes
+  // `loop.conns.begin()->second` directly); keep a local owner so the
+  // erase below cannot destroy the Connection out from under us.
+  std::shared_ptr<Connection> keep = conn;
+  if (keep->fd < 0) return;
+  {
+    std::lock_guard<std::mutex> lock(keep->mu);
+    keep->closed = true;
+    keep->pending.clear();  // completions in flight drop out harmlessly
+    keep->completed.clear();
+    keep->completed_frames = 0;
+  }
+  ::epoll_ctl(loop.epfd, EPOLL_CTL_DEL, keep->fd, nullptr);
+  ::close(keep->fd);
+  loop.conns.erase(keep->fd);
+  keep->fd = -1;
+  if (connections_active_ != nullptr) connections_active_->add(-1.0);
+}
+
+}  // namespace dvbp::net

@@ -1,0 +1,177 @@
+// PlacementServer: the binary-RPC network front-end of the sharded
+// placement service (docs/PROTOCOL.md, docs/ARCHITECTURE.md).
+//
+// Topology: one acceptor thread (accepts, round-robins connections across
+// loops) + N event-loop threads (epoll, level-triggered, nonblocking
+// sockets). Each connection owns a streaming FrameDecoder for partial-
+// frame reassembly and a write buffer flushed opportunistically (EPOLLOUT
+// armed only while the socket is full). Decoded Arrive/Depart requests are
+// submitted to the borrowed ShardedDispatcher through the non-blocking
+// try_arrive/try_depart path; the owning shard worker fires the
+// CompletionSink once the op is applied, which enqueues the encoded
+// response on the connection and wakes its loop via eventfd -- the
+// completion hookup that makes a response mean "placed", not "buffered".
+//
+// Admission control / backpressure (never unbounded buffering):
+//   * per-connection in-flight window (max_inflight_per_conn): requests
+//     beyond it are answered RETRY_LATER immediately;
+//   * full shard queue: try_arrive/try_depart refuse, answered RETRY_LATER.
+// Both are counted by dvbp.net.backpressure_rejections_total.
+//
+// Graceful drain (Drain RPC or a signal wired via install_signal_drain):
+// stop accepting, answer new Arrive/Depart with SHUTTING_DOWN, wait for
+// every accepted op to apply (service drain -- completions fire first, so
+// every accepted request gets exactly one response), sync the journals
+// when durability is on, then answer the Drain with the final snapshot's
+// packing hash and close every connection once its responses are flushed.
+//
+// Metrics (dvbp.net.*): connections_total, connections_active, frames_in/
+// out_total, bytes_in/out_total, decode_errors_total, requests_total,
+// backpressure_rejections_total, request_latency_ns (receive -> applied).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cloud/sharded_dispatcher.hpp"
+#include "net/frame.hpp"
+#include "obs/metrics.hpp"
+
+namespace dvbp::net {
+
+/// Thrown on socket-level failures (bind, listen, epoll...).
+class NetError : public std::runtime_error {
+ public:
+  explicit NetError(const std::string& what) : std::runtime_error(what) {}
+};
+
+struct ServerOptions {
+  std::string host = "127.0.0.1";
+  /// 0 binds an ephemeral port; read the actual one back via port().
+  std::uint16_t port = 0;
+  std::size_t event_loops = 1;
+  /// Per-connection cap on accepted-but-unanswered Arrive/Depart ops.
+  std::size_t max_inflight_per_conn = 1024;
+  /// Borrowed, nullable; receives the dvbp.net.* instruments.
+  obs::MetricRegistry* metrics = nullptr;
+};
+
+class PlacementServer {
+ public:
+  /// Binds, listens, and starts the acceptor + event-loop threads. The
+  /// service is borrowed and must outlive the server. Throws NetError when
+  /// the socket setup fails, std::invalid_argument on bad options.
+  PlacementServer(cloud::ShardedDispatcher& service,
+                  ServerOptions options = {});
+
+  /// Hard-stops if still running (stop()), then joins everything.
+  ~PlacementServer();
+
+  PlacementServer(const PlacementServer&) = delete;
+  PlacementServer& operator=(const PlacementServer&) = delete;
+
+  /// The bound TCP port (resolves option port 0).
+  std::uint16_t port() const noexcept { return port_; }
+
+  /// Triggers the graceful drain exactly as a Drain RPC would (minus the
+  /// response). Async-signal-safe: an atomic store plus an eventfd write.
+  void request_drain() noexcept;
+
+  /// Routes `signo` (e.g. SIGTERM, SIGINT) to request_drain() on this
+  /// server. At most one PlacementServer per process may install signal
+  /// handlers; they stay installed until the process exits.
+  void install_signal_drain(int signo);
+
+  /// Blocks until the server has fully stopped: after a graceful drain
+  /// completed (every response flushed, every connection closed) or after
+  /// stop().
+  void wait();
+
+  /// Hard stop: stops reading, waits for in-flight ops to apply so no
+  /// completion can fire into a destroyed loop, then closes everything.
+  /// Unread client data is lost (use the Drain RPC for a graceful end).
+  void stop();
+
+  /// True once a drain has been requested (RPC, signal, or request_drain).
+  bool draining() const noexcept {
+    return draining_.load(std::memory_order_acquire);
+  }
+
+ private:
+  struct EventLoop;
+  struct Connection;
+
+  void acceptor_run();
+  void loop_run(EventLoop& loop);
+  void handle_accept();
+  void register_conn(EventLoop& loop,
+                     const std::shared_ptr<Connection>& conn);
+  void handle_readable(EventLoop& loop,
+                       const std::shared_ptr<Connection>& conn);
+  /// Returns false when the connection was closed mid-processing.
+  bool process_request(EventLoop& loop,
+                       const std::shared_ptr<Connection>& conn,
+                       const std::vector<std::uint8_t>& payload);
+  /// Appends the encoded response to the connection's write buffer (the
+  /// caller flushes once per read batch).
+  void respond(const std::shared_ptr<Connection>& conn,
+               const Response& resp);
+  void pump_completions(EventLoop& loop,
+                        const std::shared_ptr<Connection>& conn);
+  void flush_writes(EventLoop& loop,
+                    const std::shared_ptr<Connection>& conn);
+  void close_conn(EventLoop& loop, const std::shared_ptr<Connection>& conn);
+  /// Runs the drain state machine once (idempotent): quiesce the service,
+  /// snapshot, sync journals. Later callers block until done, then no-op.
+  void execute_drain();
+  /// Flags every loop to close its connections once flushed (idempotent).
+  void begin_graceful_close();
+  void wake_acceptor() noexcept;
+  void join_threads();
+
+  cloud::ShardedDispatcher& service_;
+  ServerOptions options_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+
+  std::vector<std::unique_ptr<EventLoop>> loops_;
+  std::atomic<std::size_t> next_loop_{0};
+
+  std::thread acceptor_;
+  int acceptor_wake_fd_ = -1;
+
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> read_stopped_{false};   ///< loops stop processing input
+  std::atomic<bool> graceful_close_{false};  ///< close conns once flushed
+  std::atomic<bool> shutdown_loops_{false};  ///< loops close conns and exit
+  std::atomic<bool> acceptor_stop_{false};
+  std::atomic<bool> stopped_{false};
+
+  std::mutex drain_mu_;  ///< serializes execute_drain; guards the fields below
+  bool drain_done_ = false;
+  std::uint64_t drain_hash_ = 0;
+  std::uint64_t drain_bins_ = 0;
+  double drain_cost_ = 0.0;
+
+  std::mutex join_mu_;  ///< makes wait()/stop() joins safe to race
+
+  // Cached instruments (null when metrics are off).
+  obs::Counter* connections_total_ = nullptr;
+  obs::Gauge* connections_active_ = nullptr;
+  obs::Counter* frames_in_ = nullptr;
+  obs::Counter* frames_out_ = nullptr;
+  obs::Counter* bytes_in_ = nullptr;
+  obs::Counter* bytes_out_ = nullptr;
+  obs::Counter* decode_errors_ = nullptr;
+  obs::Counter* requests_total_ = nullptr;
+  obs::Counter* backpressure_ = nullptr;
+  obs::Histogram* request_latency_ = nullptr;
+};
+
+}  // namespace dvbp::net

@@ -66,9 +66,13 @@ double Histogram::quantile(double q) const {
 }
 
 std::vector<double> default_latency_bounds_ns() {
-  // 1us .. 100ms, 1-2.5-5 ladder (nanoseconds).
-  return {1e3,   2.5e3, 5e3,   1e4,   2.5e4, 5e4,   1e5,  2.5e5,
-          5e5,   1e6,   2.5e6, 5e6,   1e7,   2.5e7, 5e7,  1e8};
+  // 1us .. 1s, 1-2.5-5 ladder (nanoseconds). The upper decades exist so a
+  // p999 over queued end-to-end latencies (e.g. dvbp.net.request_latency_ns
+  // under backpressure) lands in a finite bucket and stays resolvable
+  // instead of collapsing into the overflow bucket.
+  return {1e3,   2.5e3, 5e3,   1e4,   2.5e4, 5e4,   1e5,   2.5e5, 5e5,
+          1e6,   2.5e6, 5e6,   1e7,   2.5e7, 5e7,   1e8,   2.5e8, 5e8,
+          1e9};
 }
 
 Counter& MetricRegistry::counter(std::string_view name) {
@@ -168,6 +172,7 @@ std::string MetricRegistry::to_json() const {
     out += ",\"sum\":" + json_number(h.sum());
     out += ",\"p50\":" + json_number(h.quantile(0.5));
     out += ",\"p99\":" + json_number(h.quantile(0.99));
+    out += ",\"p999\":" + json_number(h.quantile(0.999));
     out += '}';
   }
   out += "}}";

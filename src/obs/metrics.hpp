@@ -88,9 +88,10 @@ class Histogram {
   std::atomic<double> sum_{0.0};
 };
 
-/// Default histogram bounds for nanosecond latencies: 1us..100ms in a
-/// 1-2.5-5 ladder. Decision latencies of the in-memory allocator sit well
-/// inside this range.
+/// Default histogram bounds for nanosecond latencies: 1us..1s in a
+/// 1-2.5-5 ladder. Decision latencies of the in-memory allocator sit in
+/// the low decades; the upper ones keep queued end-to-end tails (network
+/// p999 under backpressure) out of the overflow bucket.
 std::vector<double> default_latency_bounds_ns();
 
 class MetricRegistry {

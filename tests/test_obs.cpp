@@ -381,6 +381,38 @@ TEST(DispatcherObserved, MetricsTrackLiveState) {
 
 // ---- Replay edge cases -----------------------------------------------------
 
+// Tail-quantile regression (docs/OBSERVABILITY.md): the default latency
+// ladder must resolve a p999 that sits decades above the median instead of
+// collapsing it into the overflow bucket, and snapshots must report it.
+TEST(HistogramTest, TailQuantileStaysResolvable) {
+  Histogram h(default_latency_bounds_ns());
+  // 10k fast observations around 5us, 50 stragglers near 400ms (0.5% of
+  // traffic, so the 0.999 rank lands among them) -- the shape of a
+  // request-latency histogram under transient backpressure.
+  for (int i = 0; i < 10000; ++i) h.observe(5.0e3);
+  for (int i = 0; i < 50; ++i) h.observe(4.0e8);
+
+  const double p50 = h.quantile(0.5);
+  const double p999 = h.quantile(0.999);
+  EXPECT_LE(p50, 1.0e4);
+  // The stragglers land in the (2.5e8, 5e8] bucket: p999 must surface
+  // them as a sub-second, supra-1e8 figure, not the overflow sentinel.
+  EXPECT_GT(p999, 1.0e8);
+  EXPECT_LE(p999, 5.0e8);
+  EXPECT_LE(p999, h.quantile(1.0));
+
+  // And the ladder itself keeps a finite 1s ceiling.
+  const std::vector<double> bounds = default_latency_bounds_ns();
+  ASSERT_FALSE(bounds.empty());
+  EXPECT_EQ(bounds.back(), 1.0e9);
+
+  MetricRegistry reg;
+  Histogram& lat = reg.histogram("dvbp.test.latency_ns");
+  lat.observe(1.0);
+  const std::string json = reg.to_json();
+  EXPECT_NE(json.find("\"p999\":"), std::string::npos);
+}
+
 TEST(Replay, EmptyTraceYieldsEmptyPacking) {
   const Packing p = replay_packing(std::vector<std::string>{});
   EXPECT_EQ(p.num_bins(), 0u);
