@@ -1,0 +1,234 @@
+// Bounded-migration cost ladder (docs/MIGRATION.md): how much of the gap
+// between the online no-repack cost and the offline bounds does a
+// per-departure migration budget buy back?
+//
+// For each workload x policy, runs the live Dispatcher + Rebalancer at
+// budgets {0, 1, 4, inf} migrations/event and reports achieved cost next
+// to two anchors computed on the same instance:
+//   * norepack_cost -- opt::offline_norepack, the clairvoyant one-bin-per-
+//     item baseline (what no amount of cleverness without migration beats);
+//   * lb_best       -- max of the Lemma 1 lower bounds LB1-LB3 on OPT.
+// Budget 0 is the unmodified online engine; budget inf shows the headroom
+// of this rebalancer (close-nearly-empty-bins) alone. The curated record
+// lives in bench/BENCH_migration.json, regenerated via
+// scripts/bench_baseline.sh --target=migration.
+//
+// Like bench_net this is not a google-benchmark binary (it reports costs,
+// not wall time), so it emits its own {"context":...,"benchmarks":[...]}
+// JSON.
+//
+// Flags: --n=2000 --d=2,5 --mu=12 --span=1000 --bin-size=100 --trials=3
+//        --seed=7 --policies=FirstFit,BestFit --budgets=0,1,4,inf
+//        --max-survivors=4 --out=FILE --smoke
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "core/dispatcher.hpp"
+#include "core/event.hpp"
+#include "core/instance.hpp"
+#include "core/policies/registry.hpp"
+#include "core/rebalancer.hpp"
+#include "gen/uniform.hpp"
+#include "harness/cli.hpp"
+#include "obs/json.hpp"
+#include "opt/lower_bounds.hpp"
+#include "opt/offline_norepack.hpp"
+
+namespace {
+
+using namespace dvbp;
+
+constexpr std::uint64_t kPolicySeed = 0xD1CEu;
+
+double parse_budget(const std::string& token) {
+  if (token == "inf" || token == "unlimited") {
+    return MigrationConfig::kUnlimited;
+  }
+  return std::stod(token);
+}
+
+std::string budget_label(double budget) {
+  if (budget == MigrationConfig::kUnlimited) return "inf";
+  return std::to_string(static_cast<long long>(budget));
+}
+
+struct RunOutcome {
+  double cost = 0.0;
+  std::uint64_t migrations = 0;
+  double migrated_volume = 0.0;
+  std::uint64_t bins_closed = 0;
+};
+
+/// One online run with the rebalancer attached after every departure.
+RunOutcome run_with_budget(const Instance& inst,
+                           const std::string& policy_name,
+                           const MigrationConfig& config) {
+  const PolicyPtr policy = make_policy(policy_name, kPolicySeed);
+  Dispatcher dispatcher(inst.dim(), *policy);
+  Rebalancer rebalancer(dispatcher, config);
+  const std::vector<Event> events = build_event_stream(inst);
+  std::vector<JobId> job_of_item(inst.size(), kNoItem);
+  for (const Event& ev : events) {
+    const Item& item = inst[ev.item];
+    if (ev.kind == EventKind::kArrival) {
+      job_of_item[ev.item] =
+          dispatcher.arrive(item.arrival, item.size, item.departure).job;
+    } else {
+      dispatcher.depart(ev.time, job_of_item[ev.item]);
+      rebalancer.on_departure(ev.time);
+    }
+  }
+  const MigrationStats& stats = rebalancer.stats();
+  RunOutcome out;
+  out.cost = dispatcher.cost_so_far(dispatcher.last_event_time());
+  out.migrations = stats.migrations;
+  out.migrated_volume = stats.migrated_volume;
+  out.bins_closed = stats.bins_closed;
+  return out;
+}
+
+struct Rung {
+  std::string workload;
+  std::string policy;
+  std::string budget;
+  RunOutcome mean;           // averaged over trials
+  double norepack_cost = 0.0;
+  double lb_best = 0.0;
+};
+
+void append_rung_json(std::string& out, const Rung& r) {
+  using obs::json_number;
+  out += "    {\"name\":\"" + r.workload + "/" + r.policy + "/b" +
+         r.budget + "\"";
+  out += ",\"workload\":\"" + r.workload + "\"";
+  out += ",\"policy\":\"" + r.policy + "\"";
+  out += ",\"budget\":\"" + r.budget + "\"";
+  out += ",\"cost\":" + json_number(r.mean.cost);
+  out += ",\"migrations\":" + json_number(
+             static_cast<double>(r.mean.migrations));
+  out += ",\"migrated_volume\":" + json_number(r.mean.migrated_volume);
+  out += ",\"bins_closed_by_migration\":" + json_number(
+             static_cast<double>(r.mean.bins_closed));
+  out += ",\"norepack_cost\":" + json_number(r.norepack_cost);
+  out += ",\"lb_best\":" + json_number(r.lb_best);
+  out += ",\"cost_over_lb\":" + json_number(
+             r.lb_best > 0.0 ? r.mean.cost / r.lb_best : 0.0);
+  out += "}";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const harness::Args args(argc, argv);
+  const bool smoke = args.get_bool("smoke", false);
+
+  // The norepack anchor's local search is O(n^2 * bins) per sweep, so the
+  // default instance is moderate; the online runs themselves scale to far
+  // larger n (see bench_hotpath).
+  const auto n =
+      static_cast<std::size_t>(args.get_int("n", smoke ? 150 : 400));
+  const std::vector<std::int64_t> dims = args.get_int_list(
+      "d", smoke ? std::vector<std::int64_t>{2}
+                 : std::vector<std::int64_t>{2, 5});
+  const std::int64_t mu = args.get_int("mu", 12);
+  const std::int64_t span = args.get_int("span", 1000);
+  const std::int64_t bin_size = args.get_int("bin-size", 100);
+  const auto trials =
+      static_cast<std::size_t>(args.get_int("trials", smoke ? 1 : 3));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 7));
+  const auto max_survivors =
+      static_cast<std::size_t>(args.get_int("max-survivors", 4));
+  std::vector<std::string> policies = args.get_list("policies");
+  if (policies.empty()) policies = {"FirstFit", "BestFit"};
+  std::vector<std::string> budget_tokens = args.get_list("budgets");
+  if (budget_tokens.empty()) budget_tokens = {"0", "1", "4", "inf"};
+  const std::string out_path = args.get("out", "");
+
+  std::vector<Rung> rungs;
+  for (const std::int64_t d : dims) {
+    const std::string workload = "uniform_d" + std::to_string(d);
+    // Offline anchors and online runs are averaged over the same trials.
+    std::vector<Instance> instances;
+    double norepack_cost = 0.0;
+    double lb_best = 0.0;
+    for (std::size_t t = 0; t < trials; ++t) {
+      gen::UniformParams params;
+      params.n = n;
+      params.d = static_cast<std::size_t>(d);
+      params.mu = mu;
+      params.span = span;
+      params.bin_size = bin_size;
+      instances.push_back(gen::uniform_instance(params, seed + t));
+      NoRepackOptions nopts;
+      if (smoke) {
+        nopts.max_sweeps = 5;
+        nopts.restarts = 0;
+      }
+      norepack_cost += offline_norepack(instances.back(), nopts).cost;
+      lb_best += lower_bounds(instances.back()).best();
+    }
+    norepack_cost /= static_cast<double>(trials);
+    lb_best /= static_cast<double>(trials);
+
+    for (const std::string& policy : policies) {
+      for (const std::string& token : budget_tokens) {
+        MigrationConfig config;
+        config.migrations_per_event = parse_budget(token);
+        config.max_survivors = max_survivors;
+        Rung rung;
+        rung.workload = workload;
+        rung.policy = policy;
+        rung.budget = budget_label(config.migrations_per_event);
+        for (const Instance& inst : instances) {
+          const RunOutcome one = run_with_budget(inst, policy, config);
+          rung.mean.cost += one.cost;
+          rung.mean.migrations += one.migrations;
+          rung.mean.migrated_volume += one.migrated_volume;
+          rung.mean.bins_closed += one.bins_closed;
+        }
+        rung.mean.cost /= static_cast<double>(trials);
+        rung.mean.migrations /= trials;
+        rung.mean.migrated_volume /= static_cast<double>(trials);
+        rung.mean.bins_closed /= trials;
+        rung.norepack_cost = norepack_cost;
+        rung.lb_best = lb_best;
+        std::cout << rung.workload << "/" << rung.policy << " budget="
+                  << rung.budget << ": cost=" << rung.mean.cost
+                  << " migrations=" << rung.mean.migrations
+                  << " (norepack=" << norepack_cost << ", lb=" << lb_best
+                  << ")" << std::endl;
+        rungs.push_back(rung);
+      }
+    }
+  }
+
+  std::string json = "{\n  \"context\": {";
+  json += "\"bench\":\"migration\"";
+  json += ",\"n\":" + std::to_string(n);
+  json += ",\"mu\":" + std::to_string(mu);
+  json += ",\"trials\":" + std::to_string(trials);
+  json += ",\"seed\":" + std::to_string(seed);
+  json += ",\"max_survivors\":" + std::to_string(max_survivors);
+  json += ",\"smoke\":" + std::string(smoke ? "true" : "false");
+  json += "},\n  \"benchmarks\": [\n";
+  for (std::size_t i = 0; i < rungs.size(); ++i) {
+    append_rung_json(json, rungs[i]);
+    if (i + 1 < rungs.size()) json += ",";
+    json += "\n";
+  }
+  json += "  ]\n}\n";
+
+  if (!out_path.empty()) {
+    harness::require_writable_file("--out", out_path);
+    std::ofstream out(out_path);
+    out << json;
+    std::cout << "wrote " << out_path << std::endl;
+  } else {
+    std::cout << json;
+  }
+  return 0;
+}

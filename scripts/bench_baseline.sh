@@ -13,10 +13,16 @@
 #            latency tail of the binary-RPC placement server; emits its
 #            own JSON (not google-benchmark), so --repetitions does not
 #            apply (curated record: bench/BENCH_net.json, docs/PROTOCOL.md)
+#   migration bench/bench_migration.cpp, achieved cost at migration
+#            budgets {0,1,4,inf} vs the offline no-repack baseline and
+#            the Lemma 1 lower bounds; emits its own JSON, --repetitions
+#            does not apply (curated record: bench/BENCH_migration.json,
+#            docs/MIGRATION.md)
 # Re-run after any engine or service change and compare against the
 # committed record.
 #
-# Usage: scripts/bench_baseline.sh [--target=hotpath|sharded|persist|net]
+# Usage: scripts/bench_baseline.sh
+#          [--target=hotpath|sharded|persist|net|migration]
 #                                  [--smoke]
 #                                  [--build-dir=DIR] [--out=FILE]
 #                                  [--repetitions=N]
@@ -49,8 +55,9 @@ for arg in "$@"; do
 done
 
 case "$target" in
-  hotpath|sharded|persist|net) ;;
-  *) echo "unknown target: $target (hotpath|sharded|persist|net)" >&2
+  hotpath|sharded|persist|net|migration) ;;
+  *) echo "unknown target: $target" \
+          "(hotpath|sharded|persist|net|migration)" >&2
      exit 2 ;;
 esac
 [[ -n "$out" ]] || out="BENCH_${target}.json"
@@ -62,8 +69,9 @@ if [[ ! -x "$bench" ]]; then
   exit 1
 fi
 
-# bench_net speaks the harness CLI and writes its own JSON.
-if [[ "$target" == net ]]; then
+# bench_net and bench_migration speak the harness CLI and write their
+# own JSON.
+if [[ "$target" == net || "$target" == migration ]]; then
   args=(--out="$out")
   if [[ "$smoke" == 1 ]]; then
     args+=(--smoke)

@@ -214,12 +214,17 @@ void ShardedDispatcher::rebuild_job_table() {
     for (std::size_t local = 0; local < shard.global_of_local.size();
          ++local) {
       JobRec& rec = job_rec(shard.global_of_local[local]);
+      // A cross-shard-migrated job (rebalance_shards: depart on the
+      // source, arrive on the destination) appears in both shards'
+      // journals. The shard where it is still active owns it; when it is
+      // active nowhere (migrated then departed) the first claim stands.
+      const bool active_here =
+          shard.dispatcher->bin_of(static_cast<JobId>(local)) != kNoBin;
+      if (rec.local != kNoItem && !active_here) continue;
       rec.shard.store(static_cast<std::uint32_t>(s),
                       std::memory_order_relaxed);
       rec.local = static_cast<JobId>(local);
-      rec.departed.store(
-          shard.dispatcher->bin_of(static_cast<JobId>(local)) == kNoBin,
-          std::memory_order_relaxed);
+      rec.departed.store(!active_here, std::memory_order_relaxed);
     }
   }
   // Round-robin's counter advanced once per admission in the original
@@ -813,13 +818,10 @@ Packing ShardedDispatcher::shard_packing(std::size_t shard) const {
   }
   require_quiescent();
   std::lock_guard<std::mutex> lock(shards_[shard]->mu);
-  const Dispatcher& dispatcher = *shards_[shard]->dispatcher;
-  std::vector<BinId> assignment(dispatcher.jobs_admitted(), kNoBin);
-  for (const BinRecord& rec : dispatcher.records()) {
-    for (ItemId item : rec.items) assignment[item] = rec.id;
-  }
-  return Packing(std::move(assignment),
-                 dispatcher.records());
+  // assignment[j] = last bin j was packed into -- identical to a
+  // records() scan without migration, and still correct when migration
+  // lists a job in several bins (core/rebalancer.hpp).
+  return shards_[shard]->dispatcher->packing();
 }
 
 Packing ShardedDispatcher::snapshot() const {
@@ -847,9 +849,23 @@ Packing ShardedDispatcher::snapshot() const {
       merged.id = rec.id + offsets[s];
       for (ItemId& item : merged.items) {
         item = shard.global_of_local[item];
-        assignment[item] = merged.id;
       }
       bins.push_back(std::move(merged));
+    }
+    // Assignment comes from each shard's last-bin table, not the record
+    // scan: under migration a job is listed in every bin it ever
+    // occupied. A cross-shard-migrated job appears in two shards'
+    // local tables; its final owner per the job table wins.
+    for (std::size_t local = 0; local < shard.global_of_local.size();
+         ++local) {
+      const JobId global = shard.global_of_local[local];
+      if (job_rec(global).shard.load(std::memory_order_acquire) !=
+          static_cast<std::uint32_t>(s)) {
+        continue;
+      }
+      assignment[global] =
+          shard.dispatcher->last_bin_of(static_cast<JobId>(local)) +
+          offsets[s];
     }
   }
   return Packing(std::move(assignment), std::move(bins));
@@ -875,6 +891,142 @@ const Item& ShardedDispatcher::job_item(JobId job) const {
   const JobId local = rec.local;
   std::lock_guard<std::mutex> lock(shards_[shard]->mu);
   return shards_[shard]->dispatcher->items()[local];
+}
+
+const Dispatcher& ShardedDispatcher::shard_dispatcher(
+    std::size_t shard) const {
+  if (shard >= shards_.size()) {
+    throw std::invalid_argument(
+        "ShardedDispatcher::shard_dispatcher: bad shard");
+  }
+  require_quiescent();
+  return *shards_[shard]->dispatcher;
+}
+
+namespace {
+
+double load_skew(const std::vector<double>& loads) {
+  const double mx = *std::max_element(loads.begin(), loads.end());
+  const double mn = *std::min_element(loads.begin(), loads.end());
+  if (mn <= 1e-12) {
+    return mx <= 1e-12 ? 1.0 : std::numeric_limits<double>::infinity();
+  }
+  return mx / mn;
+}
+
+}  // namespace
+
+ShardRebalanceReport ShardedDispatcher::rebalance_shards(
+    Time now, const ShardRebalanceConfig& config) {
+  require_quiescent();
+  ShardRebalanceReport report;
+  if (shards_.size() < 2) {
+    report.skew_before = report.skew_after = 1.0;
+    return report;
+  }
+
+  std::vector<double> loads(shards_.size(), 0.0);
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    std::lock_guard<std::mutex> lock(shards_[s]->mu);
+    loads[s] = shards_[s]->dispatcher->total_active_load();
+  }
+  report.skew_before = load_skew(loads);
+
+  while (report.moves < config.max_moves) {
+    const std::size_t src = static_cast<std::size_t>(
+        std::max_element(loads.begin(), loads.end()) - loads.begin());
+    const std::size_t dst = static_cast<std::size_t>(
+        std::min_element(loads.begin(), loads.end()) - loads.begin());
+    const double gap = loads[src] - loads[dst];
+    if (gap < config.min_gap) break;
+    if (loads[src] <= config.skew_ratio * loads[dst]) break;
+
+    Shard& source = *shards_[src];
+    Shard& dest = *shards_[dst];
+
+    // Pick the largest active job that does not overshoot: moving more
+    // than half the gap would just invert the skew.
+    JobId local = kNoItem;
+    JobId global = kNoItem;
+    RVec size;
+    Time expected = 0.0;
+    {
+      std::lock_guard<std::mutex> lock(source.mu);
+      const Dispatcher& d = *source.dispatcher;
+      double best_l1 = 0.0;
+      for (JobId j = 0; j < d.jobs_admitted(); ++j) {
+        if (d.bin_of(j) == kNoBin) continue;
+        const double l1 = d.items()[j].size.l1();
+        if (l1 <= gap / 2.0 + 1e-12 && l1 > best_l1) {
+          best_l1 = l1;
+          local = j;
+        }
+      }
+      if (local == kNoItem) break;  // only oversized jobs left
+      global = source.global_of_local[local];
+      size = d.items()[local].size;
+      expected = d.items()[local].departure;  // still the advisory value
+    }
+
+    // Depart on the source and make it durable BEFORE the destination
+    // arrival exists anywhere: a crash between the two steps then loses
+    // the arrival (the job recovers as departed) and can never resurrect
+    // the job on both shards.
+    {
+      std::lock_guard<std::mutex> lock(source.mu);
+      const Time t = std::max(now, source.dispatcher->last_event_time());
+      source.dispatcher->depart(t, local);
+      if (source.journal != nullptr && !source.journal_dead) {
+        try {
+          source.journal->append(persist::OpKind::kDepart, t, global);
+          source.journal->commit();
+          source.journal->sync();
+        } catch (...) {
+          source.journal_dead = true;
+          record_worker_error();
+        }
+      }
+      source.load_snapshot.store(source.dispatcher->total_active_load(),
+                                 std::memory_order_relaxed);
+    }
+    {
+      std::lock_guard<std::mutex> lock(dest.mu);
+      const Time t = std::max(now, dest.dispatcher->last_event_time());
+      const Time exp =
+          expected > t ? expected : std::numeric_limits<Time>::infinity();
+      const JobId dest_local =
+          static_cast<JobId>(dest.dispatcher->jobs_admitted());
+      RVec journal_size;
+      const bool journal_op = dest.journal != nullptr && !dest.journal_dead;
+      if (journal_op) journal_size = size;
+      const double l1 = size.l1();
+      dest.dispatcher->arrive(t, std::move(size), exp);
+      dest.global_of_local.push_back(global);
+      JobRec& rec = job_rec(global);
+      rec.shard.store(static_cast<std::uint32_t>(dst),
+                      std::memory_order_release);
+      rec.local = dest_local;
+      if (journal_op) {
+        try {
+          dest.journal->append(persist::OpKind::kArrive, t, global, exp,
+                               &journal_size);
+          dest.journal->commit();
+        } catch (...) {
+          dest.journal_dead = true;
+          record_worker_error();
+        }
+      }
+      dest.load_snapshot.store(dest.dispatcher->total_active_load(),
+                               std::memory_order_relaxed);
+      loads[src] -= l1;
+      loads[dst] += l1;
+      report.moved_volume += l1;
+    }
+    ++report.moves;
+  }
+
+  report.skew_after = load_skew(loads);
+  return report;
 }
 
 }  // namespace dvbp::cloud

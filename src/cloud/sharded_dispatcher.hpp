@@ -99,6 +99,27 @@ struct ShardedOptions {
   std::size_t checkpoint_every = 0;
 };
 
+/// Knobs for rebalance_shards() (docs/MIGRATION.md). A move is a
+/// depart-on-source + arrive-on-destination under the same global job id,
+/// journaled on both shards (source made durable first, so a crash in
+/// between can only lose the destination arrival -- the job recovers as
+/// departed -- never duplicate it).
+struct ShardRebalanceConfig {
+  /// Trigger: move while max shard load > skew_ratio * min shard load.
+  double skew_ratio = 1.5;
+  /// Stop once the absolute max-min load gap falls below this.
+  double min_gap = 0.25;
+  /// Migration budget: at most this many jobs moved per call.
+  std::size_t max_moves = 16;
+};
+
+struct ShardRebalanceReport {
+  std::size_t moves = 0;
+  double moved_volume = 0.0;  ///< sum of moved jobs' L1 sizes
+  double skew_before = 0.0;   ///< max/min load ratio at entry
+  double skew_after = 0.0;    ///< max/min load ratio at exit
+};
+
 /// Completion hook for asynchronous submissions (the network front-end,
 /// src/net/server.cpp). The owning shard worker calls op_applied() exactly
 /// once per accepted try_arrive/try_depart, after the op has been applied
@@ -237,6 +258,21 @@ class ShardedDispatcher {
   /// How shard `shard` recovered at construction (all-defaults when
   /// journaling is off or the directory was empty: a cold start).
   const persist::RecoveryReport& shard_recovery(std::size_t shard) const;
+
+  /// Shard-level rebalancing: while the shard loads skew beyond
+  /// `config.skew_ratio`, moves jobs (largest first, bounded by half the
+  /// load gap) from the most- to the least-loaded shard, re-routing each
+  /// job's ownership so later departs land on the new shard. Requires
+  /// quiescence (drain() first, no concurrent producers) -- the whole
+  /// call runs with the service idle, mutating shard state under the
+  /// shard mutexes and bypassing the queues. At most `config.max_moves`
+  /// jobs move per call. Journaled when durability is on.
+  ShardRebalanceReport rebalance_shards(
+      Time now, const ShardRebalanceConfig& config = {});
+
+  /// Read-only view of shard `shard`'s live dispatcher, for invariant
+  /// checking in tests. Quiescent only.
+  const Dispatcher& shard_dispatcher(std::size_t shard) const;
 
  private:
   struct Op {

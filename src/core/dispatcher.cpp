@@ -88,6 +88,8 @@ Dispatcher::Admission Dispatcher::arrive(Time now, RVec size,
                              bin.capacity()});
     records_.back().items.push_back(job);
     assignment_.push_back(id);
+    last_bin_.push_back(id);
+    evicted_.push_back(0);
     policy_.on_open(now, id, item);
     if (obs_ != nullptr) obs_->on_place(now, job, id, true, rejections);
     admission.bin = id;
@@ -110,6 +112,8 @@ Dispatcher::Admission Dispatcher::arrive(Time now, RVec size,
   views_[slot].latest_departure = bin.latest_departure();
   records_[bin.id()].items.push_back(job);
   assignment_.push_back(bin.id());
+  last_bin_.push_back(bin.id());
+  evicted_.push_back(0);
   policy_.on_pack(now, bin.id(), item);
   if (obs_ != nullptr) obs_->on_place(now, job, bin.id(), false, rejections);
   admission.bin = bin.id();
@@ -123,7 +127,10 @@ void Dispatcher::depart(Time now, JobId job) {
   }
   const BinId bin_id = assignment_[job];
   if (bin_id == kNoBin) {
-    throw std::invalid_argument("Dispatcher::depart: job already departed");
+    throw std::invalid_argument(
+        evicted_[job] != 0
+            ? "Dispatcher::depart: job is evicted; replace() it first"
+            : "Dispatcher::depart: job already departed");
   }
   // Patch the actual departure so latest-departure bookkeeping is honest.
   items_[job].departure = now;
@@ -149,6 +156,109 @@ void Dispatcher::depart(Time now, JobId job) {
     if (emptied) obs_->on_close(now, bin_id, bin.opened_at());
   }
   policy_.on_depart(now, bin_id, items_[job], emptied);
+}
+
+Dispatcher::Eviction Dispatcher::evict(Time now, JobId job) {
+  check_time(now);
+  if (job >= items_.size()) {
+    throw std::invalid_argument("Dispatcher::evict: unknown job");
+  }
+  const BinId bin_id = assignment_[job];
+  if (bin_id == kNoBin) {
+    throw std::invalid_argument(
+        evicted_[job] != 0 ? "Dispatcher::evict: job already evicted"
+                           : "Dispatcher::evict: job already departed");
+  }
+  const std::uint32_t slot = slot_of_[bin_id];
+  if (slot == kNoSlot) {
+    throw std::logic_error("Dispatcher::evict: bin not open");
+  }
+  BinState& bin = bins_[open_order_[slot]];
+  // The item's departure field is left alone: the job is still running.
+  const bool emptied = bin.remove(items_[job]);
+  assignment_[job] = kNoBin;
+  evicted_[job] = 1;
+  ++evicted_jobs_;
+  if (emptied) {
+    records_[bin_id].closed = now;
+    closed_usage_ += records_[bin_id].usage_time();
+    close_slot(slot);
+  } else {
+    views_[slot].num_items = bin.num_active();
+    views_[slot].latest_departure = bin.latest_departure();
+  }
+  if (obs_ != nullptr) {
+    obs_->on_evict(now, job, bin_id, emptied);
+    if (emptied) obs_->on_close(now, bin_id, bin.opened_at());
+  }
+  policy_.on_depart(now, bin_id, items_[job], emptied);
+  return Eviction{bin_id, emptied};
+}
+
+BinId Dispatcher::replace(Time now, JobId job, BinId target) {
+  check_time(now);
+  if (job >= items_.size() || evicted_[job] == 0) {
+    throw std::invalid_argument(
+        "Dispatcher::replace: job is not in the evicted state");
+  }
+  const Item& item = items_[job];
+
+  if (target == kNoBin) {
+    const BinId id = static_cast<BinId>(bins_.size());
+    const BinState* old_data = bins_.data();
+    bins_.emplace_back(id, dim_, now, capacity_);
+    if (bins_.data() != old_data) repatch_view_loads();
+    records_.push_back(BinRecord{id, now, now, {}});
+    slot_of_.push_back(static_cast<std::uint32_t>(open_order_.size()));
+    open_order_.push_back(bins_.size() - 1);
+    if (obs_ != nullptr) obs_->on_open(now, id);
+    BinState& bin = bins_.back();
+    bin.add(item);
+    views_.push_back(BinView{id, &bin.load(), bin.opened_at(),
+                             bin.num_active(), bin.latest_departure(),
+                             bin.capacity()});
+    records_.back().items.push_back(job);
+    assignment_[job] = id;
+    last_bin_[job] = id;
+    evicted_[job] = 0;
+    --evicted_jobs_;
+    policy_.on_open(now, id, item);
+    if (obs_ != nullptr) obs_->on_replace(now, job, id, true);
+    return id;
+  }
+
+  if (target >= bins_.size() || slot_of_[target] == kNoSlot) {
+    throw PolicyViolation(
+        "Dispatcher::replace: target bin is not open");
+  }
+  const std::uint32_t slot = slot_of_[target];
+  BinState& bin = bins_[open_order_[slot]];
+  if (!bin.fits(item.size)) {
+    throw PolicyViolation(
+        "Dispatcher::replace: target bin cannot hold the job");
+  }
+  bin.add(item);
+  views_[slot].num_items = bin.num_active();
+  views_[slot].latest_departure = bin.latest_departure();
+  records_[bin.id()].items.push_back(job);
+  assignment_[job] = bin.id();
+  last_bin_[job] = bin.id();
+  evicted_[job] = 0;
+  --evicted_jobs_;
+  policy_.on_pack(now, bin.id(), item);
+  if (obs_ != nullptr) obs_->on_replace(now, job, bin.id(), false);
+  return bin.id();
+}
+
+BinId Dispatcher::last_bin_of(JobId job) const {
+  if (job >= last_bin_.size()) {
+    throw std::invalid_argument("Dispatcher::last_bin_of: unknown job");
+  }
+  return last_bin_[job];
+}
+
+Packing Dispatcher::packing() const {
+  return Packing(last_bin_, records_);
 }
 
 void Dispatcher::close_slot(std::uint32_t slot) {
@@ -194,6 +304,10 @@ void Dispatcher::save_state(serial::Writer& out) const {
     for (double c : item.size) out.f64(c);
   }
   for (BinId bin : assignment_) out.u32(bin);
+  for (JobId job = 0; job < items_.size(); ++job) {
+    out.u32(last_bin_[job]);
+    out.u8(evicted_[job]);
+  }
 
   out.u64(records_.size());
   for (const BinRecord& rec : records_) {
@@ -241,6 +355,13 @@ void Dispatcher::restore_state(serial::Reader& in) {
   assignment_.reserve(num_items);
   for (std::uint64_t i = 0; i < num_items; ++i) {
     assignment_.push_back(in.u32());
+  }
+  last_bin_.reserve(num_items);
+  evicted_.reserve(num_items);
+  for (std::uint64_t i = 0; i < num_items; ++i) {
+    last_bin_.push_back(in.u32());
+    evicted_.push_back(in.u8());
+    if (evicted_.back() != 0) ++evicted_jobs_;
   }
 
   const std::uint64_t num_bins = in.u64();

@@ -57,6 +57,49 @@ class Dispatcher {
   /// unknown/already-departed jobs or time regressions.
   void depart(Time now, JobId job);
 
+  // --- Migration primitives (src/core/rebalancer.hpp) ------------------
+
+  struct Eviction {
+    BinId bin = kNoBin;   ///< bin the job was evicted from
+    bool emptied = false; ///< true if the eviction closed that bin
+  };
+
+  /// Removes `job` from its bin without departing it: the job stays
+  /// active ("in limbo") and must be re-placed with replace() before it
+  /// can depart. If the bin empties it closes permanently, exactly as on
+  /// a departure. Unlike depart(), the item's departure field is NOT
+  /// patched (the job is still running). Throws std::invalid_argument
+  /// for unknown, departed, or already-evicted jobs.
+  Eviction evict(Time now, JobId job);
+
+  /// Re-places a previously evicted `job` at `now`: into open bin
+  /// `target`, or into a freshly opened bin when `target` == kNoBin.
+  /// Throws std::invalid_argument if the job is not in limbo and
+  /// PolicyViolation if `target` is not open or cannot hold the job.
+  /// Returns the (possibly new) bin id.
+  BinId replace(Time now, JobId job, BinId target = kNoBin);
+
+  /// True while `job` has been evict()ed but not yet replace()d.
+  bool is_evicted(JobId job) const {
+    return job < evicted_.size() && evicted_[job] != 0;
+  }
+
+  /// Number of jobs currently in limbo (evicted, not yet re-placed).
+  std::size_t jobs_evicted() const noexcept { return evicted_jobs_; }
+
+  /// Last bin `job` was packed into (never reset by depart/evict) --
+  /// the authoritative final placement for Packing assignment under
+  /// migration, where records() may list a job in several bins.
+  BinId last_bin_of(JobId job) const;
+
+  /// Materializes the current placement: assignment[j] = last bin j was
+  /// packed into, plus the full bin records. Under migration a job
+  /// appears in the item list of every bin it ever occupied; the
+  /// assignment names the final one. Jobs in limbo keep their previous
+  /// bin in the assignment -- call at quiescence (no evicted jobs) for a
+  /// well-defined packing.
+  Packing packing() const;
+
   // --- Introspection ---------------------------------------------------
 
   std::size_t dim() const noexcept { return dim_; }
@@ -98,6 +141,16 @@ class Dispatcher {
   /// opening time with `closed` == opened; consult open_bins()).
   const std::vector<BinRecord>& records() const noexcept { return records_; }
 
+  /// Live state of bin `id` if it is currently open, nullptr otherwise.
+  /// Invalidated by the next mutating call (invariant-checker use).
+  const BinState* open_bin_state(BinId id) const noexcept {
+    if (id >= slot_of_.size() || slot_of_[id] == kNoSlot) return nullptr;
+    return &bins_[open_order_[slot_of_[id]]];
+  }
+
+  /// Running sum of closed bins' usage time (monotone; checker use).
+  double closed_usage() const noexcept { return closed_usage_; }
+
   // --- Checkpointing (src/persist/checkpoint.hpp) ----------------------
 
   /// Serializes the complete allocation state -- items, assignments, bin
@@ -134,6 +187,9 @@ class Dispatcher {
 
   std::vector<Item> items_;          // by JobId; departure patched on depart
   std::vector<BinId> assignment_;    // JobId -> bin (kNoBin once departed)
+  std::vector<BinId> last_bin_;      // JobId -> last bin packed into
+  std::vector<std::uint8_t> evicted_;  // JobId -> 1 while in limbo
+  std::size_t evicted_jobs_ = 0;
   std::vector<BinState> bins_;       // every bin ever opened, by id
   std::vector<std::size_t> open_order_;  // indices into bins_, opening order
   std::vector<std::uint32_t> slot_of_;  // BinId -> slot in open_order_/views_

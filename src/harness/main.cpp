@@ -18,6 +18,7 @@
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <optional>
 #include <set>
 #include <string>
 #include <vector>
@@ -26,8 +27,10 @@
 #include "cloud/sharded_dispatcher.hpp"
 #include "core/event.hpp"
 #include "core/instance.hpp"
+#include "core/dispatcher.hpp"
 #include "core/packing_hash.hpp"
 #include "core/policies/registry.hpp"
+#include "core/rebalancer.hpp"
 #include "core/simulator.hpp"
 #include "gen/registry.hpp"
 #include "harness/cli.hpp"
@@ -56,6 +59,13 @@ int usage() {
       "  service:   --shards=K  (run the sharded placement service instead\n"
       "             of the serial simulator; reports wall-clock throughput)\n"
       "             --router=round-robin|rendezvous|least-usage\n"
+      "  migration (docs/MIGRATION.md):\n"
+      "             --migrate-budget=N|inf   migrations allowed per\n"
+      "             departure event (amortized; 0 disables repacking)\n"
+      "             --migrate-volume=V|inf   L1 volume allowed per event\n"
+      "             serial: runs the live Dispatcher + Rebalancer instead\n"
+      "             of simulate(); sharded: one shard-rebalance pass at\n"
+      "             the stream midpoint with max_moves=budget\n"
       "  outputs:   --metrics-out=<path.json> --trace-out=<path.jsonl>\n"
       "             --check-roundtrip  (replay trace, verify packing)\n"
       "             --quiet\n"
@@ -93,7 +103,7 @@ void reject_unknown_flags(const harness::Args& args) {
       "metrics-out", "trace-out",  "check-roundtrip", "quiet",
       "shards",    "router",       "help",
       "journal-dir", "checkpoint-every", "recover", "fsync",
-      "fsync-interval"};
+      "fsync-interval", "migrate-budget", "migrate-volume"};
   for (const std::string& key : args.keys()) {
     if (!kKnown.count(key)) {
       throw harness::CliError("unknown flag '--" + key +
@@ -108,6 +118,38 @@ void validate_output_paths(const harness::Args& args) {
   harness::require_writable_file("metrics-out", args.get("metrics-out", ""));
   harness::require_writable_file("trace-out", args.get("trace-out", ""));
   harness::require_writable_dir("journal-dir", args.get("journal-dir", ""));
+}
+
+/// Budget values accept "inf"/"unlimited" in addition to numbers, so the
+/// unbounded sweep point of bench_migration is expressible from the CLI.
+double parse_budget_value(const std::string& flag, const std::string& value,
+                          double fallback) {
+  if (value.empty()) return fallback;
+  if (value == "inf" || value == "unlimited") {
+    return MigrationConfig::kUnlimited;
+  }
+  try {
+    const double v = std::stod(value);
+    if (v < 0.0) throw std::invalid_argument("negative");
+    return v;
+  } catch (const std::exception&) {
+    throw harness::CliError("--" + flag + "=" + value +
+                            " is not a budget (number >= 0, or 'inf')");
+  }
+}
+
+MigrationConfig parse_migration_config(const harness::Args& args) {
+  MigrationConfig config;
+  config.migrations_per_event = parse_budget_value(
+      "migrate-budget", args.get("migrate-budget", ""), 0.0);
+  config.volume_per_event =
+      parse_budget_value("migrate-volume", args.get("migrate-volume", ""),
+                         MigrationConfig::kUnlimited);
+  return config;
+}
+
+bool wants_migration(const harness::Args& args) {
+  return args.has("migrate-budget") || args.has("migrate-volume");
 }
 
 Instance load_instance(const harness::Args& args) {
@@ -189,10 +231,32 @@ int run_sharded(const harness::Args& args, const Instance& inst) {
     return 0;
   }
 
+  // --migrate-budget > 0: pause at the stream midpoint (drained, so the
+  // service is quiescent) and run one shard-rebalance pass with the budget
+  // as the move cap. Rebalancing at the end would be vacuous -- the full
+  // event stream departs every job.
+  const MigrationConfig migration = parse_migration_config(args);
+  const bool rebalance =
+      wants_migration(args) && migration.migrations_per_event > 0.0 &&
+      shards > 1;
+  cloud::ShardRebalanceReport rebalance_report;
+
   const std::vector<Event> events = build_event_stream(inst);
   std::vector<JobId> job_of_item(inst.size(), kNoItem);
+  const std::size_t midpoint = rebalance ? events.size() / 2 : events.size();
   const auto start = std::chrono::steady_clock::now();
-  for (const Event& ev : events) {
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    if (i == midpoint && rebalance) {
+      service.drain();
+      cloud::ShardRebalanceConfig rconfig;
+      rconfig.max_moves =
+          migration.migrations_per_event == MigrationConfig::kUnlimited
+              ? rconfig.max_moves
+              : static_cast<std::size_t>(migration.migrations_per_event);
+      rebalance_report =
+          service.rebalance_shards(events[i].time, rconfig);
+    }
+    const Event& ev = events[i];
     const Item& item = inst[ev.item];
     if (ev.kind == EventKind::kArrival) {
       job_of_item[ev.item] =
@@ -248,6 +312,15 @@ int run_sharded(const harness::Args& args, const Instance& inst) {
                0)});
     }
     std::cout << per_shard.to_aligned_text();
+    if (rebalance) {
+      harness::Table rb({"rebalance_moves", "moved_volume", "skew_before",
+                         "skew_after"});
+      rb.add_row({std::to_string(rebalance_report.moves),
+                  harness::Table::num(rebalance_report.moved_volume, 3),
+                  harness::Table::num(rebalance_report.skew_before, 2),
+                  harness::Table::num(rebalance_report.skew_after, 2)});
+      std::cout << rb.to_aligned_text();
+    }
     if (!metrics_out.empty()) std::cout << "metrics: " << metrics_out << '\n';
   }
   return 0;
@@ -310,6 +383,16 @@ int run_durable(const harness::Args& args, const Instance& inst) {
     return 0;
   }
 
+  // Migration over the durable path: the Rebalancer plans against the
+  // inner dispatcher but mutates through the journaled evict/replace
+  // wrappers, so every migration is crash-recoverable.
+  const MigrationConfig migration = parse_migration_config(args);
+  std::optional<Rebalancer> rebalancer;
+  if (wants_migration(args)) {
+    rebalancer.emplace(service.dispatcher(), migration,
+                       service.migration_exec());
+  }
+
   const std::vector<Event> events = build_event_stream(inst);
   std::vector<JobId> job_of_item(inst.size(), kNoItem);
   const auto start = std::chrono::steady_clock::now();
@@ -320,6 +403,7 @@ int run_durable(const harness::Args& args, const Instance& inst) {
           service.arrive(item.arrival, item.size, item.departure).job;
     } else {
       service.depart(ev.time, job_of_item[ev.item]);
+      if (rebalancer) rebalancer->on_departure(ev.time);
     }
   }
   service.flush();
@@ -349,9 +433,105 @@ int run_durable(const harness::Args& args, const Instance& inst) {
          std::to_string(
              registry.counter("dvbp.persist.checkpoints_total").value())});
     std::cout << summary.to_aligned_text();
+    if (rebalancer) {
+      const MigrationStats& stats = rebalancer->stats();
+      std::cout << "migrations: " << stats.migrations << " (volume "
+                << harness::Table::num(stats.migrated_volume, 3)
+                << ", bins closed " << stats.bins_closed << ")\n";
+    }
     std::cout << "journal: " << journal_dir << '\n';
     if (!metrics_out.empty()) std::cout << "metrics: " << metrics_out
                                         << '\n';
+  }
+  return 0;
+}
+
+bool same_packing(const Packing& a, const Packing& b);
+
+/// Serial migration mode (--migrate-budget without --shards/--journal-dir):
+/// the event stream runs through a live Dispatcher with a Rebalancer
+/// attached, so departures can trigger bounded repacking. Telemetry
+/// (metrics, JSONL trace, --check-roundtrip) works exactly as in the
+/// simulate() path; the trace additionally carries evict/replace records.
+int run_migration(const harness::Args& args, const Instance& inst) {
+  const std::string policy_name = args.get("policy", "MoveToFront");
+  const std::string metrics_out = args.get("metrics-out", "");
+  const std::string trace_out = args.get("trace-out", "");
+  const bool quiet = args.get_bool("quiet");
+
+  obs::MetricRegistry registry;
+  std::shared_ptr<obs::TraceSink> sink;
+  if (!trace_out.empty()) {
+    sink = std::make_shared<obs::FileSink>(trace_out);
+  }
+  obs::Tracer tracer(sink);
+  obs::Observer observer(&registry, &tracer);
+
+  const PolicyPtr policy = make_policy(
+      policy_name,
+      static_cast<std::uint64_t>(args.get_int("policy-seed", 0xD1CEu)));
+  Dispatcher dispatcher(inst.dim(), *policy,
+                        args.get_double("capacity", 1.0), &observer);
+  Rebalancer rebalancer(dispatcher, parse_migration_config(args));
+
+  const std::vector<Event> events = build_event_stream(inst);
+  std::vector<JobId> job_of_item(inst.size(), kNoItem);
+  const auto start = std::chrono::steady_clock::now();
+  for (const Event& ev : events) {
+    const Item& item = inst[ev.item];
+    if (ev.kind == EventKind::kArrival) {
+      job_of_item[ev.item] =
+          dispatcher.arrive(item.arrival, item.size, item.departure).job;
+    } else {
+      dispatcher.depart(ev.time, job_of_item[ev.item]);
+      rebalancer.on_departure(ev.time);
+    }
+  }
+  tracer.flush();
+  const std::chrono::duration<double> wall =
+      std::chrono::steady_clock::now() - start;
+
+  if (!metrics_out.empty()) {
+    std::ofstream out(metrics_out);
+    if (!out) {
+      throw std::runtime_error("cannot open metrics-out '" + metrics_out +
+                               "'");
+    }
+    out << registry.to_json() << '\n';
+  }
+
+  const Packing packing = dispatcher.packing();
+  const MigrationStats& stats = rebalancer.stats();
+  if (!quiet) {
+    harness::Table summary({"policy", "items", "cost", "bins", "migrations",
+                            "migrated_volume", "bins_closed_by_migration",
+                            "wall_ms"});
+    summary.add_row(
+        {policy_name, std::to_string(inst.size()),
+         harness::Table::num(packing.cost(), 1),
+         std::to_string(dispatcher.bins_opened()),
+         std::to_string(stats.migrations),
+         harness::Table::num(stats.migrated_volume, 3),
+         std::to_string(stats.bins_closed),
+         harness::Table::num(wall.count() * 1e3, 2)});
+    std::cout << summary.to_aligned_text();
+    if (!trace_out.empty()) {
+      std::cout << "trace:   " << trace_out << " ("
+                << tracer.records_emitted() << " records)\n";
+    }
+    if (!metrics_out.empty()) std::cout << "metrics: " << metrics_out << '\n';
+  }
+
+  if (args.get_bool("check-roundtrip")) {
+    if (trace_out.empty()) {
+      throw std::runtime_error("--check-roundtrip requires --trace-out");
+    }
+    const Packing replayed = obs::replay_packing_file(trace_out);
+    if (!same_packing(packing, replayed)) {
+      std::cerr << "harness: trace round-trip MISMATCH\n";
+      return 2;
+    }
+    if (!quiet) std::cout << "trace round-trip: ok\n";
   }
   return 0;
 }
@@ -531,6 +711,7 @@ int main(int argc, char** argv) {
     if (!args.get("journal-dir", "").empty() || args.get_bool("recover")) {
       return run_durable(args, inst);
     }
+    if (wants_migration(args)) return run_migration(args, inst);
     const std::string policy = args.get("policy", "MoveToFront");
     const std::string metrics_out = args.get("metrics-out", "");
     const std::string trace_out = args.get("trace-out", "");

@@ -13,6 +13,10 @@ Observer::Observer(MetricRegistry* metrics, Tracer* tracer)
   bins_closed_ = &metrics_->counter("dvbp.alloc.bins_closed_total");
   open_bins_ = &metrics_->gauge("dvbp.alloc.open_bins");
   active_items_ = &metrics_->gauge("dvbp.alloc.active_items");
+  evictions_ = &metrics_->counter("dvbp.migrate.evictions_total");
+  migrations_ = &metrics_->counter("dvbp.migrate.migrations_total");
+  migration_closes_ =
+      &metrics_->counter("dvbp.migrate.bins_closed_total");
   decision_latency_ =
       &metrics_->histogram("dvbp.alloc.decision_latency_ns");
 }
@@ -102,6 +106,35 @@ void Observer::on_close(Time t, BinId bin, Time opened) {
     ev.time = t;
     ev.bin = bin;
     ev.opened = opened;
+    tracer_->emit(ev);
+  }
+}
+
+void Observer::on_evict(Time t, ItemId item, BinId bin, bool emptied) {
+  if (evictions_ != nullptr) {
+    evictions_->inc();
+    if (emptied) migration_closes_->inc();
+  }
+  if (tracing()) {
+    TraceEvent ev;
+    ev.kind = TraceEventKind::kEvict;
+    ev.time = t;
+    ev.item = item;
+    ev.bin = bin;
+    ev.emptied = emptied;
+    tracer_->emit(ev);
+  }
+}
+
+void Observer::on_replace(Time t, ItemId item, BinId bin, bool new_bin) {
+  if (migrations_ != nullptr) migrations_->inc();
+  if (tracing()) {
+    TraceEvent ev;
+    ev.kind = TraceEventKind::kReplace;
+    ev.time = t;
+    ev.item = item;
+    ev.bin = bin;
+    ev.new_bin = new_bin;
     tracer_->emit(ev);
   }
 }

@@ -53,6 +53,9 @@ class Observer {
   void on_open(Time t, BinId bin);
   void on_depart(Time t, ItemId item, BinId bin, bool emptied);
   void on_close(Time t, BinId bin, Time opened);
+  // Migration callbacks (dvbp.migrate.* metrics; docs/MIGRATION.md).
+  void on_evict(Time t, ItemId item, BinId bin, bool emptied);
+  void on_replace(Time t, ItemId item, BinId bin, bool new_bin);
 
  private:
   MetricRegistry* metrics_;
@@ -67,6 +70,9 @@ class Observer {
   Counter* bins_closed_ = nullptr;
   Gauge* open_bins_ = nullptr;
   Gauge* active_items_ = nullptr;
+  Counter* evictions_ = nullptr;
+  Counter* migrations_ = nullptr;
+  Counter* migration_closes_ = nullptr;
   Histogram* decision_latency_ = nullptr;
 };
 

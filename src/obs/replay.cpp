@@ -30,8 +30,10 @@ class Replayer {
       on_place(line);
     } else if (*kind == "close") {
       on_close(line, *t);
+    } else if (*kind == "replace") {
+      on_replace(line);
     } else if (*kind != "arrival" && *kind != "reject" &&
-               *kind != "depart") {
+               *kind != "depart" && *kind != "evict") {
       bad_trace("unknown event kind '" + std::string(*kind) + "'", line);
     }
   }
@@ -64,6 +66,21 @@ class Replayer {
     if (id >= assignment_.size()) assignment_.resize(id + 1, kNoBin);
     if (assignment_[id] != kNoBin) {
       bad_trace("item placed twice", line);
+    }
+    assignment_[id] = bin;
+    bins_[bin].items.push_back(id);
+  }
+
+  // A "replace" re-places an evicted item: unlike "place" it may
+  // legitimately override an earlier assignment (the item migrated).
+  void on_replace(std::string_view line) {
+    const BinId bin = require_bin(line);
+    const auto item = scan_json_number(line, "item");
+    if (!item) bad_trace("missing \"item\"", line);
+    if (bin >= bins_.size()) bad_trace("replace into unopened bin", line);
+    const auto id = static_cast<ItemId>(*item);
+    if (id >= assignment_.size() || assignment_[id] == kNoBin) {
+      bad_trace("replace of an item never placed", line);
     }
     assignment_[id] = bin;
     bins_[bin].items.push_back(id);

@@ -20,6 +20,10 @@ std::string_view to_string(TraceEventKind kind) noexcept {
       return "depart";
     case TraceEventKind::kClose:
       return "close";
+    case TraceEventKind::kEvict:
+      return "evict";
+    case TraceEventKind::kReplace:
+      return "replace";
   }
   return "unknown";
 }
@@ -117,6 +121,18 @@ void Tracer::emit(const TraceEvent& ev) {
       line += ",\"bin\":" + std::to_string(ev.bin);
       line += ",\"opened\":" + json_number(ev.opened);
       line += ",\"usage\":" + json_number(ev.time - ev.opened);
+      break;
+    case TraceEventKind::kEvict:
+      line += ",\"item\":" + std::to_string(ev.item);
+      line += ",\"bin\":" + std::to_string(ev.bin);
+      line += ",\"emptied\":";
+      line += ev.emptied ? "true" : "false";
+      break;
+    case TraceEventKind::kReplace:
+      line += ",\"item\":" + std::to_string(ev.item);
+      line += ",\"bin\":" + std::to_string(ev.bin);
+      line += ",\"new_bin\":";
+      line += ev.new_bin ? "true" : "false";
       break;
   }
   line += '}';

@@ -37,9 +37,12 @@ enum class TraceEventKind : std::uint8_t {
   kOpen,      ///< new bin opened
   kDepart,    ///< item left its bin
   kClose,     ///< bin emptied and closed permanently
+  kEvict,     ///< item removed for migration (still active, in limbo)
+  kReplace,   ///< evicted item re-placed into a bin
 };
 
-/// "arrival", "reject", "place", "open", "depart", "close".
+/// "arrival", "reject", "place", "open", "depart", "close", "evict",
+/// "replace".
 std::string_view to_string(TraceEventKind kind) noexcept;
 
 /// One allocator event. Only the fields meaningful for `kind` are

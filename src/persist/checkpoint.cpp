@@ -21,7 +21,9 @@ namespace fs = std::filesystem;
 namespace {
 
 constexpr std::uint32_t kMagic = 0x44564350;  // 'DVCP'
-constexpr std::uint8_t kVersion = 1;
+// v2: Dispatcher::save_state gained the per-job last-bin/evicted table
+// (migration support). v1 checkpoints are rejected, not misparsed.
+constexpr std::uint8_t kVersion = 2;
 
 std::string checkpoint_name(std::uint64_t seq) {
   char buf[48];

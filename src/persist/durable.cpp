@@ -55,6 +55,31 @@ void DurableDispatcher::advance(Time now) {
   maybe_checkpoint();
 }
 
+Dispatcher::Eviction DurableDispatcher::evict(Time now, JobId job) {
+  const auto eviction = dispatcher_.evict(now, job);
+  writer_->append(OpKind::kEvict, now, job);
+  writer_->commit();
+  ++ops_since_checkpoint_;
+  maybe_checkpoint();
+  return eviction;
+}
+
+BinId DurableDispatcher::replace(Time now, JobId job, BinId target) {
+  const bool new_bin = target == kNoBin;
+  const BinId bin = dispatcher_.replace(now, job, target);
+  writer_->append(OpKind::kReplace, now, job, 0.0, nullptr, bin, new_bin);
+  writer_->commit();
+  ++ops_since_checkpoint_;
+  maybe_checkpoint();
+  return bin;
+}
+
+MigrationExec DurableDispatcher::migration_exec() {
+  return MigrationExec{
+      [this](Time t, JobId j) { evict(t, j); },
+      [this](Time t, JobId j, BinId b) { return replace(t, j, b); }};
+}
+
 void DurableDispatcher::maybe_checkpoint() {
   if (options_.checkpoint_every == 0) return;
   if (ops_since_checkpoint_ >= options_.checkpoint_every) checkpoint();

@@ -25,6 +25,7 @@
 #include <string>
 
 #include "core/dispatcher.hpp"
+#include "core/rebalancer.hpp"
 #include "persist/journal.hpp"
 #include "persist/recovery.hpp"
 
@@ -65,6 +66,18 @@ class DurableDispatcher {
   /// Journals a clock advance with no placement mutation, so the journal
   /// records observed time even across idle stretches.
   void advance(Time now);
+
+  /// Journaled Dispatcher::evict (migration; see core/rebalancer.hpp).
+  Dispatcher::Eviction evict(Time now, JobId job);
+
+  /// Journaled Dispatcher::replace. The journal frame records the bin the
+  /// job actually landed in, so replay re-places deterministically even
+  /// if a recovering engine would plan differently.
+  BinId replace(Time now, JobId job, BinId target = kNoBin);
+
+  /// Exec bindings for a Rebalancer driving this durable engine: every
+  /// migration step goes through the journaling calls above.
+  MigrationExec migration_exec();
 
   /// Forces a checkpoint at the current sequence number: fsyncs the
   /// journal, durably writes the checkpoint file, then rotates the journal

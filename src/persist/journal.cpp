@@ -102,10 +102,14 @@ bool parse_frame(const std::vector<std::uint8_t>& bytes, std::size_t pos,
     serial::Reader in(payload, len);
     rec.seq = in.u64();
     const std::uint8_t kind = in.u8();
-    if (kind < 1 || kind > 3) return false;
+    if (kind < 1 || kind > 5) return false;
     rec.kind = static_cast<OpKind>(kind);
     rec.time = in.f64();
     rec.job = in.u64();
+    rec.expected_departure = 0.0;
+    rec.size = RVec();
+    rec.bin = kNoBin;
+    rec.new_bin = false;
     if (rec.kind == OpKind::kArrive) {
       rec.expected_departure = in.f64();
       const std::uint32_t dim = in.u32();
@@ -113,9 +117,9 @@ bool parse_frame(const std::vector<std::uint8_t>& bytes, std::size_t pos,
       RVec size(dim);
       for (std::uint32_t j = 0; j < dim; ++j) size[j] = in.f64();
       rec.size = std::move(size);
-    } else {
-      rec.expected_departure = 0.0;
-      rec.size = RVec();
+    } else if (rec.kind == OpKind::kReplace) {
+      rec.bin = in.u32();
+      rec.new_bin = in.u8() != 0;
     }
     if (!in.done()) return false;
   } catch (const serial::SerialError&) {
@@ -158,6 +162,9 @@ void encode_frame(const JournalRecord& rec, std::vector<std::uint8_t>& out) {
     payload.f64(rec.expected_departure);
     payload.u32(static_cast<std::uint32_t>(rec.size.dim()));
     for (double c : rec.size) payload.f64(c);
+  } else if (rec.kind == OpKind::kReplace) {
+    payload.u32(rec.bin);
+    payload.u8(rec.new_bin ? 1 : 0);
   }
   serial::Writer header;
   header.u32(static_cast<std::uint32_t>(payload.size()));
@@ -323,7 +330,8 @@ void JournalWriter::poison(const std::string& why) {
 std::uint64_t JournalWriter::append(OpKind kind, Time time,
                                     std::uint64_t job,
                                     Time expected_departure,
-                                    const RVec* size) {
+                                    const RVec* size, BinId bin,
+                                    bool new_bin) {
   if (poisoned_) {
     throw PersistError("journal: writer poisoned by an earlier failure");
   }
@@ -338,6 +346,9 @@ std::uint64_t JournalWriter::append(OpKind kind, Time time,
     }
     rec.expected_departure = expected_departure;
     rec.size = *size;
+  } else if (kind == OpKind::kReplace) {
+    rec.bin = bin;
+    rec.new_bin = new_bin;
   }
   encode_frame(rec, pending_);
   ++pending_ops_;

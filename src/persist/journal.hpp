@@ -12,6 +12,7 @@
 // Payload:
 //   u64 seq | u8 kind | f64 time | u64 job
 //   kind == kArrive: f64 expected_departure | u32 dim | dim x f64 size
+//   kind == kReplace: u32 bin | u8 new_bin
 //
 // Torn-write semantics: a frame is either wholly valid (length sane, CRC
 // matches) or it -- and everything after it -- is discarded at recovery.
@@ -68,6 +69,8 @@ enum class OpKind : std::uint8_t {
   kArrive = 1,
   kDepart = 2,
   kAdvance = 3,  ///< clock advance with no placement mutation
+  kEvict = 4,    ///< migration: job removed from its bin, left in limbo
+  kReplace = 5,  ///< migration: evicted job re-placed (records the bin)
 };
 
 /// One journaled operation. `time` and `expected_departure` are the exact
@@ -78,9 +81,11 @@ struct JournalRecord {
   std::uint64_t seq = 0;
   OpKind kind = OpKind::kArrive;
   Time time = 0.0;
-  std::uint64_t job = 0;  ///< service job id (kArrive / kDepart)
+  std::uint64_t job = 0;  ///< service job id (kArrive/kDepart/kEvict/kReplace)
   Time expected_departure = 0.0;  ///< kArrive only
   RVec size;                      ///< kArrive only
+  BinId bin = kNoBin;     ///< kReplace only: bin the job landed in
+  bool new_bin = false;   ///< kReplace only: that bin was freshly opened
 };
 
 /// Encodes `rec` as one frame (header + payload) appended to `out`.
@@ -145,7 +150,8 @@ class JournalWriter {
   /// next commit(). Returns the assigned sequence number.
   std::uint64_t append(OpKind kind, Time time, std::uint64_t job,
                        Time expected_departure = 0.0,
-                       const RVec* size = nullptr);
+                       const RVec* size = nullptr, BinId bin = kNoBin,
+                       bool new_bin = false);
 
   /// Writes every buffered frame with one write(2), then fsyncs per the
   /// policy. Throws PersistError on I/O failure -- after which the writer

@@ -94,6 +94,23 @@ RecoveryReport RecoveryManager::recover_dispatcher(Dispatcher& dispatcher,
             // Pure clock note; the dispatcher's clock only moves on
             // arrive/depart, exactly as it did pre-crash.
             break;
+          case OpKind::kEvict:
+            dispatcher.evict(rec.time, rec.job);
+            break;
+          case OpKind::kReplace: {
+            // The frame records the bin the job actually landed in, so
+            // replay is deterministic independent of any planner.
+            const BinId bin = dispatcher.replace(
+                rec.time, rec.job, rec.new_bin ? kNoBin : rec.bin);
+            if (bin != rec.bin) {
+              throw PersistError(
+                  "recovery: replayed replace landed in bin " +
+                  std::to_string(bin) + ", journal says " +
+                  std::to_string(rec.bin) +
+                  " (checkpoint/journal mismatch)");
+            }
+            break;
+          }
         }
       });
 }

@@ -20,7 +20,9 @@
 #include "cloud/sharded_dispatcher.hpp"
 #include "core/dispatcher.hpp"
 #include "core/event.hpp"
+#include "core/invariants.hpp"
 #include "core/policies/registry.hpp"
+#include "core/rebalancer.hpp"
 #include "core/simulator.hpp"
 #include "gen/uniform.hpp"
 #include "packing_hash.hpp"
@@ -260,6 +262,179 @@ TEST(CrashFuzz, EveryFaultPointRecoversToAPrefix) {
           dispatcher_state_hash(recovered.dispatcher()),
           prefix_hash(policy_name, inst, events, expect_ops))
           << fault.point << ": recovered state != prefix run";
+    }
+  }
+}
+
+// Migration-era tail fuzz: stop a durable run right after its FIRST
+// migration, so the journal's tail is the dangerous sequence
+// [kDepart, kEvict, kReplace, ...]. Truncating or corrupting at EVERY
+// byte offset inside that tail must recover to exactly the surviving
+// frame prefix -- including prefixes that end between an eviction and
+// its replace, where the recovered engine legitimately holds a job in
+// limbo. The reference is a plain Dispatcher replaying the surviving
+// JournalRecords directly, and the recovered state must additionally
+// satisfy the packing invariant checker.
+TEST(CrashFuzz, MigrationTailEveryByteOffsetTruncateAndCorrupt) {
+  const Instance inst = fuzz_instance();
+  const std::vector<Event> events = build_event_stream(inst);
+  TempDir base("migration_base");
+  std::uint64_t live_hash = 0;
+  std::size_t ops_issued = 0;
+  {
+    PolicyPtr policy = make_policy("FirstFit", kPolicySeed);
+    persist::DurableOptions opts;
+    opts.dir = base.str();
+    opts.fsync = FsyncPolicy::kNone;
+    persist::DurableDispatcher durable(inst.dim(), *policy, opts);
+    MigrationConfig config;
+    config.migrations_per_event = MigrationConfig::kUnlimited;
+    Rebalancer rebalancer(durable.dispatcher(), config,
+                          durable.migration_exec());
+    for (const Event& ev : events) {
+      const Item& item = inst[ev.item];
+      if (ev.kind == EventKind::kArrival) {
+        durable.arrive(item.arrival, item.size, item.departure);
+        ++ops_issued;
+      } else {
+        durable.depart(ev.time, item.id);
+        ++ops_issued;
+        const std::size_t moved = rebalancer.on_departure(ev.time);
+        ops_issued += 2 * moved;  // one kEvict + one kReplace per item
+        if (moved > 0) break;
+      }
+    }
+    ASSERT_GT(rebalancer.stats().migrations, 0u)
+        << "workload never triggered a migration";
+    live_hash = dispatcher_state_hash(durable.dispatcher());
+  }
+
+  const auto segments = persist::journal_segments(base.str());
+  ASSERT_EQ(segments.size(), 1u);
+  std::ifstream in(segments[0], std::ios::binary);
+  const std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                                std::istreambuf_iterator<char>());
+  const persist::JournalScan scan = persist::scan_journal(base.str());
+  ASSERT_FALSE(scan.torn_tail);
+  ASSERT_EQ(scan.records.size(), ops_issued);
+
+  // Byte offset where each frame starts; frame_start.back() == EOF.
+  std::vector<std::size_t> frame_start;
+  {
+    std::vector<std::uint8_t> buf;
+    for (const persist::JournalRecord& rec : scan.records) {
+      frame_start.push_back(buf.size());
+      persist::encode_frame(rec, buf);
+    }
+    frame_start.push_back(buf.size());
+    ASSERT_EQ(buf.size(), bytes.size());
+  }
+
+  // The fuzz region: from the depart frame that triggered the migration.
+  std::size_t depart_idx = scan.records.size();
+  std::size_t evicts = 0;
+  std::size_t replaces = 0;
+  while (depart_idx > 0 &&
+         scan.records[depart_idx - 1].kind != persist::OpKind::kDepart) {
+    --depart_idx;
+    if (scan.records[depart_idx].kind == persist::OpKind::kEvict) ++evicts;
+    if (scan.records[depart_idx].kind == persist::OpKind::kReplace) {
+      ++replaces;
+    }
+  }
+  ASSERT_GT(depart_idx, 0u);
+  --depart_idx;
+  ASSERT_GT(evicts, 0u) << "tail holds no kEvict frame";
+  ASSERT_EQ(evicts, replaces) << "unpaired evict/replace in the tail";
+  const std::size_t tail_begin = frame_start[depart_idx];
+
+  // Reference: a plain Dispatcher replaying the first `k` records.
+  const auto record_prefix_hash = [&](std::size_t k) {
+    PolicyPtr policy = make_policy("FirstFit", kPolicySeed);
+    Dispatcher reference(inst.dim(), *policy);
+    for (std::size_t i = 0; i < k; ++i) {
+      const persist::JournalRecord& rec = scan.records[i];
+      switch (rec.kind) {
+        case persist::OpKind::kArrive:
+          reference.arrive(rec.time, rec.size, rec.expected_departure);
+          break;
+        case persist::OpKind::kDepart:
+          reference.depart(rec.time, rec.job);
+          break;
+        case persist::OpKind::kAdvance:
+          break;  // never issued by this run
+        case persist::OpKind::kEvict:
+          reference.evict(rec.time, rec.job);
+          break;
+        case persist::OpKind::kReplace:
+          reference.replace(rec.time, rec.job,
+                            rec.new_bin ? kNoBin : rec.bin);
+          break;
+      }
+    }
+    return dispatcher_state_hash(reference);
+  };
+
+  const std::string seg_name = fs::path(segments[0]).filename().string();
+  const auto check_recovery = [&](const fs::path& dir, std::size_t k,
+                                  bool torn, const std::string& what) {
+    PolicyPtr policy = make_policy("FirstFit", kPolicySeed);
+    persist::DurableOptions opts;
+    opts.dir = dir.string();
+    opts.fsync = FsyncPolicy::kNone;
+    persist::DurableDispatcher recovered(inst.dim(), *policy, opts);
+    EXPECT_EQ(recovered.recovery().last_seq, k) << what;
+    EXPECT_EQ(recovered.recovery().torn_tail, torn) << what;
+    EXPECT_EQ(dispatcher_state_hash(recovered.dispatcher()),
+              record_prefix_hash(k))
+        << what << ": recovered state != journal-record prefix replay";
+    PackingInvariantChecker checker;
+    const auto err = checker.check(recovered.dispatcher());
+    EXPECT_FALSE(err.has_value()) << what << ": " << *err;
+  };
+
+  // Untampered recovery first: bit-exact with the live run.
+  {
+    TempDir trial("mig_full");
+    fs::create_directories(trial.str());
+    std::ofstream out(trial.path / seg_name, std::ios::binary);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    out.close();
+    PolicyPtr policy = make_policy("FirstFit", kPolicySeed);
+    persist::DurableOptions opts;
+    opts.dir = trial.str();
+    opts.fsync = FsyncPolicy::kNone;
+    persist::DurableDispatcher recovered(inst.dim(), *policy, opts);
+    ASSERT_EQ(recovered.recovery().last_seq, ops_issued);
+    ASSERT_EQ(dispatcher_state_hash(recovered.dispatcher()), live_hash)
+        << "clean recovery diverged from the uninterrupted run";
+  }
+
+  for (std::size_t off = tail_begin; off < bytes.size(); ++off) {
+    // Which frame contains `off`, and how many complete frames precede it.
+    std::size_t containing = 0;
+    while (frame_start[containing + 1] <= off) ++containing;
+    {
+      TempDir trial("mig_trunc");
+      fs::create_directories(trial.str());
+      std::ofstream out(trial.path / seg_name, std::ios::binary);
+      out.write(bytes.data(), static_cast<std::streamsize>(off));
+      out.close();
+      check_recovery(trial.path, containing,
+                     /*torn=*/off != frame_start[containing],
+                     "truncate@" + std::to_string(off));
+    }
+    {
+      TempDir trial("mig_flip");
+      fs::create_directories(trial.str());
+      std::vector<char> mutated = bytes;
+      mutated[off] = static_cast<char>(mutated[off] ^ 0x5A);
+      std::ofstream out(trial.path / seg_name, std::ios::binary);
+      out.write(mutated.data(),
+                static_cast<std::streamsize>(mutated.size()));
+      out.close();
+      check_recovery(trial.path, containing, /*torn=*/true,
+                     "flip@" + std::to_string(off));
     }
   }
 }
