@@ -12,11 +12,25 @@
 // BENCH_hotpath.json (schema: docs/PERFORMANCE.md).
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
+
 #include "core/dispatcher.hpp"
 #include "core/event.hpp"
 #include "core/instance.hpp"
 #include "core/policies/registry.hpp"
 #include "core/simulator.hpp"
+
+#if defined(__x86_64__)
+#include <x86intrin.h>
+#endif
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <cstring>
+#endif
 
 namespace {
 
@@ -89,6 +103,114 @@ BENCHMARK_CAPTURE(BM_DispatcherManyOpenBins, NextFit, "NextFit")
     ->ArgsProduct({{1, 2, 5}, {10, 100, 1000}});
 BENCHMARK_CAPTURE(BM_DispatcherManyOpenBins, FirstFit, "FirstFit")
     ->ArgsProduct({{1, 2, 5}, {10, 100, 1000}});
+
+// --- cycles/placement + cache-miss rung ---------------------------------
+//
+// The ladders above report wall time per simulated instance; this rung
+// reports the two numbers the SoA/pool work is judged by: TSC cycles per
+// placement decision (whole event loop divided by arrivals) and LLC
+// misses per placement. Cache-miss counting needs perf_event_open, which
+// many containers deny; in that case the counter reports -1 and only the
+// cycle count is meaningful.
+
+#if defined(__x86_64__)
+std::uint64_t read_tsc() { return __rdtsc(); }
+#else
+std::uint64_t read_tsc() { return 0; }
+#endif
+
+class CacheMissCounter {
+ public:
+  CacheMissCounter() {
+#if defined(__linux__)
+    perf_event_attr attr;
+    std::memset(&attr, 0, sizeof(attr));
+    attr.type = PERF_TYPE_HARDWARE;
+    attr.size = sizeof(attr);
+    attr.config = PERF_COUNT_HW_CACHE_MISSES;
+    attr.disabled = 1;
+    attr.exclude_kernel = 1;
+    attr.exclude_hv = 1;
+    fd_ = static_cast<int>(
+        ::syscall(__NR_perf_event_open, &attr, 0, -1, -1, 0));
+#endif
+  }
+  ~CacheMissCounter() {
+#if defined(__linux__)
+    if (fd_ >= 0) ::close(fd_);
+#endif
+  }
+  bool available() const { return fd_ >= 0; }
+  void start() {
+#if defined(__linux__)
+    if (fd_ >= 0) {
+      ::ioctl(fd_, PERF_EVENT_IOC_RESET, 0);
+      ::ioctl(fd_, PERF_EVENT_IOC_ENABLE, 0);
+    }
+#endif
+  }
+  std::uint64_t stop() {
+#if defined(__linux__)
+    if (fd_ >= 0) {
+      ::ioctl(fd_, PERF_EVENT_IOC_DISABLE, 0);
+      std::uint64_t count = 0;
+      if (::read(fd_, &count, sizeof(count)) == sizeof(count)) return count;
+    }
+#endif
+    return 0;
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+void BM_PlacementCycles(benchmark::State& state, const char* policy_name) {
+  const auto d = static_cast<std::size_t>(state.range(0));
+  const auto n_open = static_cast<std::size_t>(state.range(1));
+  const Instance inst = forced_open_instance(d, n_open, /*n_churn=*/2000);
+  const auto events = build_event_stream(inst);
+  std::uint64_t arrivals_per_iter = 0;
+  for (const Event& ev : events) {
+    if (ev.kind == EventKind::kArrival) ++arrivals_per_iter;
+  }
+  PolicyPtr policy = make_policy(policy_name);
+  CacheMissCounter misses;
+  std::uint64_t total_cycles = 0;
+  std::uint64_t total_misses = 0;
+  std::uint64_t total_arrivals = 0;
+  for (auto _ : state) {
+    Dispatcher dispatcher(inst.dim(), *policy);
+    misses.start();
+    const std::uint64_t t0 = read_tsc();
+    for (const Event& ev : events) {
+      const Item& item = inst[ev.item];
+      if (ev.kind == EventKind::kArrival) {
+        benchmark::DoNotOptimize(
+            dispatcher.arrive(item.arrival, item.size, item.departure));
+      } else {
+        dispatcher.depart(ev.time, item.id);
+      }
+    }
+    total_cycles += read_tsc() - t0;
+    total_misses += misses.stop();
+    total_arrivals += arrivals_per_iter;
+    benchmark::DoNotOptimize(dispatcher.cost_so_far(inst.last_departure()));
+  }
+  state.counters["cycles_per_placement"] = benchmark::Counter(
+      static_cast<double>(total_cycles) / static_cast<double>(total_arrivals));
+  state.counters["cache_misses_per_placement"] =
+      misses.available()
+          ? benchmark::Counter(static_cast<double>(total_misses) /
+                               static_cast<double>(total_arrivals))
+          : benchmark::Counter(-1.0);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(inst.size()));
+}
+
+BENCHMARK_CAPTURE(BM_PlacementCycles, FirstFit, "FirstFit")
+    ->ArgsProduct({{5, 16}, {100, 1000}});
+BENCHMARK_CAPTURE(BM_PlacementCycles, BestFit, "BestFit")
+    ->ArgsProduct({{5, 16}, {100, 1000}});
 
 }  // namespace
 

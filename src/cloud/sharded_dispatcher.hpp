@@ -17,6 +17,13 @@
 //     substream in admission order, and the global cost is the sum of the
 //     per-shard costs at every timestamp.
 //
+// Memory layout: each shard's Dispatcher owns its own slab allocators and
+// SoA open-bin table (core/open_bin_table.hpp, core/pool.hpp), so the
+// SIMD feasibility scan and the pooled usage-node recycling are per-shard
+// and share no cache lines across workers. The least-usage router's
+// load_snapshot is refreshed from the shard table's contiguous lanes
+// (Dispatcher::total_active_load), not by walking BinState objects.
+//
 // Timestamps: each worker applies its queue in FIFO order and clamps event
 // times to be monotone within the shard (an op whose timestamp lags the
 // shard clock is applied at the shard clock, the way an ingestion front-end

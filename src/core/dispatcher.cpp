@@ -10,7 +10,8 @@ namespace dvbp {
 
 Dispatcher::Dispatcher(std::size_t dim, Policy& policy, double bin_capacity,
                        obs::Observer* observer)
-    : dim_(dim), policy_(policy), capacity_(bin_capacity), obs_(observer) {
+    : dim_(dim), policy_(policy), capacity_(bin_capacity), obs_(observer),
+      table_(dim, bin_capacity) {
   if (dim_ == 0) {
     throw std::invalid_argument("Dispatcher: dim must be >= 1");
   }
@@ -58,7 +59,8 @@ Dispatcher::Admission Dispatcher::arrive(Time now, RVec size,
   {
     obs::ScopedTimer timer(obs_ != nullptr ? obs_->decision_latency()
                                            : nullptr);
-    chosen = policy_.select_bin(now, item, std::span<const BinView>(views_));
+    chosen = policy_.select_bin_soa(now, item,
+                                    std::span<const BinView>(views_), table_);
   }
   std::size_t rejections = 0;
   if (obs_ != nullptr && obs_->wants_rejections()) {
@@ -74,15 +76,17 @@ Dispatcher::Admission Dispatcher::arrive(Time now, RVec size,
   admission.job = job;
   if (chosen == kNoBin) {
     const BinId id = static_cast<BinId>(bins_.size());
-    const BinState* old_data = bins_.data();
-    bins_.emplace_back(id, dim_, now, capacity_);
-    if (bins_.data() != old_data) repatch_view_loads();
+    // bins_ is a chunked slab: emplace never moves existing BinStates,
+    // so views_ load pointers stay valid with no repatching.
+    BinState& bin =
+        bins_.emplace_back(id, dim_, now, capacity_, &usage_pool_);
     records_.push_back(BinRecord{id, now, now, {}});
     slot_of_.push_back(static_cast<std::uint32_t>(open_order_.size()));
     open_order_.push_back(bins_.size() - 1);
+    table_.push_back_zero();
     if (obs_ != nullptr) obs_->on_open(now, id);
-    BinState& bin = bins_.back();
     bin.add(item);
+    table_.add(table_.size() - 1, item.size.data());
     views_.push_back(BinView{id, &bin.load(), bin.opened_at(),
                              bin.num_active(), bin.latest_departure(),
                              bin.capacity()});
@@ -108,6 +112,7 @@ Dispatcher::Admission Dispatcher::arrive(Time now, RVec size,
         "Dispatcher: policy selected a bin that cannot hold the job");
   }
   bin.add(item);
+  table_.add(slot, item.size.data());
   views_[slot].num_items = bin.num_active();
   views_[slot].latest_departure = bin.latest_departure();
   records_[bin.id()].items.push_back(job);
@@ -148,6 +153,7 @@ void Dispatcher::depart(Time now, JobId job) {
     closed_usage_ += records_[bin_id].usage_time();
     close_slot(slot);
   } else {
+    table_.sub_clamped(slot, items_[job].size.data());
     views_[slot].num_items = bin.num_active();
     views_[slot].latest_departure = bin.latest_departure();
   }
@@ -184,6 +190,7 @@ Dispatcher::Eviction Dispatcher::evict(Time now, JobId job) {
     closed_usage_ += records_[bin_id].usage_time();
     close_slot(slot);
   } else {
+    table_.sub_clamped(slot, items_[job].size.data());
     views_[slot].num_items = bin.num_active();
     views_[slot].latest_departure = bin.latest_departure();
   }
@@ -205,15 +212,15 @@ BinId Dispatcher::replace(Time now, JobId job, BinId target) {
 
   if (target == kNoBin) {
     const BinId id = static_cast<BinId>(bins_.size());
-    const BinState* old_data = bins_.data();
-    bins_.emplace_back(id, dim_, now, capacity_);
-    if (bins_.data() != old_data) repatch_view_loads();
+    BinState& bin =
+        bins_.emplace_back(id, dim_, now, capacity_, &usage_pool_);
     records_.push_back(BinRecord{id, now, now, {}});
     slot_of_.push_back(static_cast<std::uint32_t>(open_order_.size()));
     open_order_.push_back(bins_.size() - 1);
+    table_.push_back_zero();
     if (obs_ != nullptr) obs_->on_open(now, id);
-    BinState& bin = bins_.back();
     bin.add(item);
+    table_.add(table_.size() - 1, item.size.data());
     views_.push_back(BinView{id, &bin.load(), bin.opened_at(),
                              bin.num_active(), bin.latest_departure(),
                              bin.capacity()});
@@ -238,6 +245,7 @@ BinId Dispatcher::replace(Time now, JobId job, BinId target) {
         "Dispatcher::replace: target bin cannot hold the job");
   }
   bin.add(item);
+  table_.add(slot, item.size.data());
   views_[slot].num_items = bin.num_active();
   views_[slot].latest_departure = bin.latest_departure();
   records_[bin.id()].items.push_back(job);
@@ -265,21 +273,16 @@ void Dispatcher::close_slot(std::uint32_t slot) {
   slot_of_[bins_[open_order_[slot]].id()] = kNoSlot;
   open_order_.erase(open_order_.begin() + slot);
   views_.erase(views_.begin() + slot);
+  table_.erase_slot(slot);
   for (std::size_t k = slot; k < open_order_.size(); ++k) {
     slot_of_[bins_[open_order_[k]].id()] = static_cast<std::uint32_t>(k);
   }
 }
 
-void Dispatcher::repatch_view_loads() {
-  for (std::size_t k = 0; k < views_.size(); ++k) {
-    views_[k].load = &bins_[open_order_[k]].load();
-  }
-}
-
 double Dispatcher::total_active_load() const noexcept {
-  double total = 0.0;
-  for (std::size_t idx : open_order_) total += bins_[idx].load().l1();
-  return total;
+  // Served from the SoA table: no BinState chunk lookup or RVec data()
+  // indirection per bin, same summation order (see total_load()).
+  return table_.total_load();
 }
 
 BinId Dispatcher::bin_of(JobId job) const {
@@ -343,7 +346,6 @@ void Dispatcher::restore_state(serial::Reader& in) {
   closed_usage_ = in.f64();
 
   const std::uint64_t num_items = in.u64();
-  items_.reserve(num_items);
   for (std::uint64_t i = 0; i < num_items; ++i) {
     const Time arrival = in.f64();
     const Time departure = in.f64();
@@ -378,10 +380,9 @@ void Dispatcher::restore_state(serial::Reader& in) {
   }
   // Every bin gets a shell at its historical opening time; open bins are
   // then filled below with their exact saved state.
-  bins_.reserve(num_bins);
   for (std::uint64_t b = 0; b < num_bins; ++b) {
     bins_.emplace_back(static_cast<BinId>(b), dim_, records_[b].opened,
-                       capacity_);
+                       capacity_, &usage_pool_);
   }
   slot_of_.assign(num_bins, kNoSlot);
 
@@ -402,6 +403,9 @@ void Dispatcher::restore_state(serial::Reader& in) {
     slot_of_[idx] = static_cast<std::uint32_t>(k);
     open_order_.push_back(idx);
     const BinState& bin = bins_[idx];
+    // Raw-bit copy into the table lane: the restored slot is
+    // bit-identical to the saved load, like the RVec it mirrors.
+    table_.push_back_raw(bin.load().data());
     views_.push_back(BinView{bin.id(), &bin.load(), bin.opened_at(),
                              bin.num_active(), bin.latest_departure(),
                              bin.capacity()});

@@ -17,8 +17,10 @@
 #include <vector>
 
 #include "core/bin_state.hpp"
+#include "core/open_bin_table.hpp"
 #include "core/packing.hpp"
 #include "core/policies/policy.hpp"
+#include "core/pool.hpp"
 #include "core/types.hpp"
 
 namespace dvbp::obs {
@@ -123,10 +125,12 @@ class Dispatcher {
   /// "total usage" signal the least-usage router balances on. O(open bins).
   double total_active_load() const noexcept;
 
-  /// Every job ever admitted, by JobId. A job's `departure` field holds the
-  /// expected departure passed to arrive() until depart() patches in the
-  /// actual one; `arrival` is the (possibly clamped) admission time.
-  const std::vector<Item>& items() const noexcept { return items_; }
+  /// Every job ever admitted, by JobId (indexable, iterable; backed by a
+  /// chunked slab, so Item references stay valid across later arrivals).
+  /// A job's `departure` field holds the expected departure passed to
+  /// arrive() until depart() patches in the actual one; `arrival` is the
+  /// (possibly clamped) admission time.
+  const StableVector<Item>& items() const noexcept { return items_; }
 
   /// Total usage time accrued up to `at`: every bin contributes
   /// max(0, min(at, close time) - open time), where open bins have no
@@ -176,7 +180,6 @@ class Dispatcher {
 
   void check_time(Time now);
   void close_slot(std::uint32_t slot);
-  void repatch_view_loads();
 
   std::size_t dim_;
   Policy& policy_;
@@ -185,12 +188,14 @@ class Dispatcher {
   Time now_ = 0.0;
   bool started_ = false;
 
-  std::vector<Item> items_;          // by JobId; departure patched on depart
+  UsagePool usage_pool_;  // usage-interval nodes for all bins' active lists
+  StableVector<Item> items_;  // by JobId; departure patched on depart
   std::vector<BinId> assignment_;    // JobId -> bin (kNoBin once departed)
   std::vector<BinId> last_bin_;      // JobId -> last bin packed into
   std::vector<std::uint8_t> evicted_;  // JobId -> 1 while in limbo
   std::size_t evicted_jobs_ = 0;
-  std::vector<BinState> bins_;       // every bin ever opened, by id
+  StableVector<BinState> bins_;      // every bin ever opened, by id
+  OpenBinTable table_;  // SoA loads of the open bins, parallel to views_
   std::vector<std::size_t> open_order_;  // indices into bins_, opening order
   std::vector<std::uint32_t> slot_of_;  // BinId -> slot in open_order_/views_
   std::vector<BinRecord> records_;

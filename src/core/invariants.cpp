@@ -6,6 +6,7 @@
 
 #include "core/bin_state.hpp"
 #include "core/dispatcher.hpp"
+#include "core/fits.hpp"
 
 namespace dvbp {
 
@@ -51,7 +52,10 @@ std::optional<std::string> PackingInvariantChecker::check(
            << bin->load()[k] << " vs recomputed " << sum[k];
         return os.str();
       }
-      if (sum[k] > bin->capacity() + kCapacityEps) {
+      // The audit's capacity verdict uses the same fits.hpp threshold and
+      // predicate as the placement paths (scalar and SIMD), so a load the
+      // engine admitted can never be rejected here by one ulp.
+      if (!fits_under_threshold(sum[k], fits_threshold(bin->capacity()))) {
         std::ostringstream os;
         os << bin_str(view.id) << " over capacity in dim " << k << ": "
            << sum[k] << " > " << bin->capacity();

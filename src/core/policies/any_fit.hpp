@@ -8,6 +8,7 @@
 // could hold the item), so it implements Policy directly.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "core/policies/policy.hpp"
@@ -19,13 +20,24 @@ class AnyFitPolicy : public Policy {
   BinId select_bin(Time now, const Item& item,
                    std::span<const BinView> open_bins) final;
 
+  /// Table-driven variant: the fitting set is computed by the table's
+  /// vectorized scan (bit-identical to per-view fits()) and handed to the
+  /// same choose(), so the Any Fit property -- open a new bin only when
+  /// nothing fits -- holds on this path by the same construction.
+  /// Subclasses whose choose() reduces to a single table scan (First/
+  /// Last/Best/Worst Fit) override this again with the direct kernel.
+  BinId select_bin_soa(Time now, const Item& item,
+                       std::span<const BinView> open_bins,
+                       const OpenBinTable& table) override;
+
  protected:
   /// Pick a bin from `fitting` (non-empty; preserves opening order).
   virtual BinId choose(Time now, const Item& item,
                        std::span<const BinView> fitting) = 0;
 
  private:
-  std::vector<BinView> fitting_;  // scratch, reused across arrivals
+  std::vector<BinView> fitting_;           // scratch, reused across arrivals
+  std::vector<std::uint32_t> fit_slots_;   // scratch for the table scan
 };
 
 }  // namespace dvbp

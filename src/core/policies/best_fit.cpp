@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "core/open_bin_table.hpp"
+
 namespace dvbp {
 
 std::string_view load_measure_name(LoadMeasure m) noexcept {
@@ -40,6 +42,14 @@ BinId BestFitPolicy::choose(Time, const Item&,
     }
   }
   return best;
+}
+
+BinId BestFitPolicy::select_bin_soa(Time, const Item& item,
+                                    std::span<const BinView> open_bins,
+                                    const OpenBinTable& table) {
+  const std::size_t slot =
+      table.find_best_fit(item.size.data(), static_cast<int>(measure_));
+  return slot == OpenBinTable::npos ? kNoBin : open_bins[slot].id;
 }
 
 }  // namespace dvbp

@@ -32,6 +32,12 @@ class BestFitPolicy final : public AnyFitPolicy {
   std::string_view name() const noexcept override { return name_; }
   LoadMeasure measure() const noexcept { return measure_; }
 
+  /// Branch-light table scan: vectorized feasibility, measure computed
+  /// from the lanes with measure_load()'s exact operation order.
+  BinId select_bin_soa(Time now, const Item& item,
+                       std::span<const BinView> open_bins,
+                       const OpenBinTable& table) override;
+
  protected:
   /// Most-loaded fitting bin; ties broken toward the earliest opened.
   BinId choose(Time now, const Item& item,

@@ -1,5 +1,7 @@
 #include "core/policies/first_fit.hpp"
 
+#include "core/open_bin_table.hpp"
+
 namespace dvbp {
 
 BinId FirstFitPolicy::choose(Time, const Item&,
@@ -7,6 +9,13 @@ BinId FirstFitPolicy::choose(Time, const Item&,
   // Bins are presented in opening order; the first fitting one is the
   // earliest opened.
   return fitting.front().id;
+}
+
+BinId FirstFitPolicy::select_bin_soa(Time, const Item& item,
+                                     std::span<const BinView> open_bins,
+                                     const OpenBinTable& table) {
+  const std::size_t slot = table.find_first_fit(item.size.data());
+  return slot == OpenBinTable::npos ? kNoBin : open_bins[slot].id;
 }
 
 }  // namespace dvbp

@@ -11,6 +11,11 @@ class FirstFitPolicy final : public AnyFitPolicy {
  public:
   std::string_view name() const noexcept override { return "FirstFit"; }
 
+  /// Whole decision in one vectorized scan: earliest fitting slot.
+  BinId select_bin_soa(Time now, const Item& item,
+                       std::span<const BinView> open_bins,
+                       const OpenBinTable& table) override;
+
  protected:
   BinId choose(Time now, const Item& item,
                std::span<const BinView> fitting) override;

@@ -11,6 +11,11 @@ class LastFitPolicy final : public AnyFitPolicy {
  public:
   std::string_view name() const noexcept override { return "LastFit"; }
 
+  /// Whole decision in one vectorized scan: latest fitting slot.
+  BinId select_bin_soa(Time now, const Item& item,
+                       std::span<const BinView> open_bins,
+                       const OpenBinTable& table) override;
+
  protected:
   BinId choose(Time now, const Item& item,
                std::span<const BinView> fitting) override;

@@ -25,6 +25,8 @@
 
 namespace dvbp {
 
+class OpenBinTable;  // core/open_bin_table.hpp
+
 /// Read-only snapshot of one open bin, passed to policies.
 struct BinView {
   BinId id = kNoBin;
@@ -57,6 +59,19 @@ class Policy {
   /// new bin. The simulator verifies the returned bin actually fits.
   virtual BinId select_bin(Time now, const Item& item,
                            std::span<const BinView> open_bins) = 0;
+
+  /// Hot-path variant the engines call: `table` is the structure-of-
+  /// arrays mirror of the same open bins (slot k of the table is
+  /// open_bins[k]), whose vectorized scans answer feasibility questions
+  /// 4-8 bins at a time. The default forwards to select_bin(), so
+  /// policies that never opt in -- including external subclasses --
+  /// behave exactly as before. Overrides MUST return a decision
+  /// bit-identical to their select_bin() (the table's lanes and
+  /// comparisons are bit-exact with the BinView loads, making that
+  /// achievable by construction; pinned by the golden packing hashes).
+  virtual BinId select_bin_soa(Time now, const Item& item,
+                               std::span<const BinView> open_bins,
+                               const OpenBinTable& table);
 
   /// A new bin `bin` was opened at `now` for `first` (after select_bin
   /// returned kNoBin).

@@ -1,13 +1,34 @@
 #include "core/rvec.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
+#include <string>
+
+#include "core/fits.hpp"
 
 namespace dvbp {
+
+namespace {
+
+/// Dimension guard for binary operations. This used to be an assert,
+/// which vanished under NDEBUG: a d > kInlineDim vector combined with a
+/// shorter one then read (or wrote) past the end of the shorter side's
+/// heap buffer -- while every d <= kInlineDim mismatch stayed inside the
+/// inline array and went unnoticed, which is exactly why the d <= 5
+/// golden suites never caught it. The check survives every build mode.
+void check_same_dim(std::size_t a, std::size_t b, const char* op) {
+  if (a != b) {
+    throw std::invalid_argument(std::string("RVec::") + op +
+                                ": dimension mismatch (" +
+                                std::to_string(a) + " vs " +
+                                std::to_string(b) + ")");
+  }
+}
+
+}  // namespace
 
 RVec::RVec(std::size_t dim) { resize_uninitialized(dim); }
 
@@ -29,6 +50,8 @@ RVec::RVec(const RVec& other) {
 RVec::RVec(RVec&& other) noexcept
     : dim_(other.dim_), inline_(other.inline_), heap_(std::move(other.heap_)) {
   other.dim_ = 0;
+  other.inline_.fill(0.0);
+  other.heap_.clear();
 }
 
 RVec& RVec::operator=(const RVec& other) {
@@ -44,6 +67,8 @@ RVec& RVec::operator=(RVec&& other) noexcept {
   inline_ = other.inline_;
   heap_ = std::move(other.heap_);
   other.dim_ = 0;
+  other.inline_.fill(0.0);
+  other.heap_.clear();
   return *this;
 }
 
@@ -65,7 +90,7 @@ RVec RVec::axis(std::size_t dim, std::size_t axis, double value, double rest) {
 }
 
 RVec& RVec::operator+=(const RVec& rhs) {
-  assert(dim_ == rhs.dim_ && "RVec dimension mismatch");
+  check_same_dim(dim_, rhs.dim_, "operator+=");
   double* a = data();
   const double* b = rhs.data();
   for (std::size_t i = 0; i < dim_; ++i) a[i] += b[i];
@@ -73,7 +98,7 @@ RVec& RVec::operator+=(const RVec& rhs) {
 }
 
 RVec& RVec::operator-=(const RVec& rhs) {
-  assert(dim_ == rhs.dim_ && "RVec dimension mismatch");
+  check_same_dim(dim_, rhs.dim_, "operator-=");
   double* a = data();
   const double* b = rhs.data();
   for (std::size_t i = 0; i < dim_; ++i) a[i] -= b[i];
@@ -123,31 +148,23 @@ bool RVec::is_nonnegative(double eps) const noexcept {
 
 bool RVec::fits_in_capacity(double cap, double eps) const noexcept {
   const double* a = data();
+  const double threshold = fits_threshold(cap, eps);
   for (std::size_t i = 0; i < dim_; ++i) {
-    if (a[i] > cap + eps) return false;
+    if (!fits_under_threshold(a[i], threshold)) return false;
   }
   return true;
 }
 
-bool RVec::fits_with(const RVec& add, double eps) const noexcept {
-  assert(dim_ == add.dim_ && "RVec dimension mismatch");
-  const double* a = data();
-  const double* b = add.data();
-  for (std::size_t i = 0; i < dim_; ++i) {
-    if (a[i] + b[i] > 1.0 + eps) return false;
-  }
-  return true;
+bool RVec::fits_with(const RVec& add, double eps) const {
+  check_same_dim(dim_, add.dim_, "fits_with");
+  return fits_under_threshold(data(), add.data(), dim_,
+                              fits_threshold(1.0, eps));
 }
 
-bool RVec::fits_with_capacity(const RVec& add, double cap,
-                              double eps) const noexcept {
-  assert(dim_ == add.dim_ && "RVec dimension mismatch");
-  const double* a = data();
-  const double* b = add.data();
-  for (std::size_t i = 0; i < dim_; ++i) {
-    if (a[i] + b[i] > cap + eps) return false;
-  }
-  return true;
+bool RVec::fits_with_capacity(const RVec& add, double cap, double eps) const {
+  check_same_dim(dim_, add.dim_, "fits_with_capacity");
+  return fits_under_threshold(data(), add.data(), dim_,
+                              fits_threshold(cap, eps));
 }
 
 void RVec::clamp_nonnegative() noexcept {
@@ -156,7 +173,7 @@ void RVec::clamp_nonnegative() noexcept {
 }
 
 void RVec::max_with(const RVec& other) {
-  assert(dim_ == other.dim_ && "RVec dimension mismatch");
+  check_same_dim(dim_, other.dim_, "max_with");
   double* a = data();
   const double* b = other.data();
   for (std::size_t i = 0; i < dim_; ++i) a[i] = std::max(a[i], b[i]);

@@ -36,6 +36,9 @@ class RVec {
   RVec(std::initializer_list<double> components);
 
   RVec(const RVec& other);
+  /// Moved-from vectors are left fully normalized (dimension 0, zeroed
+  /// inline storage, empty heap): a later dimension-checked operation on
+  /// one throws instead of silently answering for a stale dimension.
   RVec(RVec&& other) noexcept;
   RVec& operator=(const RVec& other);
   RVec& operator=(RVec&& other) noexcept;
@@ -92,13 +95,15 @@ class RVec {
                         double eps = kCapacityEps) const noexcept;
 
   /// True when (*this + add) fits in a unit bin, i.e. for every dimension j,
-  /// (*this)[j] + add[j] <= 1 + eps. This is the hot-path feasibility test.
-  bool fits_with(const RVec& add, double eps = kCapacityEps) const noexcept;
+  /// (*this)[j] + add[j] <= 1 + eps. The comparison is the shared
+  /// fits.hpp predicate, the same one the SIMD open-bin table and the
+  /// packing audit use, so no two paths can disagree by one ulp.
+  bool fits_with(const RVec& add, double eps = kCapacityEps) const;
 
   /// Capacity-augmented variant: (*this + add) <= cap per dimension. Used
   /// by the resource-augmentation analysis (online bins of size 1+beta).
   bool fits_with_capacity(const RVec& add, double cap,
-                          double eps = kCapacityEps) const noexcept;
+                          double eps = kCapacityEps) const;
 
   /// Component-wise clamp to [0, +inf). Bin loads are maintained by adding
   /// and subtracting item sizes; clamping removes -1e-17-style residue after

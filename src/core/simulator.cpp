@@ -5,7 +5,9 @@
 
 #include "core/bin_state.hpp"
 #include "core/event.hpp"
+#include "core/open_bin_table.hpp"
 #include "core/policies/registry.hpp"
+#include "core/pool.hpp"
 #include "obs/observer.hpp"
 
 namespace dvbp {
@@ -26,6 +28,7 @@ class Engine {
  public:
   Engine(const Instance& inst, Policy& policy, const SimOptions& opts)
       : inst_(inst), policy_(policy), opts_(opts), obs_(opts.observer),
+        table_(inst.dim(), opts.bin_capacity),
         assignment_(inst.size(), kNoBin) {}
 
   SimResult run(std::span<const Event> events) {
@@ -67,8 +70,8 @@ class Engine {
     {
       obs::ScopedTimer timer(obs_ != nullptr ? obs_->decision_latency()
                                              : nullptr);
-      chosen =
-          policy_.select_bin(ev.time, item, std::span<const BinView>(views_));
+      chosen = policy_.select_bin_soa(
+          ev.time, item, std::span<const BinView>(views_), table_);
     }
     std::size_t rejections = 0;
     if (obs_ != nullptr && obs_->wants_rejections()) {
@@ -95,18 +98,21 @@ class Engine {
 
   void open_bin(Time now, const Item& item) {
     const BinId id = static_cast<BinId>(bins_.size());
-    const BinState* old_data = bins_.data();
-    bins_.emplace_back(id, inst_.dim(), now, opts_.bin_capacity);
-    if (bins_.data() != old_data) repatch_view_loads();
+    // bins_ is a chunked slab: emplace never moves existing BinStates,
+    // so the load pointers inside views_ stay valid with no repatching.
+    BinState& bin =
+        bins_.emplace_back(id, inst_.dim(), now, opts_.bin_capacity,
+                           &usage_pool_);
     records_.push_back(BinRecord{id, now, now, {}});
     slot_of_.push_back(static_cast<std::uint32_t>(open_order_.size()));
     open_order_.push_back(bins_.size() - 1);
+    table_.push_back_zero();
     if (obs_ != nullptr) obs_->on_open(now, id);
-    BinState& bin = bins_.back();
     if (!bin.fits(item.size)) {
       throw PolicyViolation("item does not fit even in an empty bin");
     }
     bin.add(item);
+    table_.add(table_.size() - 1, item.size.data());
     views_.push_back(BinView{id, &bin.load(), bin.opened_at(),
                              bin.num_active(), bin.latest_departure(),
                              bin.capacity()});
@@ -127,6 +133,7 @@ class Engine {
                             "' selected a bin that cannot hold the item");
     }
     bin.add(item);
+    table_.add(slot, item.size.data());
     views_[slot].num_items = bin.num_active();
     views_[slot].latest_departure = bin.latest_departure();
     records_[bin.id()].items.push_back(item.id);
@@ -155,6 +162,9 @@ class Engine {
       records_[bin_id].closed = ev.time;
       close_slot(slot);
     } else {
+      // Mirror the load update on the table lane with the identical
+      // subtract-then-clamp the RVec path just performed.
+      table_.sub_clamped(slot, item.size.data());
       views_[slot].num_items = bin.num_active();
       views_[slot].latest_departure = bin.latest_departure();
     }
@@ -172,15 +182,9 @@ class Engine {
     slot_of_[bins_[open_order_[slot]].id()] = kNoSlot;
     open_order_.erase(open_order_.begin() + slot);
     views_.erase(views_.begin() + slot);
+    table_.erase_slot(slot);
     for (std::size_t k = slot; k < open_order_.size(); ++k) {
       slot_of_[bins_[open_order_[k]].id()] = static_cast<std::uint32_t>(k);
-    }
-  }
-
-  /// bins_ reallocated: every view's load pointer moved with it.
-  void repatch_view_loads() {
-    for (std::size_t k = 0; k < views_.size(); ++k) {
-      views_[k].load = &bins_[open_order_[k]].load();
     }
   }
 
@@ -213,7 +217,9 @@ class Engine {
   const SimOptions& opts_;
   obs::Observer* const obs_;
 
-  std::vector<BinState> bins_;        // every bin ever opened, by id
+  UsagePool usage_pool_;  // usage-interval nodes for every bin's active list
+  StableVector<BinState> bins_;       // every bin ever opened, by id
+  OpenBinTable table_;    // SoA loads of the open bins, parallel to views_
   std::vector<std::size_t> open_order_;  // indices of open bins, opening order
   std::vector<std::uint32_t> slot_of_;  // BinId -> slot in open_order_/views_
   std::vector<BinRecord> records_;

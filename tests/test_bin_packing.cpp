@@ -17,7 +17,8 @@ std::vector<Item> three_items() {
 
 TEST(BinState, AddAccumulatesLoad) {
   const auto items = three_items();
-  BinState bin(0, 2, 0.0);
+  UsagePool pool;
+  BinState bin(0, 2, 0.0, 1.0, &pool);
   EXPECT_TRUE(bin.is_empty());
   bin.add(items[0]);
   bin.add(items[1]);
@@ -30,7 +31,8 @@ TEST(BinState, AddAccumulatesLoad) {
 
 TEST(BinState, FitsRespectsEveryDimension) {
   const auto items = three_items();
-  BinState bin(0, 2, 0.0);
+  UsagePool pool;
+  BinState bin(0, 2, 0.0, 1.0, &pool);
   bin.add(items[0]);  // load (0.5, 0.2)
   EXPECT_TRUE(bin.fits(RVec{0.5, 0.8}));
   EXPECT_FALSE(bin.fits(RVec{0.6, 0.1}));
@@ -39,7 +41,8 @@ TEST(BinState, FitsRespectsEveryDimension) {
 
 TEST(BinState, RemoveUpdatesLoadAndLatestDeparture) {
   const auto items = three_items();
-  BinState bin(0, 2, 0.0);
+  UsagePool pool;
+  BinState bin(0, 2, 0.0, 1.0, &pool);
   bin.add(items[0]);
   bin.add(items[1]);
   EXPECT_FALSE(bin.remove(items[1]));

@@ -4,10 +4,13 @@
 // placement semantics -- bin chosen, opening order, open/close times --
 // changes a hash and fails here.
 //
-// Coverage: all 10 registered policies x (uniform d in {1,2,5} + the four
-// adversarial constructions), fixed seeds. Each case is additionally
-// replayed through the streaming Dispatcher and must match the batch
-// engine bin-for-bin.
+// Coverage: all 10 registered policies x (uniform d in {1,2,5} plus the
+// high-dimension set {7,8,9,16} straddling RVec's inline/heap boundary at
+// kInlineDim = 8, + the four adversarial constructions), fixed seeds.
+// Each case is additionally replayed through the streaming Dispatcher and
+// must match the batch engine bin-for-bin. The no-SIMD CI job re-runs
+// this suite with -DDVBP_DISABLE_SIMD=ON and must produce identical
+// hashes (scalar/SIMD bit-exactness contract, core/open_bin_table.hpp).
 //
 // Regenerating goldens (only legitimate after an *intentional* semantic
 // change): DVBP_DUMP_GOLDEN=1 ./test_golden_packings | grep '^    {' then
@@ -43,7 +46,9 @@ const char* const kPolicies[] = {
 
 std::vector<std::pair<std::string, Instance>> golden_workloads() {
   std::vector<std::pair<std::string, Instance>> out;
-  for (std::size_t d : {1u, 2u, 5u}) {
+  // 7/8/9 bracket RVec's kInlineDim = 8 (last all-inline, boundary, first
+  // heap-backed); 16 exercises the pure-heap path and full SIMD lanes.
+  for (std::size_t d : {1u, 2u, 5u, 7u, 8u, 9u, 16u}) {
     gen::UniformParams params;
     params.d = d;
     params.n = 400;

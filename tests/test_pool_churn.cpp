@@ -1,0 +1,183 @@
+// Allocator-churn soup for the slab/pool memory layout (ISSUE 8): the
+// UsagePool free-list, the StableVector bin/item slabs, and the SoA
+// OpenBinTable all recycle storage aggressively, so this suite hammers
+// arrive/depart/evict/replace interleavings and audits the dispatcher
+// with PackingInvariantChecker throughout. It is part of the default
+// test set and therefore runs under the ASan/UBSan `sanitizers` CI job,
+// where a stale node index, a use-after-release, or an out-of-bounds
+// lane write dies loudly instead of corrupting a later placement.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/bin_state.hpp"
+#include "core/dispatcher.hpp"
+#include "core/invariants.hpp"
+#include "core/open_bin_table.hpp"
+#include "core/policies/registry.hpp"
+#include "core/pool.hpp"
+#include "stats/rng.hpp"
+
+namespace dvbp {
+namespace {
+
+RVec random_size(Xoshiro256pp& rng, std::size_t d) {
+  RVec s(d);
+  for (std::size_t j = 0; j < d; ++j) s[j] = rng.uniform(0.05, 0.6);
+  return s;
+}
+
+// Long arrive/depart soup: jobs churn through bins far more times than
+// the pool's initial slab holds, so the free-list recycles nodes across
+// many generations of bins.
+TEST(PoolChurn, ArriveDepartSoupKeepsInvariants) {
+  for (std::size_t d : {2u, 9u}) {  // straddles RVec::kInlineDim = 8
+    PolicyPtr policy = make_policy("BestFit", 99);
+    Dispatcher dispatcher(d, *policy);
+    PackingInvariantChecker checker;
+    Xoshiro256pp rng(0xC0FFEE + d);
+
+    std::vector<JobId> live;
+    Time now = 0.0;
+    for (int step = 0; step < 4000; ++step) {
+      now += rng.uniform(0.0, 0.1);
+      const bool do_depart =
+          !live.empty() && (live.size() > 64 || rng.uniform() < 0.45);
+      if (do_depart) {
+        const std::size_t pick =
+            static_cast<std::size_t>(rng.uniform_int(0, live.size() - 1));
+        dispatcher.depart(now, live[pick]);
+        live[pick] = live.back();
+        live.pop_back();
+      } else {
+        live.push_back(dispatcher.arrive(now, random_size(rng, d)).job);
+      }
+      if (step % 250 == 0) {
+        const auto violation = checker.check(dispatcher);
+        ASSERT_FALSE(violation.has_value()) << *violation << " at step "
+                                            << step << " d=" << d;
+      }
+    }
+    while (!live.empty()) {
+      now += 0.01;
+      dispatcher.depart(now, live.back());
+      live.pop_back();
+    }
+    EXPECT_EQ(dispatcher.open_bins(), 0u);
+    const auto violation = checker.check(dispatcher);
+    EXPECT_FALSE(violation.has_value()) << *violation;
+  }
+}
+
+// Evict/replace mixed in: eviction releases a pool node without ending
+// the job; replace() re-allocates one (possibly the same recycled slot)
+// in a different bin. Interleaved with departures this is the worst-case
+// free-list churn pattern.
+TEST(PoolChurn, EvictReplaceRecyclesNodesSafely) {
+  const std::size_t d = 5;
+  PolicyPtr policy = make_policy("FirstFit", 7);
+  Dispatcher dispatcher(d, *policy);
+  PackingInvariantChecker checker;
+  Xoshiro256pp rng(0xBADF00D);
+
+  std::vector<JobId> placed;   // live, not in limbo
+  std::vector<JobId> limbo;    // evicted, awaiting replace
+  Time now = 0.0;
+  for (int step = 0; step < 3000; ++step) {
+    now += rng.uniform(0.0, 0.05);
+    const double roll = rng.uniform();
+    if (!limbo.empty() && (limbo.size() > 16 || roll < 0.3)) {
+      dispatcher.replace(now, limbo.back());
+      placed.push_back(limbo.back());
+      limbo.pop_back();
+    } else if (!placed.empty() && roll < 0.5) {
+      const std::size_t pick =
+          static_cast<std::size_t>(rng.uniform_int(0, placed.size() - 1));
+      dispatcher.evict(now, placed[pick]);
+      limbo.push_back(placed[pick]);
+      placed[pick] = placed.back();
+      placed.pop_back();
+    } else if (!placed.empty() && (placed.size() > 48 || roll < 0.75)) {
+      const std::size_t pick =
+          static_cast<std::size_t>(rng.uniform_int(0, placed.size() - 1));
+      dispatcher.depart(now, placed[pick]);
+      placed[pick] = placed.back();
+      placed.pop_back();
+    } else {
+      placed.push_back(dispatcher.arrive(now, random_size(rng, d)).job);
+    }
+    if (step % 200 == 0) {
+      const auto violation = checker.check(dispatcher);
+      ASSERT_FALSE(violation.has_value()) << *violation << " at step "
+                                          << step;
+    }
+  }
+  // Drain limbo first (jobs must be placed to depart), then everything.
+  for (JobId job : limbo) {
+    now += 0.01;
+    dispatcher.replace(now, job);
+    placed.push_back(job);
+  }
+  for (JobId job : placed) {
+    now += 0.01;
+    dispatcher.depart(now, job);
+  }
+  EXPECT_EQ(dispatcher.open_bins(), 0u);
+  EXPECT_EQ(dispatcher.jobs_active(), 0u);
+  const auto violation = checker.check(dispatcher);
+  EXPECT_FALSE(violation.has_value()) << *violation;
+}
+
+// StableVector's contract: references handed out survive arbitrarily many
+// later emplace_backs (no reallocation-and-copy, unlike std::vector).
+TEST(PoolChurn, StableVectorReferencesSurviveGrowth) {
+  StableVector<Item> items;
+  const Item& first = items.emplace_back(0, 0.0, 1.0, RVec{0.5});
+  const Item* first_addr = &first;
+  // Grow well past several chunk boundaries.
+  for (ItemId id = 1; id < 1000; ++id) {
+    items.emplace_back(id, 0.0, 1.0, RVec{0.25});
+  }
+  EXPECT_EQ(&items[0], first_addr);
+  EXPECT_EQ(first.id, 0u);
+  EXPECT_EQ(items.size(), 1000u);
+  // Iteration visits every element in insertion order.
+  ItemId expect = 0;
+  for (const Item& item : items) EXPECT_EQ(item.id, expect++);
+}
+
+// The dispatcher's items() slab specifically: an Item reference taken at
+// admission must stay valid (same address, same bits) after thousands of
+// further arrivals force many new chunks.
+TEST(PoolChurn, DispatcherItemReferencesAreStable) {
+  PolicyPtr policy = make_policy("NextFit", 1);
+  Dispatcher dispatcher(2, *policy);
+  const auto first = dispatcher.arrive(0.0, RVec{0.3, 0.2});
+  const Item* addr = &dispatcher.items()[first.job];
+  for (int i = 1; i < 2000; ++i) {
+    dispatcher.arrive(0.001 * i, RVec{0.01, 0.01});
+  }
+  EXPECT_EQ(&dispatcher.items()[first.job], addr);
+  EXPECT_DOUBLE_EQ(addr->size[0], 0.3);
+}
+
+// UsagePool free-list unit semantics: release makes the slot available
+// for the next alloc (LIFO), and the slab only grows when the free list
+// is empty.
+TEST(PoolChurn, UsagePoolRecyclesReleasedNodes) {
+  UsagePool pool;
+  const std::uint32_t a = pool.alloc(1, 10.0);
+  const std::uint32_t b = pool.alloc(2, 20.0);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(pool[a].item, 1u);
+  EXPECT_DOUBLE_EQ(pool[b].departure, 20.0);
+  const std::size_t slab = pool.slab_size();
+  pool.release(a);
+  const std::uint32_t c = pool.alloc(3, 30.0);
+  EXPECT_EQ(c, a);  // LIFO reuse of the freed slot
+  EXPECT_EQ(pool.slab_size(), slab);
+  EXPECT_EQ(pool[c].item, 3u);
+}
+
+}  // namespace
+}  // namespace dvbp

@@ -20,7 +20,8 @@ namespace {
 TEST(ReleaseGuards, BinStateRemoveUnknownItemThrows) {
   const Item present(0, 0.0, 2.0, RVec{0.4});
   const Item absent(1, 0.0, 3.0, RVec{0.3});
-  BinState bin(0, 1, 0.0);
+  UsagePool pool;
+  BinState bin(0, 1, 0.0, 1.0, &pool);
   bin.add(present);
   EXPECT_THROW(bin.remove(absent), std::logic_error);
   // The failed removal must not have corrupted the load.
@@ -31,7 +32,8 @@ TEST(ReleaseGuards, BinStateRemoveUnknownItemThrows) {
 TEST(ReleaseGuards, BinStateRemoveTwiceThrows) {
   const Item item(0, 0.0, 2.0, RVec{0.4});
   const Item other(1, 0.0, 3.0, RVec{0.3});
-  BinState bin(0, 1, 0.0);
+  UsagePool pool;
+  BinState bin(0, 1, 0.0, 1.0, &pool);
   bin.add(item);
   bin.add(other);
   EXPECT_FALSE(bin.remove(item));

@@ -176,6 +176,96 @@ TEST(RVec, SumOfVectors) {
   EXPECT_EQ(sum({}).dim(), 0u);
 }
 
+// ---- Inline/heap boundary (kInlineDim = 8) ----------------------------
+//
+// d = 7, 8 live entirely in the inline array; d = 9, 16 spill to heap
+// storage. These used to be guarded by assert() only, so a Release build
+// would silently read/write out of bounds on mismatched dims (benign by
+// luck for d <= kInlineDim, corrupting for d > kInlineDim). The guards
+// are now typed exceptions and these tests run with asserts compiled out
+// too.
+
+class BoundaryTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BoundaryTest, RoundTripValuesAcrossStorageKinds) {
+  const std::size_t d = GetParam();
+  RVec v(d);
+  for (std::size_t j = 0; j < d; ++j) v[j] = 0.01 * static_cast<double>(j + 1);
+  for (std::size_t j = 0; j < d; ++j) {
+    EXPECT_DOUBLE_EQ(v[j], 0.01 * static_cast<double>(j + 1)) << "d=" << d;
+  }
+  EXPECT_EQ(v.dim(), d);
+}
+
+TEST_P(BoundaryTest, CopyMoveAndAssignPreserveAllLanes) {
+  const std::size_t d = GetParam();
+  RVec v(d);
+  for (std::size_t j = 0; j < d; ++j) v[j] = 1.0 / static_cast<double>(j + 2);
+  RVec copied = v;
+  EXPECT_EQ(copied, v);
+  RVec moved = std::move(copied);
+  EXPECT_EQ(moved, v);
+  RVec assigned;
+  assigned = v;
+  EXPECT_EQ(assigned, v);
+  RVec move_assigned(3, 0.5);  // different dim, forces storage swap
+  move_assigned = std::move(moved);
+  EXPECT_EQ(move_assigned, v);
+}
+
+TEST_P(BoundaryTest, MovedFromIsNormalizedEmpty) {
+  const std::size_t d = GetParam();
+  RVec v(d, 0.25);
+  RVec sink = std::move(v);
+  // Moved-from RVecs are fully normalized (dim 0, cleared storage), so
+  // reuse is well-defined regardless of which side of kInlineDim d was on.
+  EXPECT_EQ(v.dim(), 0u);  // NOLINT(bugprone-use-after-move)
+  EXPECT_TRUE(v.empty());
+  v = RVec(d, 0.75);
+  EXPECT_DOUBLE_EQ(v[d - 1], 0.75);
+}
+
+TEST_P(BoundaryTest, DimensionMismatchThrowsNotUB) {
+  const std::size_t d = GetParam();
+  RVec v(d, 0.1);
+  RVec bigger(d + 1, 0.1);
+  RVec smaller(d - 1, 0.1);
+  EXPECT_THROW(v += bigger, std::invalid_argument);
+  EXPECT_THROW(v -= bigger, std::invalid_argument);
+  EXPECT_THROW(v += smaller, std::invalid_argument);
+  EXPECT_THROW((void)v.fits_with(bigger), std::invalid_argument);
+  EXPECT_THROW((void)v.fits_with_capacity(bigger, 2.0),
+               std::invalid_argument);
+  EXPECT_THROW(v.max_with(smaller), std::invalid_argument);
+  // The failed ops must not have modified v.
+  for (std::size_t j = 0; j < d; ++j) EXPECT_DOUBLE_EQ(v[j], 0.1);
+}
+
+TEST_P(BoundaryTest, ArithmeticAndFitsMatchScalarReference) {
+  const std::size_t d = GetParam();
+  Xoshiro256pp rng(7777 + d);
+  for (int rep = 0; rep < 20; ++rep) {
+    RVec load(d), add(d);
+    bool ref_fits = true;
+    for (std::size_t j = 0; j < d; ++j) {
+      load[j] = rng.uniform(0.0, 0.8);
+      add[j] = rng.uniform(0.0, 0.5);
+      if (load[j] + add[j] > 1.0 + kCapacityEps) ref_fits = false;
+    }
+    EXPECT_EQ(load.fits_with(add), ref_fits) << "d=" << d;
+    RVec sum_v = load;
+    sum_v += add;
+    for (std::size_t j = 0; j < d; ++j) {
+      EXPECT_DOUBLE_EQ(sum_v[j], load[j] + add[j]);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AroundInlineDim, BoundaryTest,
+                         ::testing::Values<std::size_t>(
+                             RVec::kInlineDim - 1, RVec::kInlineDim,
+                             RVec::kInlineDim + 1, 2 * RVec::kInlineDim));
+
 // ---- Proposition 1 property tests -------------------------------------
 
 class Prop1Test : public ::testing::TestWithParam<std::size_t> {};
