@@ -76,6 +76,11 @@ ShardedDispatcher::ShardedDispatcher(std::size_t dim,
     }
     shard->dispatcher = std::make_unique<Dispatcher>(
         dim_, *shard->policy, options_.bin_capacity, shard->observer.get());
+    if (options_.tenants > 0) {
+      shard->accountant =
+          std::make_unique<tenancy::UsageAccountant>(options_.tenants);
+      shard->dispatcher->set_usage_hook(shard->accountant.get());
+    }
     if (options_.metrics != nullptr) {
       const std::string prefix = "dvbp.shard." + std::to_string(s) + ".";
       shard->queue_depth = &options_.metrics->gauge(prefix + "queue_depth");
@@ -139,6 +144,16 @@ void ShardedDispatcher::recover_shard(std::size_t shard_idx) {
                                       shard.global_of_local.size()));
           shard.global_of_local.push_back(global);
         }
+        // Tenancy checkpoints append the shard accountant's ledger after
+        // the job map; pre-tenancy checkpoints simply end here.
+        if (!extra.done()) {
+          if (shard.accountant == nullptr) {
+            throw persist::PersistError(
+                "ShardedDispatcher: shard checkpoint carries tenant state "
+                "but tenancy is off (set ShardedOptions::tenants)");
+          }
+          shard.accountant->restore_state(extra);
+        }
         if (!extra.done()) {
           throw serial::SerialError(
               "ShardedDispatcher: trailing bytes in shard checkpoint");
@@ -156,7 +171,7 @@ void ShardedDispatcher::recover_shard(std::size_t shard_idx) {
         if (rec.kind == persist::OpKind::kArrive) {
           const JobId global = static_cast<JobId>(rec.job);
           shard.dispatcher->arrive(rec.time, rec.size,
-                                   rec.expected_departure);
+                                   rec.expected_departure, rec.tenant);
           local_of_global.emplace(
               global,
               static_cast<JobId>(shard.global_of_local.size()));
@@ -171,6 +186,7 @@ void ShardedDispatcher::recover_shard(std::size_t shard_idx) {
           shard.dispatcher->depart(rec.time, it->second);
         }
         // kAdvance: clock note only; the shard clock moves on apply.
+        // kTenantCredits: captured into recovery.tenant_credits by run().
       });
   persist::JournalOptions jopts;
   jopts.fsync = options_.fsync;
@@ -254,7 +270,7 @@ ShardedDispatcher::~ShardedDispatcher() {
 ShardedDispatcher::Op ShardedDispatcher::prepare_arrive(
     Time now, RVec size, Time expected_departure,
     std::shared_ptr<CompletionSink> sink, std::uint64_t cookie,
-    std::size_t& target_out) {
+    TenantId tenant, std::size_t& target_out) {
   // Validate here, in the producer, so the asynchronous apply cannot throw
   // for caller mistakes (mirrors Dispatcher::arrive's checks).
   if (size.dim() != dim_) {
@@ -311,6 +327,7 @@ ShardedDispatcher::Op ShardedDispatcher::prepare_arrive(
   op.job = job;
   op.size = std::move(size);
   op.expected_departure = expected_departure;
+  op.tenant = tenant;
   op.sink = std::move(sink);
   op.cookie = cookie;
   if (options_.metrics != nullptr) {
@@ -327,10 +344,10 @@ ShardedDispatcher::Op ShardedDispatcher::prepare_arrive(
 }
 
 JobId ShardedDispatcher::arrive(Time now, RVec size,
-                                Time expected_departure) {
+                                Time expected_departure, TenantId tenant) {
   std::size_t target = 0;
   Op op = prepare_arrive(now, std::move(size), expected_departure, nullptr,
-                         0, target);
+                         0, tenant, target);
   const JobId job = op.job;
   enqueue(target, std::move(op));
   return job;
@@ -338,10 +355,11 @@ JobId ShardedDispatcher::arrive(Time now, RVec size,
 
 std::optional<JobId> ShardedDispatcher::try_arrive(
     Time now, RVec size, Time expected_departure,
-    std::shared_ptr<CompletionSink> sink, std::uint64_t cookie) {
+    std::shared_ptr<CompletionSink> sink, std::uint64_t cookie,
+    TenantId tenant) {
   std::size_t target = 0;
   Op op = prepare_arrive(now, std::move(size), expected_departure,
-                         std::move(sink), cookie, target);
+                         std::move(sink), cookie, tenant, target);
   const JobId job = op.job;
   if (try_enqueue(target, op)) return job;
   // Rejected by backpressure: the job id was already published, so retire
@@ -566,7 +584,7 @@ void ShardedDispatcher::apply_batch(Shard& shard, std::vector<Op>& batch,
         const bool journal_op =
             shard.journal != nullptr && !shard.journal_dead;
         if (journal_op) journal_size = op.size;
-        dispatcher.arrive(t, std::move(op.size), expected);
+        dispatcher.arrive(t, std::move(op.size), expected, op.tenant);
         shard.global_of_local.push_back(op.job);
         // `local` is worker-owned: the only other readers are the FIFO-
         // later depart op (applied by this same worker) and quiescent
@@ -578,7 +596,8 @@ void ShardedDispatcher::apply_batch(Shard& shard, std::vector<Op>& batch,
         if (journal_op) {
           try {
             shard.journal->append(persist::OpKind::kArrive, t, op.job,
-                                  expected, &journal_size);
+                                  expected, &journal_size, kNoBin, false,
+                                  op.tenant);
             ++journaled_ops;
           } catch (...) {
             shard.journal_dead = true;
@@ -653,6 +672,9 @@ void ShardedDispatcher::checkpoint_shard(Shard& shard) {
   serial::Writer extra;
   extra.u64(shard.global_of_local.size());
   for (const JobId global : shard.global_of_local) extra.u64(global);
+  // Trailing accountant ledger, matching the optional tail recover_shard
+  // reads; omitted entirely when tenancy is off.
+  if (shard.accountant != nullptr) shard.accountant->save_state(extra);
   data.extra = extra.take();
   persist::write_checkpoint(shard.journal_path, data);
   shard.journal->rotate();
@@ -903,6 +925,59 @@ const Dispatcher& ShardedDispatcher::shard_dispatcher(
   return *shards_[shard]->dispatcher;
 }
 
+const tenancy::UsageAccountant* ShardedDispatcher::shard_accountant(
+    std::size_t shard) const {
+  if (shard >= shards_.size()) {
+    throw std::invalid_argument(
+        "ShardedDispatcher::shard_accountant: bad shard");
+  }
+  return shards_[shard]->accountant.get();
+}
+
+std::vector<double> ShardedDispatcher::settle_tenants(
+    Time now, tenancy::Arbiter& arbiter) {
+  require_quiescent();
+  if (options_.tenants == 0) {
+    throw std::logic_error(
+        "ShardedDispatcher::settle_tenants: tenancy is off "
+        "(ShardedOptions::tenants == 0)");
+  }
+  if (arbiter.num_tenants() != options_.tenants) {
+    throw std::invalid_argument(
+        "ShardedDispatcher::settle_tenants: arbiter tenant count does not "
+        "match ShardedOptions::tenants");
+  }
+  // Close the epoch on every shard at the same instant, then merge the
+  // per-tenant integrals. Quiescence makes the merged vector exact: no op
+  // is mid-flight, so every shard's ledger covers the same history.
+  std::vector<double> usage(options_.tenants, 0.0);
+  for (auto& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.accountant->on_advance(
+        std::max(now, shard.accountant->last_event()),
+        shard.dispatcher->open_bins());
+    const std::vector<double> cut = shard.accountant->cut_epoch();
+    for (std::uint32_t t = 0; t < options_.tenants; ++t) usage[t] += cut[t];
+  }
+  arbiter.settle(now, usage);
+  // One authoritative credit frame, journaled on shard 0: recovery of that
+  // shard restores the newest durably settled balances.
+  Shard& shard0 = *shards_[0];
+  std::lock_guard<std::mutex> lock(shard0.mu);
+  if (shard0.journal != nullptr && !shard0.journal_dead) {
+    try {
+      shard0.journal->append_credits(now, arbiter.state_bytes());
+      shard0.journal->commit();
+      shard0.ops_since_checkpoint += 1;
+    } catch (...) {
+      shard0.journal_dead = true;
+      record_worker_error();
+    }
+  }
+  return usage;
+}
+
 namespace {
 
 double load_skew(const std::vector<double>& loads) {
@@ -950,6 +1025,7 @@ ShardRebalanceReport ShardedDispatcher::rebalance_shards(
     JobId global = kNoItem;
     RVec size;
     Time expected = 0.0;
+    TenantId tenant = kNoTenant;
     {
       std::lock_guard<std::mutex> lock(source.mu);
       const Dispatcher& d = *source.dispatcher;
@@ -966,6 +1042,7 @@ ShardRebalanceReport ShardedDispatcher::rebalance_shards(
       global = source.global_of_local[local];
       size = d.items()[local].size;
       expected = d.items()[local].departure;  // still the advisory value
+      tenant = d.items()[local].tenant;  // billing follows the job
     }
 
     // Depart on the source and make it durable BEFORE the destination
@@ -1000,7 +1077,7 @@ ShardRebalanceReport ShardedDispatcher::rebalance_shards(
       const bool journal_op = dest.journal != nullptr && !dest.journal_dead;
       if (journal_op) journal_size = size;
       const double l1 = size.l1();
-      dest.dispatcher->arrive(t, std::move(size), exp);
+      dest.dispatcher->arrive(t, std::move(size), exp, tenant);
       dest.global_of_local.push_back(global);
       JobRec& rec = job_rec(global);
       rec.shard.store(static_cast<std::uint32_t>(dst),
@@ -1009,7 +1086,7 @@ ShardRebalanceReport ShardedDispatcher::rebalance_shards(
       if (journal_op) {
         try {
           dest.journal->append(persist::OpKind::kArrive, t, global, exp,
-                               &journal_size);
+                               &journal_size, kNoBin, false, tenant);
           dest.journal->commit();
         } catch (...) {
           dest.journal_dead = true;

@@ -68,6 +68,8 @@
 #include "obs/observer.hpp"
 #include "persist/journal.hpp"
 #include "persist/recovery.hpp"
+#include "tenancy/accountant.hpp"
+#include "tenancy/arbiter.hpp"
 
 namespace dvbp::obs {
 class Tracer;  // obs/trace.hpp
@@ -104,6 +106,16 @@ struct ShardedOptions {
   std::size_t fsync_interval_ops = 256;
   /// Per-shard: checkpoint after this many journaled ops; 0 disables.
   std::size_t checkpoint_every = 0;
+
+  // --- Multi-tenancy (src/tenancy/, docs/TENANCY.md) --------------------
+
+  /// Number of tenants; 0 disables tenancy entirely (no accountants, no
+  /// per-arrival tenant bookkeeping -- the pre-tenancy behavior, bit for
+  /// bit). When > 0 every shard owns a tenancy::UsageAccountant hooked
+  /// into its Dispatcher, arrivals carry their tenant label through the
+  /// queue and the journal, and settle_tenants() merges the shard ledgers
+  /// into an Arbiter settlement at quiescence.
+  std::uint32_t tenants = 0;
 };
 
 /// Knobs for rebalance_shards() (docs/MIGRATION.md). A move is a
@@ -168,7 +180,8 @@ class ShardedDispatcher {
   /// the target shard's queue is full. Thread-safe.
   JobId arrive(Time now, RVec size,
                Time expected_departure =
-                   std::numeric_limits<Time>::infinity());
+                   std::numeric_limits<Time>::infinity(),
+               TenantId tenant = kNoTenant);
 
   /// Marks `job` finished: enqueues the departure on the shard that owns
   /// it. Throws std::invalid_argument for unknown or already-departed jobs
@@ -193,7 +206,7 @@ class ShardedDispatcher {
       Time now, RVec size,
       Time expected_departure = std::numeric_limits<Time>::infinity(),
       std::shared_ptr<CompletionSink> sink = nullptr,
-      std::uint64_t cookie = 0);
+      std::uint64_t cookie = 0, TenantId tenant = kNoTenant);
 
   /// Like depart(), but returns false instead of blocking when the owning
   /// shard's queue is full (the job is NOT marked departed and the caller
@@ -281,6 +294,22 @@ class ShardedDispatcher {
   /// checking in tests. Quiescent only.
   const Dispatcher& shard_dispatcher(std::size_t shard) const;
 
+  // --- Multi-tenancy (ShardedOptions::tenants > 0 only) -----------------
+
+  /// Quiescent credit settlement: closes each shard accountant's epoch at
+  /// `now`, merges the per-tenant usage integrals across shards, settles
+  /// `arbiter` with the merged vector, and -- when durability is on --
+  /// journals the settled credit state as one kTenantCredits frame on
+  /// shard 0 (recovered via shard_recovery(0).tenant_credits). Returns the
+  /// merged per-tenant usage of the epoch (the fairness tracker's input).
+  /// Requires quiescence, like snapshot(). Throws std::logic_error when
+  /// tenancy is off, std::invalid_argument on a tenant-count mismatch.
+  std::vector<double> settle_tenants(Time now, tenancy::Arbiter& arbiter);
+
+  /// Shard `shard`'s usage ledger; null when tenancy is off. Quiescent
+  /// reads only (the owning worker mutates it on every op).
+  const tenancy::UsageAccountant* shard_accountant(std::size_t shard) const;
+
  private:
   struct Op {
     enum class Kind : std::uint8_t { kArrive, kDepart } kind = Kind::kArrive;
@@ -288,6 +317,7 @@ class ShardedDispatcher {
     JobId job = kNoItem;  // global id
     RVec size;            // arrivals only
     Time expected_departure = 0.0;
+    TenantId tenant = kNoTenant;  // arrivals only
     std::chrono::steady_clock::time_point enqueued{};  // metrics only
     std::shared_ptr<CompletionSink> sink;  // null for synchronous callers
     std::uint64_t cookie = 0;
@@ -307,6 +337,9 @@ class ShardedDispatcher {
     PolicyPtr policy;
     std::unique_ptr<obs::Observer> observer;  // null when obs is off
     std::unique_ptr<Dispatcher> dispatcher;
+    /// Per-shard usage ledger (null when tenancy is off); hooked into the
+    /// dispatcher, so it accrues under `mu` with every applied op.
+    std::unique_ptr<tenancy::UsageAccountant> accountant;
     std::vector<JobId> global_of_local;  // local JobId -> global JobId
 
     // Queue: guarded by `qmu`.
@@ -375,7 +408,8 @@ class ShardedDispatcher {
   /// routed shard via `target_out`.
   Op prepare_arrive(Time now, RVec size, Time expected_departure,
                     std::shared_ptr<CompletionSink> sink,
-                    std::uint64_t cookie, std::size_t& target_out);
+                    std::uint64_t cookie, TenantId tenant,
+                    std::size_t& target_out);
   void enqueue(std::size_t shard_idx, Op op);
   /// Non-blocking enqueue: returns false (leaving `op` untouched) when the
   /// shard queue is at capacity or shutdown has started.

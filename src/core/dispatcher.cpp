@@ -30,7 +30,8 @@ void Dispatcher::check_time(Time now) {
 }
 
 Dispatcher::Admission Dispatcher::arrive(Time now, RVec size,
-                                         Time expected_departure) {
+                                         Time expected_departure,
+                                         TenantId tenant) {
   check_time(now);
   if (size.dim() != dim_) {
     throw std::invalid_argument("Dispatcher::arrive: dimension mismatch");
@@ -45,9 +46,12 @@ Dispatcher::Admission Dispatcher::arrive(Time now, RVec size,
   }
 
   const JobId job = static_cast<JobId>(items_.size());
-  items_.emplace_back(job, now, expected_departure, std::move(size));
+  items_.emplace_back(job, now, expected_departure, std::move(size), tenant);
   const Item& item = items_.back();
   ++active_jobs_;
+  if (usage_hook_ != nullptr) {
+    usage_hook_->on_arrive(tenant, now, item.size, open_order_.size());
+  }
 
   if (obs_ != nullptr) {
     obs_->on_arrival(now, job,
@@ -139,6 +143,10 @@ void Dispatcher::depart(Time now, JobId job) {
   }
   // Patch the actual departure so latest-departure bookkeeping is honest.
   items_[job].departure = now;
+  if (usage_hook_ != nullptr) {
+    usage_hook_->on_depart(items_[job].tenant, now, items_[job].size,
+                           open_order_.size());
+  }
 
   const std::uint32_t slot = slot_of_[bin_id];
   if (slot == kNoSlot) {
@@ -179,6 +187,10 @@ Dispatcher::Eviction Dispatcher::evict(Time now, JobId job) {
   if (slot == kNoSlot) {
     throw std::logic_error("Dispatcher::evict: bin not open");
   }
+  // The job stays active (no demand change), but the bin count may step.
+  if (usage_hook_ != nullptr) {
+    usage_hook_->on_advance(now, open_order_.size());
+  }
   BinState& bin = bins_[open_order_[slot]];
   // The item's departure field is left alone: the job is still running.
   const bool emptied = bin.remove(items_[job]);
@@ -207,6 +219,9 @@ BinId Dispatcher::replace(Time now, JobId job, BinId target) {
   if (job >= items_.size() || evicted_[job] == 0) {
     throw std::invalid_argument(
         "Dispatcher::replace: job is not in the evicted state");
+  }
+  if (usage_hook_ != nullptr) {
+    usage_hook_->on_advance(now, open_order_.size());
   }
   const Item& item = items_[job];
 
@@ -292,7 +307,17 @@ BinId Dispatcher::bin_of(JobId job) const {
   return assignment_[job];
 }
 
+namespace {
+// In-band version marker for the dispatcher state stream. Streams written
+// before tenancy start directly with the u64 dim (a small integer), so a
+// leading sentinel no plausible dim can collide with makes the stream
+// self-describing: v3 adds the per-item tenant id, older streams load with
+// every item anonymous. Bump the low bits on the next layout change.
+constexpr std::uint64_t kStateV3Magic = 0xFFFFFFFF00000003ull;
+}  // namespace
+
 void Dispatcher::save_state(serial::Writer& out) const {
+  out.u64(kStateV3Magic);
   out.u64(dim_);
   out.f64(capacity_);
   out.f64(now_);
@@ -304,6 +329,7 @@ void Dispatcher::save_state(serial::Writer& out) const {
   for (const Item& item : items_) {
     out.f64(item.arrival);
     out.f64(item.departure);
+    out.u32(item.tenant);
     for (double c : item.size) out.f64(c);
   }
   for (BinId bin : assignment_) out.u32(bin);
@@ -332,7 +358,10 @@ void Dispatcher::restore_state(serial::Reader& in) {
     throw std::logic_error(
         "Dispatcher::restore_state: dispatcher already has state");
   }
-  if (in.u64() != dim_) {
+  std::uint64_t first = in.u64();
+  const bool has_tenants = first == kStateV3Magic;
+  if (has_tenants) first = in.u64();  // v3: the dim follows the marker
+  if (first != dim_) {
     throw serial::SerialError(
         "Dispatcher::restore_state: dimension mismatch");
   }
@@ -349,10 +378,11 @@ void Dispatcher::restore_state(serial::Reader& in) {
   for (std::uint64_t i = 0; i < num_items; ++i) {
     const Time arrival = in.f64();
     const Time departure = in.f64();
+    const TenantId tenant = has_tenants ? in.u32() : kNoTenant;
     RVec size(dim_);
     for (std::size_t j = 0; j < dim_; ++j) size[j] = in.f64();
     items_.emplace_back(static_cast<ItemId>(i), arrival, departure,
-                        std::move(size));
+                        std::move(size), tenant);
   }
   assignment_.reserve(num_items);
   for (std::uint64_t i = 0; i < num_items; ++i) {

@@ -32,6 +32,26 @@ namespace dvbp {
 /// Identifier the caller uses to refer to a live job.
 using JobId = ItemId;
 
+/// Per-tenant usage accounting hook (implemented by
+/// tenancy::UsageAccountant; core stays tenancy-agnostic the same way it
+/// stays obs-agnostic). The dispatcher invokes the hook with the open-bin
+/// count *before* the event mutates state: bin counts are piecewise
+/// constant between events, so accruing [last event, now) at the old count
+/// is exact, not an approximation. A null hook costs one branch per event.
+class TenantUsageHook {
+ public:
+  virtual ~TenantUsageHook() = default;
+  /// A job of `tenant` was admitted at `now` with demand `size`.
+  virtual void on_arrive(TenantId tenant, Time now, const RVec& size,
+                         std::size_t open_bins) = 0;
+  /// A job of `tenant` departed at `now`, releasing demand `size`.
+  virtual void on_depart(TenantId tenant, Time now, const RVec& size,
+                         std::size_t open_bins) = 0;
+  /// Clock advance with no demand change (evict/replace: the job stays
+  /// active, but the open-bin count may step).
+  virtual void on_advance(Time now, std::size_t open_bins) = 0;
+};
+
 class Dispatcher {
  public:
   /// `policy` is borrowed (not owned) and reset(); it must outlive the
@@ -49,11 +69,20 @@ class Dispatcher {
 
   /// Admits a job of the given size at time `now` (monotonically
   /// nondecreasing across all calls). `expected_departure` is only shown
-  /// to clairvoyant policies; pass the default when unknown. Throws
-  /// std::invalid_argument on bad sizes or time regressions.
+  /// to clairvoyant policies; pass the default when unknown. `tenant`
+  /// labels the job for usage accounting (src/tenancy/) and is invisible
+  /// to every placement policy -- packing decisions are tenant-blind.
+  /// Throws std::invalid_argument on bad sizes or time regressions.
   Admission arrive(Time now, RVec size,
                    Time expected_departure =
-                       std::numeric_limits<Time>::infinity());
+                       std::numeric_limits<Time>::infinity(),
+                   TenantId tenant = kNoTenant);
+
+  /// Attaches (or detaches, with nullptr) the per-tenant usage accounting
+  /// hook. Borrowed; must outlive the dispatcher or be detached first.
+  void set_usage_hook(TenantUsageHook* hook) noexcept {
+    usage_hook_ = hook;
+  }
 
   /// Marks `job` finished at `now`. Throws std::invalid_argument for
   /// unknown/already-departed jobs or time regressions.
@@ -185,6 +214,7 @@ class Dispatcher {
   Policy& policy_;
   double capacity_;
   obs::Observer* obs_;
+  TenantUsageHook* usage_hook_ = nullptr;
   Time now_ = 0.0;
   bool started_ = false;
 

@@ -61,6 +61,26 @@ void Instance::sort_by_arrival() {
   }
 }
 
+void Instance::set_tenant(ItemId id, TenantId tenant) {
+  if (id >= items_.size()) {
+    throw std::out_of_range("Instance::set_tenant: bad item id");
+  }
+  items_[id].tenant = tenant;
+}
+
+void Instance::scale_size(ItemId id, double factor) {
+  if (id >= items_.size()) {
+    throw std::out_of_range("Instance::scale_size: bad item id");
+  }
+  if (!(factor >= 0.0)) {
+    throw std::invalid_argument("Instance::scale_size: negative factor");
+  }
+  RVec& s = items_[id].size;
+  for (std::size_t j = 0; j < s.dim(); ++j) {
+    s[j] = std::min(1.0, s[j] * factor);
+  }
+}
+
 Time Instance::min_duration() const {
   if (items_.empty()) throw std::logic_error("min_duration: empty instance");
   Time m = std::numeric_limits<Time>::infinity();

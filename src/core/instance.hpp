@@ -41,6 +41,15 @@ class Instance {
   /// call this once at the end.
   void sort_by_arrival();
 
+  /// Labels item `id` with a tenant (src/gen/tenants.hpp builds whole
+  /// assignments). Throws std::out_of_range on a bad id.
+  void set_tenant(ItemId id, TenantId tenant);
+
+  /// Rescales item `id`'s size by `factor`, clamping every coordinate to
+  /// [0, 1] so the item stays packable. Used by the demand-inflation
+  /// adversary. Throws std::out_of_range on a bad id.
+  void scale_size(ItemId id, double factor);
+
   /// --- Aggregate properties (paper Sec. 2.1) ---
 
   Time min_duration() const;

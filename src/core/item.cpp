@@ -12,8 +12,10 @@ std::string Item::to_string() const {
 }
 
 std::ostream& operator<<(std::ostream& os, const Item& item) {
-  return os << "Item{id=" << item.id << ", I=[" << item.arrival << ", "
-            << item.departure << "), s=" << item.size << '}';
+  os << "Item{id=" << item.id << ", I=[" << item.arrival << ", "
+     << item.departure << "), s=" << item.size;
+  if (item.tenant != kNoTenant) os << ", tenant=" << item.tenant;
+  return os << '}';
 }
 
 }  // namespace dvbp

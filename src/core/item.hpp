@@ -18,11 +18,13 @@ struct Item {
   Time arrival = 0.0;    ///< a(r)
   Time departure = 0.0;  ///< e(r); item has departed at this instant.
   RVec size;             ///< s(r) in [0,1]^d
+  TenantId tenant = kNoTenant;  ///< submitting tenant (src/tenancy/)
 
   Item() = default;
-  Item(ItemId id_, Time arrival_, Time departure_, RVec size_)
+  Item(ItemId id_, Time arrival_, Time departure_, RVec size_,
+       TenantId tenant_ = kNoTenant)
       : id(id_), arrival(arrival_), departure(departure_),
-        size(std::move(size_)) {}
+        size(std::move(size_)), tenant(tenant_) {}
 
   /// Active interval I(r) = [a(r), e(r)).
   Interval interval() const noexcept { return Interval(arrival, departure); }

@@ -28,6 +28,14 @@ inline constexpr BinId kNoBin = std::numeric_limits<BinId>::max();
 /// Sentinel for "no item".
 inline constexpr ItemId kNoItem = std::numeric_limits<ItemId>::max();
 
+/// Identifier of the tenant that submitted an item (src/tenancy/). Dense
+/// small integers; kNoTenant marks anonymous single-tenant traffic, which
+/// every accounting and arbitration layer must treat as "tenancy off".
+using TenantId = std::uint32_t;
+
+/// Sentinel for "no tenant" (anonymous item; tenancy disabled).
+inline constexpr TenantId kNoTenant = std::numeric_limits<TenantId>::max();
+
 /// Additive slack used when testing whether an item fits in a bin. Item
 /// sizes are normalized to [0,1]; generators use sizes no finer than ~1e-6,
 /// so 1e-9 absorbs floating error without changing feasibility decisions.

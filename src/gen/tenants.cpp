@@ -1,0 +1,69 @@
+#include "gen/tenants.hpp"
+
+#include <stdexcept>
+
+namespace dvbp::gen {
+
+void label_tenants(Instance& inst, const std::vector<double>& weights,
+                   std::uint64_t seed) {
+  if (weights.empty()) {
+    throw std::invalid_argument("label_tenants: empty weight vector");
+  }
+  double total = 0.0;
+  for (double w : weights) {
+    if (!(w >= 0.0)) {
+      throw std::invalid_argument("label_tenants: negative weight");
+    }
+    total += w;
+  }
+  if (!(total > 0.0)) {
+    throw std::invalid_argument("label_tenants: all-zero weights");
+  }
+  Xoshiro256pp rng = Xoshiro256pp::for_trial(seed, 0);
+  for (std::size_t i = 0; i < inst.size(); ++i) {
+    const double u = rng.uniform() * total;
+    double acc = 0.0;
+    TenantId tenant = static_cast<TenantId>(weights.size() - 1);
+    for (std::size_t t = 0; t < weights.size(); ++t) {
+      acc += weights[t];
+      if (u < acc) {
+        tenant = static_cast<TenantId>(t);
+        break;
+      }
+    }
+    inst.set_tenant(static_cast<ItemId>(i), tenant);
+  }
+}
+
+void label_tenants_uniform(Instance& inst, std::uint32_t tenants,
+                           std::uint64_t seed) {
+  if (tenants == 0) {
+    throw std::invalid_argument("label_tenants_uniform: zero tenants");
+  }
+  label_tenants(inst, std::vector<double>(tenants, 1.0), seed);
+}
+
+std::size_t inflate_tenant_demand(Instance& inst, TenantId tenant,
+                                  double factor) {
+  std::size_t touched = 0;
+  for (std::size_t i = 0; i < inst.size(); ++i) {
+    if (inst[i].tenant != tenant) continue;
+    inst.scale_size(static_cast<ItemId>(i), factor);
+    ++touched;
+  }
+  return touched;
+}
+
+std::vector<std::size_t> tenant_histogram(const Instance& inst,
+                                          std::uint32_t tenants) {
+  std::vector<std::size_t> counts(tenants, 0);
+  if (tenants == 0) return counts;
+  for (std::size_t i = 0; i < inst.size(); ++i) {
+    const TenantId t = inst[i].tenant;
+    if (t == kNoTenant) continue;
+    counts[t < tenants ? t : tenants - 1] += 1;
+  }
+  return counts;
+}
+
+}  // namespace dvbp::gen

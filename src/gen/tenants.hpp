@@ -1,0 +1,49 @@
+// Tenant-labeled workloads for the fairness layer (docs/TENANCY.md).
+//
+// label_tenants assigns every item of an existing instance to one of T
+// tenants, drawn from a weight vector (heavier weight => more of the
+// stream), deterministically in (instance size, weights, seed). The item
+// sizes and times are untouched, so a tenant labeling never changes what
+// any packing policy does -- only who gets billed.
+//
+// inflate_tenant_demand is the greedy adversary of the strategy-proofness
+// experiments: one tenant scales its reported sizes by `factor` (clamped
+// to the unit bin) while everyone else stays truthful. Under a Karma-style
+// credit arbiter the inflated demand burns through the liar's credits and
+// admission throttles it; the regression test asserts the liar's billed
+// utilization does not beat its truthful run.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/instance.hpp"
+#include "core/types.hpp"
+#include "stats/rng.hpp"
+
+namespace dvbp::gen {
+
+/// Assigns each item of `inst` a tenant in [0, weights.size()) with
+/// probability proportional to its weight. Deterministic in (inst.size(),
+/// weights, seed). Throws std::invalid_argument on empty weights, a
+/// negative weight, or an all-zero weight vector.
+void label_tenants(Instance& inst, const std::vector<double>& weights,
+                   std::uint64_t seed);
+
+/// Equal-weight convenience: round-robin-free uniform assignment over
+/// `tenants` tenants.
+void label_tenants_uniform(Instance& inst, std::uint32_t tenants,
+                           std::uint64_t seed);
+
+/// Scales the sizes of every item owned by `tenant` by `factor` (>= 0),
+/// clamping each coordinate to [0, 1]. Returns the number of items
+/// touched. factor > 1 models a greedy tenant inflating its demand.
+std::size_t inflate_tenant_demand(Instance& inst, TenantId tenant,
+                                  double factor);
+
+/// Per-tenant item counts for a labeled instance (kNoTenant items are
+/// dropped; labels >= `tenants` are clamped into the last slot).
+std::vector<std::size_t> tenant_histogram(const Instance& inst,
+                                          std::uint32_t tenants);
+
+}  // namespace dvbp::gen

@@ -13,6 +13,7 @@
 // via obs::replay_packing_file, and fails (exit 2) unless it matches the
 // simulator's packing exactly -- the telemetry acceptance gate, also run
 // from tests/test_obs_cli.cpp.
+#include <algorithm>
 #include <chrono>
 #include <csignal>
 #include <fstream>
@@ -33,6 +34,7 @@
 #include "core/rebalancer.hpp"
 #include "core/simulator.hpp"
 #include "gen/registry.hpp"
+#include "gen/tenants.hpp"
 #include "harness/cli.hpp"
 #include "harness/table.hpp"
 #include "net/client.hpp"
@@ -44,6 +46,10 @@
 #include "obs/trace.hpp"
 #include "persist/durable.hpp"
 #include "persist/journal.hpp"
+#include "tenancy/accountant.hpp"
+#include "tenancy/arbiter.hpp"
+#include "tenancy/gate.hpp"
+#include "tenancy/report.hpp"
 
 namespace {
 
@@ -76,6 +82,17 @@ int usage() {
       "             --recover  (restore from --journal-dir, report, exit;\n"
       "             no workload is ingested)\n"
       "  --trace-out/--check-roundtrip apply to the serial path only.\n"
+      "  tenancy (docs/TENANCY.md):\n"
+      "             --tenants=T  label the workload with T tenants and run\n"
+      "             the serial dispatcher behind the credit admission gate;\n"
+      "             prints the welfare/instant-fairness/utilization report\n"
+      "             --fairshare=w0,w1,...  relative fair shares (default\n"
+      "             uniform)  --alpha=0.0  public credit injection rate\n"
+      "             --capacity-units=U  admission capacity (bin units;\n"
+      "             default: no quota)  --credits=C  starting balances\n"
+      "             --settle-every=T  settlement epoch length (sim time)\n"
+      "             --inflate-tenant=t --inflate-factor=F  demand-inflation\n"
+      "             adversary  --no-arbiter  baseline without gating\n"
       "\n"
       "subcommands (docs/PROTOCOL.md):\n"
       "  harness serve   --port=7070 --shards=K --policy=... [--d=2]\n"
@@ -103,7 +120,10 @@ void reject_unknown_flags(const harness::Args& args) {
       "metrics-out", "trace-out",  "check-roundtrip", "quiet",
       "shards",    "router",       "help",
       "journal-dir", "checkpoint-every", "recover", "fsync",
-      "fsync-interval", "migrate-budget", "migrate-volume"};
+      "fsync-interval", "migrate-budget", "migrate-volume",
+      "tenants",   "fairshare",    "alpha",     "capacity-units",
+      "credits",   "settle-every", "price",     "inflate-tenant",
+      "inflate-factor", "no-arbiter"};
   for (const std::string& key : args.keys()) {
     if (!kKnown.count(key)) {
       throw harness::CliError("unknown flag '--" + key +
@@ -536,6 +556,142 @@ int run_migration(const harness::Args& args, const Instance& inst) {
   return 0;
 }
 
+/// Tenant fairness mode (--tenants=T): the serial dispatcher behind the
+/// credit-based admission gate, with periodic settlement epochs and the
+/// Karma-style welfare / instant-fairness / utilization report at the end
+/// (docs/TENANCY.md). --no-arbiter disables the quota (every arrival
+/// admitted) for the baseline the fairness comparison needs.
+int run_tenants(const harness::Args& args, Instance inst) {
+  const auto tenants =
+      static_cast<std::uint32_t>(args.get_int("tenants", 2));
+  if (tenants == 0) throw harness::CliError("--tenants must be >= 1");
+  const std::string policy_name = args.get("policy", "MoveToFront");
+  const std::string metrics_out = args.get("metrics-out", "");
+  const bool quiet = args.get_bool("quiet");
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+
+  std::vector<double> weights(tenants, 1.0);
+  if (args.has("fairshare")) {
+    const std::vector<std::string> parts = args.get_list("fairshare");
+    if (parts.size() != tenants) {
+      throw harness::CliError("--fairshare needs exactly --tenants weights");
+    }
+    for (std::size_t t = 0; t < parts.size(); ++t) {
+      weights[t] = std::stod(parts[t]);
+    }
+  }
+
+  // Label the stream (tenant-weighted), then optionally let one greedy
+  // tenant inflate its reported demand.
+  gen::label_tenants(inst, weights, seed ^ 0x7e4a7ebef1ull);
+  if (args.has("inflate-tenant")) {
+    const auto liar =
+        static_cast<TenantId>(args.get_int("inflate-tenant", 0));
+    const double factor = args.get_double("inflate-factor", 2.0);
+    gen::inflate_tenant_demand(inst, liar, factor);
+  }
+
+  obs::MetricRegistry registry;
+  std::shared_ptr<obs::TraceSink> sink;
+  const std::string trace_out = args.get("trace-out", "");
+  if (!trace_out.empty()) sink = std::make_shared<obs::FileSink>(trace_out);
+  obs::Tracer tracer(sink);
+  obs::Observer observer(&registry, &tracer);
+
+  tenancy::ArbiterConfig aconfig;
+  aconfig.num_tenants = tenants;
+  aconfig.fair_shares = weights;
+  aconfig.alpha = args.get_double("alpha", 0.0);
+  aconfig.init_credits = args.get_double("credits", 0.0);
+  aconfig.price = args.get_double("price", 1.0);
+  if (!args.get_bool("no-arbiter") && args.has("capacity-units")) {
+    aconfig.capacity_units = args.get_double("capacity-units", 0.0);
+  }
+  tenancy::Arbiter arbiter(aconfig);
+  tenancy::AdmissionGate gate(arbiter, &registry, &tracer);
+  tenancy::UsageAccountant accountant(tenants);
+  tenancy::FairnessTracker tracker(tenants);
+
+  const PolicyPtr policy = make_policy(
+      policy_name,
+      static_cast<std::uint64_t>(args.get_int("policy-seed", 0xD1CEu)));
+  Dispatcher dispatcher(inst.dim(), *policy,
+                        args.get_double("capacity", 1.0), &observer);
+  dispatcher.set_usage_hook(&accountant);
+
+  std::vector<double> shares(tenants, 0.0);
+  for (std::uint32_t t = 0; t < tenants; ++t) {
+    shares[t] = arbiter.fair_share(t);
+  }
+  const double settle_every = args.get_double("settle-every", 100.0);
+  if (!(settle_every > 0.0)) {
+    throw harness::CliError("--settle-every must be > 0");
+  }
+
+  Time last_settle = inst.empty() ? 0.0 : inst.first_arrival();
+  Time next_settle = last_settle + settle_every;
+  const auto settle = [&](Time at) {
+    accountant.on_advance(std::max(at, accountant.last_event()),
+                          dispatcher.open_bins());
+    const std::vector<double> usage = accountant.cut_epoch();
+    tracker.on_epoch(at - last_settle, usage, shares);
+    gate.settle(at, usage);
+    last_settle = at;
+  };
+
+  const std::vector<Event> events = build_event_stream(inst);
+  std::vector<JobId> job_of_item(inst.size(), kNoItem);
+  std::uint64_t denied = 0;
+  for (const Event& ev : events) {
+    while (ev.time >= next_settle) {
+      settle(next_settle);
+      next_settle += settle_every;
+    }
+    const Item& item = inst[ev.item];
+    if (ev.kind == EventKind::kArrival) {
+      if (!gate.admit(ev.time, item.tenant, item.size, item.id)) {
+        ++denied;  // pushed back; this run drops rather than retries
+        continue;
+      }
+      job_of_item[ev.item] =
+          dispatcher.arrive(ev.time, item.size, item.departure, item.tenant)
+              .job;
+    } else {
+      if (job_of_item[ev.item] == kNoItem) continue;  // never admitted
+      dispatcher.depart(ev.time, job_of_item[ev.item]);
+      gate.release(item.tenant, item.size);
+    }
+  }
+  const Time end = events.empty() ? last_settle : events.back().time;
+  if (end > last_settle) settle(end);
+  tracer.flush();
+
+  if (!metrics_out.empty()) {
+    std::ofstream out(metrics_out);
+    if (!out) {
+      throw std::runtime_error("cannot open metrics-out '" + metrics_out +
+                               "'");
+    }
+    out << registry.to_json() << '\n';
+  }
+
+  const tenancy::FairnessReport report =
+      tenancy::build_report(accountant, arbiter, gate, tracker);
+  std::cout << tenancy::render_report(report);
+  if (!quiet) {
+    const Packing packing = dispatcher.packing();
+    harness::Table summary({"policy", "tenants", "items", "denied", "cost",
+                            "bins"});
+    summary.add_row({policy_name, std::to_string(tenants),
+                     std::to_string(inst.size()), std::to_string(denied),
+                     harness::Table::num(packing.cost(), 1),
+                     std::to_string(dispatcher.bins_opened())});
+    std::cout << summary.to_aligned_text();
+    if (!metrics_out.empty()) std::cout << "metrics: " << metrics_out << '\n';
+  }
+  return 0;
+}
+
 /// `harness serve`: the binary-RPC placement server over a fresh sharded
 /// service. Blocks until drained (Drain RPC, SIGTERM, or SIGINT), then
 /// reports the final packing.
@@ -707,6 +863,7 @@ int main(int argc, char** argv) {
     reject_unknown_flags(args);
     validate_output_paths(args);
     const Instance inst = load_instance(args);
+    if (args.has("tenants")) return run_tenants(args, inst);
     if (args.has("shards")) return run_sharded(args, inst);
     if (!args.get("journal-dir", "").empty() || args.get_bool("recover")) {
       return run_durable(args, inst);

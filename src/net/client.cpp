@@ -80,12 +80,14 @@ std::uint64_t Client::stamp(Request& req) {
 }
 
 std::uint64_t Client::send_arrive(Time now, const RVec& size,
-                                  Time expected_departure) {
+                                  Time expected_departure,
+                                  TenantId tenant) {
   Request req;
   req.type = MsgType::kArrive;
   req.time = now;
   req.expected_departure = expected_departure;
   req.size = size;
+  req.tenant = tenant;
   return stamp(req);
 }
 
@@ -181,13 +183,15 @@ Response Client::roundtrip(const Request& req) {
   return recv_response();
 }
 
-Response Client::arrive(Time now, const RVec& size, Time expected_departure) {
+Response Client::arrive(Time now, const RVec& size, Time expected_departure,
+                        TenantId tenant) {
   require_empty_pipeline("arrive");
   Request req;
   req.type = MsgType::kArrive;
   req.time = now;
   req.expected_departure = expected_departure;
   req.size = size;
+  req.tenant = tenant;
   return roundtrip(req);
 }
 

@@ -41,10 +41,12 @@ class Client {
 
   // --- Pipelined interface --------------------------------------------
 
-  /// Buffer an Arrive; returns its request id.
+  /// Buffer an Arrive; returns its request id. A tenant other than
+  /// kNoTenant labels the arrival for the server-side admission gate.
   std::uint64_t send_arrive(Time now, const RVec& size,
                             Time expected_departure =
-                                std::numeric_limits<Time>::infinity());
+                                std::numeric_limits<Time>::infinity(),
+                            TenantId tenant = kNoTenant);
   std::uint64_t send_depart(Time now, std::uint64_t job);
   std::uint64_t send_query(Time now);
   std::uint64_t send_snapshot();
@@ -67,7 +69,8 @@ class Client {
 
   Response arrive(Time now, const RVec& size,
                   Time expected_departure =
-                      std::numeric_limits<Time>::infinity());
+                      std::numeric_limits<Time>::infinity(),
+                  TenantId tenant = kNoTenant);
   Response depart(Time now, std::uint64_t job);
   Response query(Time now);
   Response snapshot();

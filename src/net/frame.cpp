@@ -51,6 +51,8 @@ void encode_request(const Request& req, std::vector<std::uint8_t>& out) {
       payload.f64(req.expected_departure);
       payload.u32(static_cast<std::uint32_t>(req.size.dim()));
       for (double c : req.size) payload.f64(c);
+      // Optional trailing tenant label (see header comment).
+      if (req.tenant != kNoTenant) payload.u32(req.tenant);
       break;
     case MsgType::kDepart:
       payload.f64(req.time);
@@ -120,6 +122,7 @@ Request decode_request(const std::uint8_t* payload, std::size_t len) {
         RVec size(dim);
         for (std::uint32_t j = 0; j < dim; ++j) size[j] = in.f64();
         req.size = std::move(size);
+        if (!in.done()) req.tenant = in.u32();
         break;
       }
       case MsgType::kDepart:

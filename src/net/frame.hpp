@@ -9,6 +9,9 @@
 // Request payload:
 //   u64 request_id | u8 type | body
 //     kArrive:   f64 time | f64 expected_departure | u32 dim | dim x f64
+//                [ u32 tenant ]  (trailing, only when the client labeled
+//                                 the job -- pre-tenancy frames stop at
+//                                 the size vector and still decode)
 //     kDepart:   f64 time | u64 job
 //     kQuery:    f64 time
 //     kSnapshot: (empty)
@@ -95,6 +98,9 @@ struct Request {
   Time expected_departure =
       std::numeric_limits<Time>::infinity();  ///< kArrive
   RVec size;                                  ///< kArrive
+  /// kArrive: tenant label; kNoTenant (the default) is never put on the
+  /// wire, so unlabeled requests are byte-identical to the old protocol.
+  TenantId tenant = kNoTenant;
 };
 
 struct Response {

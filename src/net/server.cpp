@@ -698,16 +698,59 @@ bool PlacementServer::process_request(
   }
   conn->inflight.fetch_add(1, std::memory_order_acq_rel);
 
+  // Tenant admission gate: decided in the front-end, before the service
+  // ever sees the op, so the decision sequence is shard-count-independent.
+  // A denial is a typed RETRY_LATER -- the client backs off and retries,
+  // never queues invisibly.
+  const double gate_units =
+      req.type == MsgType::kArrive ? req.size.linf() : 0.0;
+  bool gated = false;
+  if (options_.gate != nullptr && req.type == MsgType::kArrive) {
+    if (!options_.gate->admit(req.time, req.tenant, req.size, req.id)) {
+      {
+        std::lock_guard<std::mutex> lock(conn->mu);
+        conn->pending.erase(req.id);
+      }
+      conn->inflight.fetch_sub(1, std::memory_order_acq_rel);
+      if (backpressure_ != nullptr) backpressure_->inc();
+      resp.status = Status::kRetryLater;
+      respond(conn, resp);
+      return true;
+    }
+    gated = true;
+  }
+
   bool accepted = false;
   Status failure = Status::kRetryLater;
   try {
     if (req.type == MsgType::kArrive) {
-      accepted = service_
-                     .try_arrive(req.time, std::move(req.size),
-                                 req.expected_departure, conn, req.id)
-                     .has_value();
+      const TenantId tenant = req.tenant;
+      const auto job =
+          service_.try_arrive(req.time, std::move(req.size),
+                              req.expected_departure, conn, req.id, tenant);
+      accepted = job.has_value();
+      if (accepted && options_.gate != nullptr) {
+        std::lock_guard<std::mutex> lock(tenant_mu_);
+        tenant_of_job_.emplace(*job, std::make_pair(tenant, gate_units));
+      }
     } else {
       accepted = service_.try_depart(req.time, req.job, conn, req.id);
+      if (accepted && options_.gate != nullptr) {
+        // Release what the job's Arrive booked (possibly on another
+        // connection); unknown ids were admitted before the gate existed.
+        std::pair<TenantId, double> booked{kNoTenant, 0.0};
+        bool found = false;
+        {
+          std::lock_guard<std::mutex> lock(tenant_mu_);
+          const auto it = tenant_of_job_.find(static_cast<JobId>(req.job));
+          if (it != tenant_of_job_.end()) {
+            booked = it->second;
+            found = true;
+            tenant_of_job_.erase(it);
+          }
+        }
+        if (found) options_.gate->release_units(booked.first, booked.second);
+      }
     }
   } catch (const std::invalid_argument&) {
     failure = req.type == MsgType::kArrive ? Status::kBadRequest
@@ -716,6 +759,8 @@ bool PlacementServer::process_request(
     failure = Status::kInternalError;
   }
   if (!accepted) {
+    // A gated-then-refused submission must give the booked demand back.
+    if (gated) options_.gate->release_units(req.tenant, gate_units);
     {
       std::lock_guard<std::mutex> lock(conn->mu);
       conn->pending.erase(req.id);

@@ -37,11 +37,14 @@
 #include <stdexcept>
 #include <string>
 #include <thread>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "cloud/sharded_dispatcher.hpp"
 #include "net/frame.hpp"
 #include "obs/metrics.hpp"
+#include "tenancy/gate.hpp"
 
 namespace dvbp::net {
 
@@ -60,6 +63,13 @@ struct ServerOptions {
   std::size_t max_inflight_per_conn = 1024;
   /// Borrowed, nullable; receives the dvbp.net.* instruments.
   obs::MetricRegistry* metrics = nullptr;
+  /// Borrowed, nullable: per-tenant admission gate (docs/TENANCY.md). When
+  /// set, every Arrive is gated BEFORE submission -- an over-quota tenant
+  /// without credits is answered RETRY_LATER and the op never reaches the
+  /// service -- and the booked demand is released when the job departs.
+  /// The gate runs in the front-end, before routing, so its decision
+  /// sequence is independent of the shard count.
+  tenancy::AdmissionGate* gate = nullptr;
 };
 
 class PlacementServer {
@@ -160,6 +170,12 @@ class PlacementServer {
   double drain_cost_ = 0.0;
 
   std::mutex join_mu_;  ///< makes wait()/stop() joins safe to race
+
+  /// Gate bookkeeping (options_.gate != nullptr only): the tenant and
+  /// booked demand of every live job, so a Depart -- possibly on another
+  /// connection -- releases exactly what its Arrive booked.
+  std::mutex tenant_mu_;
+  std::unordered_map<JobId, std::pair<TenantId, double>> tenant_of_job_;
 
   // Cached instruments (null when metrics are off).
   obs::Counter* connections_total_ = nullptr;

@@ -33,7 +33,8 @@ class Replayer {
     } else if (*kind == "replace") {
       on_replace(line);
     } else if (*kind != "arrival" && *kind != "reject" &&
-               *kind != "depart" && *kind != "evict") {
+               *kind != "depart" && *kind != "evict" &&
+               *kind != "admit" && *kind != "deny") {
       bad_trace("unknown event kind '" + std::string(*kind) + "'", line);
     }
   }

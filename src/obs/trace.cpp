@@ -24,6 +24,10 @@ std::string_view to_string(TraceEventKind kind) noexcept {
       return "evict";
     case TraceEventKind::kReplace:
       return "replace";
+    case TraceEventKind::kAdmit:
+      return "admit";
+    case TraceEventKind::kDeny:
+      return "deny";
   }
   return "unknown";
 }
@@ -133,6 +137,11 @@ void Tracer::emit(const TraceEvent& ev) {
       line += ",\"bin\":" + std::to_string(ev.bin);
       line += ",\"new_bin\":";
       line += ev.new_bin ? "true" : "false";
+      break;
+    case TraceEventKind::kAdmit:
+    case TraceEventKind::kDeny:
+      line += ",\"item\":" + std::to_string(ev.item);
+      line += ",\"tenant\":" + std::to_string(ev.tenant);
       break;
   }
   line += '}';

@@ -39,10 +39,12 @@ enum class TraceEventKind : std::uint8_t {
   kClose,     ///< bin emptied and closed permanently
   kEvict,     ///< item removed for migration (still active, in limbo)
   kReplace,   ///< evicted item re-placed into a bin
+  kAdmit,     ///< admission gate let a tenant's arrival through
+  kDeny,      ///< admission gate pushed an arrival back (RETRY_LATER)
 };
 
 /// "arrival", "reject", "place", "open", "depart", "close", "evict",
-/// "replace".
+/// "replace", "admit", "deny".
 std::string_view to_string(TraceEventKind kind) noexcept;
 
 /// One allocator event. Only the fields meaningful for `kind` are
@@ -58,6 +60,7 @@ struct TraceEvent {
   std::size_t rejections = 0;     ///< place: # open bins that could not fit
   bool emptied = false;           ///< depart: did the bin become empty
   Time opened = 0.0;              ///< close: when the bin had opened
+  TenantId tenant = kNoTenant;    ///< admit/deny: tenant the gate judged
 };
 
 class TraceSink {

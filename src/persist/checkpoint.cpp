@@ -23,7 +23,11 @@ namespace {
 constexpr std::uint32_t kMagic = 0x44564350;  // 'DVCP'
 // v2: Dispatcher::save_state gained the per-job last-bin/evicted table
 // (migration support). v1 checkpoints are rejected, not misparsed.
-constexpr std::uint8_t kVersion = 2;
+// v3: items carry tenant ids (src/tenancy/). The dispatcher blob is
+// self-describing (Dispatcher::restore_state reads an in-band marker), so
+// v2 checkpoints still load -- their items restore as anonymous.
+constexpr std::uint8_t kVersion = 3;
+constexpr std::uint8_t kOldestReadableVersion = 2;
 
 std::string checkpoint_name(std::uint64_t seq) {
   char buf[48];
@@ -100,7 +104,10 @@ std::optional<CheckpointData> parse_checkpoint(const std::string& path) {
     if (serial::crc32(payload, len) != crc) return std::nullopt;
     serial::Reader body(payload, len);
     if (body.u32() != kMagic) return std::nullopt;
-    if (body.u8() != kVersion) return std::nullopt;
+    const std::uint8_t version = body.u8();
+    if (version < kOldestReadableVersion || version > kVersion) {
+      return std::nullopt;
+    }
     CheckpointData data;
     data.seq = body.u64();
     data.policy_name = body.str();

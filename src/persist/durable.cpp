@@ -14,6 +14,11 @@ DurableDispatcher::DurableDispatcher(std::size_t dim, Policy& policy,
     : policy_(policy), options_(std::move(options)),
       dispatcher_(dim, policy, bin_capacity, options_.observer) {
   policy_.reset();
+  // Install the usage hook before replay: recovery is a re-run of history,
+  // and per-tenant accounting has to see that history too.
+  if (options_.usage_hook != nullptr) {
+    dispatcher_.set_usage_hook(options_.usage_hook);
+  }
   RecoveryManager manager(options_.dir, options_.metrics);
   recovery_ = manager.recover_dispatcher(dispatcher_, policy_);
   JournalOptions jopts;
@@ -29,11 +34,13 @@ DurableDispatcher::DurableDispatcher(std::size_t dim, Policy& policy,
 }
 
 Dispatcher::Admission DurableDispatcher::arrive(Time now, RVec size,
-                                                Time expected_departure) {
+                                                Time expected_departure,
+                                                TenantId tenant) {
   // Apply first: a rejected op (throws here) must never reach the journal.
-  const auto admission = dispatcher_.arrive(now, size, expected_departure);
+  const auto admission =
+      dispatcher_.arrive(now, size, expected_departure, tenant);
   writer_->append(OpKind::kArrive, now, admission.job, expected_departure,
-                  &size);
+                  &size, kNoBin, false, tenant);
   writer_->commit();
   ++ops_since_checkpoint_;
   maybe_checkpoint();
@@ -80,6 +87,14 @@ MigrationExec DurableDispatcher::migration_exec() {
       [this](Time t, JobId j, BinId b) { return replace(t, j, b); }};
 }
 
+void DurableDispatcher::settle_credits(
+    Time now, const std::vector<std::uint8_t>& credit_state) {
+  writer_->append_credits(now, credit_state);
+  writer_->commit();
+  ++ops_since_checkpoint_;
+  maybe_checkpoint();
+}
+
 void DurableDispatcher::maybe_checkpoint() {
   if (options_.checkpoint_every == 0) return;
   if (ops_since_checkpoint_ >= options_.checkpoint_every) checkpoint();
@@ -99,6 +114,7 @@ void DurableDispatcher::checkpoint() {
   serial::Writer pol_out;
   policy_.save_state(pol_out);
   data.policy_state = pol_out.take();
+  if (options_.save_extra) data.extra = options_.save_extra();
   write_checkpoint(options_.dir, data);
   writer_->rotate();
   fault_point("checkpoint.truncated");

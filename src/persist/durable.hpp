@@ -20,9 +20,12 @@
 // cloud/sharded_dispatcher.hpp).
 #pragma once
 
+#include <cstdint>
+#include <functional>
 #include <limits>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "core/dispatcher.hpp"
 #include "core/rebalancer.hpp"
@@ -44,6 +47,13 @@ struct DurableOptions {
   /// Borrowed, nullable; forwarded to the inner Dispatcher. Replayed ops
   /// fire observer callbacks again (a recovery is a re-run of history).
   obs::Observer* observer = nullptr;
+  /// Borrowed, nullable; installed on the inner Dispatcher BEFORE replay,
+  /// so a recovery re-accrues per-tenant usage exactly as the original run
+  /// did (tenancy::UsageAccountant is the intended hook).
+  TenantUsageHook* usage_hook = nullptr;
+  /// Optional caller blob persisted in every checkpoint (e.g. serialized
+  /// accountant + arbiter state); surfaced back via recovery().extra.
+  std::function<std::vector<std::uint8_t>()> save_extra;
 };
 
 class DurableDispatcher {
@@ -56,9 +66,12 @@ class DurableDispatcher {
                     double bin_capacity = 1.0);
 
   /// Journaled Dispatcher::arrive. Returns after the frame is committed.
+  /// A non-kNoTenant label rides in the journal frame, so recovery rebuilds
+  /// the same per-tenant attribution.
   Dispatcher::Admission arrive(Time now, RVec size,
                                Time expected_departure =
-                                   std::numeric_limits<Time>::infinity());
+                                   std::numeric_limits<Time>::infinity(),
+                               TenantId tenant = kNoTenant);
 
   /// Journaled Dispatcher::depart.
   void depart(Time now, JobId job);
@@ -78,6 +91,12 @@ class DurableDispatcher {
   /// Exec bindings for a Rebalancer driving this durable engine: every
   /// migration step goes through the journaling calls above.
   MigrationExec migration_exec();
+
+  /// Journals one kTenantCredits frame carrying `credit_state` (opaque,
+  /// tenancy::Arbiter::state_bytes) and commits it: the settlement is
+  /// durable when this returns. Recovery surfaces the newest such frame
+  /// via recovery().tenant_credits.
+  void settle_credits(Time now, const std::vector<std::uint8_t>& credit_state);
 
   /// Forces a checkpoint at the current sequence number: fsyncs the
   /// journal, durably writes the checkpoint file, then rotates the journal

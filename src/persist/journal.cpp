@@ -102,14 +102,16 @@ bool parse_frame(const std::vector<std::uint8_t>& bytes, std::size_t pos,
     serial::Reader in(payload, len);
     rec.seq = in.u64();
     const std::uint8_t kind = in.u8();
-    if (kind < 1 || kind > 5) return false;
+    if (kind < 1 || kind > 6) return false;
     rec.kind = static_cast<OpKind>(kind);
     rec.time = in.f64();
     rec.job = in.u64();
     rec.expected_departure = 0.0;
     rec.size = RVec();
+    rec.tenant = kNoTenant;
     rec.bin = kNoBin;
     rec.new_bin = false;
+    rec.blob.clear();
     if (rec.kind == OpKind::kArrive) {
       rec.expected_departure = in.f64();
       const std::uint32_t dim = in.u32();
@@ -117,9 +119,14 @@ bool parse_frame(const std::vector<std::uint8_t>& bytes, std::size_t pos,
       RVec size(dim);
       for (std::uint32_t j = 0; j < dim; ++j) size[j] = in.f64();
       rec.size = std::move(size);
+      // Optional trailing tenant label: frames written before the tenancy
+      // layer (or for unlabeled jobs) simply end here.
+      if (!in.done()) rec.tenant = in.u32();
     } else if (rec.kind == OpKind::kReplace) {
       rec.bin = in.u32();
       rec.new_bin = in.u8() != 0;
+    } else if (rec.kind == OpKind::kTenantCredits) {
+      rec.blob = in.blob();
     }
     if (!in.done()) return false;
   } catch (const serial::SerialError&) {
@@ -162,9 +169,14 @@ void encode_frame(const JournalRecord& rec, std::vector<std::uint8_t>& out) {
     payload.f64(rec.expected_departure);
     payload.u32(static_cast<std::uint32_t>(rec.size.dim()));
     for (double c : rec.size) payload.f64(c);
+    // Trailing tenant label only when one was given: unlabeled frames stay
+    // byte-identical to the pre-tenancy format.
+    if (rec.tenant != kNoTenant) payload.u32(rec.tenant);
   } else if (rec.kind == OpKind::kReplace) {
     payload.u32(rec.bin);
     payload.u8(rec.new_bin ? 1 : 0);
+  } else if (rec.kind == OpKind::kTenantCredits) {
+    payload.blob(rec.blob);
   }
   serial::Writer header;
   header.u32(static_cast<std::uint32_t>(payload.size()));
@@ -331,7 +343,7 @@ std::uint64_t JournalWriter::append(OpKind kind, Time time,
                                     std::uint64_t job,
                                     Time expected_departure,
                                     const RVec* size, BinId bin,
-                                    bool new_bin) {
+                                    bool new_bin, TenantId tenant) {
   if (poisoned_) {
     throw PersistError("journal: writer poisoned by an earlier failure");
   }
@@ -346,10 +358,26 @@ std::uint64_t JournalWriter::append(OpKind kind, Time time,
     }
     rec.expected_departure = expected_departure;
     rec.size = *size;
+    rec.tenant = tenant;
   } else if (kind == OpKind::kReplace) {
     rec.bin = bin;
     rec.new_bin = new_bin;
   }
+  encode_frame(rec, pending_);
+  ++pending_ops_;
+  return rec.seq;
+}
+
+std::uint64_t JournalWriter::append_credits(
+    Time time, const std::vector<std::uint8_t>& blob) {
+  if (poisoned_) {
+    throw PersistError("journal: writer poisoned by an earlier failure");
+  }
+  JournalRecord rec;
+  rec.seq = next_seq_++;
+  rec.kind = OpKind::kTenantCredits;
+  rec.time = time;
+  rec.blob = blob;
   encode_frame(rec, pending_);
   ++pending_ops_;
   return rec.seq;

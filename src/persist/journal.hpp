@@ -12,7 +12,12 @@
 // Payload:
 //   u64 seq | u8 kind | f64 time | u64 job
 //   kind == kArrive: f64 expected_departure | u32 dim | dim x f64 size
+//                    [ u32 tenant ]   (trailing, only when a tenant label
+//                                      was given -- old frames stop at the
+//                                      size vector and still parse)
 //   kind == kReplace: u32 bin | u8 new_bin
+//   kind == kTenantCredits: u32 blob_len | blob_len bytes (opaque credit
+//                           state, tenancy::Arbiter::state_bytes)
 //
 // Torn-write semantics: a frame is either wholly valid (length sane, CRC
 // matches) or it -- and everything after it -- is discarded at recovery.
@@ -71,6 +76,11 @@ enum class OpKind : std::uint8_t {
   kAdvance = 3,  ///< clock advance with no placement mutation
   kEvict = 4,    ///< migration: job removed from its bin, left in limbo
   kReplace = 5,  ///< migration: evicted job re-placed (records the bin)
+  /// Crash-safe tenant-credit settlement: the full arbiter state as an
+  /// opaque blob. Replay restores the last such frame instead of
+  /// re-deriving settlements (the usage integrals between frames are
+  /// rebuilt by replaying the surrounding arrive/depart ops).
+  kTenantCredits = 6,
 };
 
 /// One journaled operation. `time` and `expected_departure` are the exact
@@ -84,8 +94,11 @@ struct JournalRecord {
   std::uint64_t job = 0;  ///< service job id (kArrive/kDepart/kEvict/kReplace)
   Time expected_departure = 0.0;  ///< kArrive only
   RVec size;                      ///< kArrive only
+  TenantId tenant = kNoTenant;    ///< kArrive only: tenant label (optional
+                                  ///< trailing field; kNoTenant if absent)
   BinId bin = kNoBin;     ///< kReplace only: bin the job landed in
   bool new_bin = false;   ///< kReplace only: that bin was freshly opened
+  std::vector<std::uint8_t> blob;  ///< kTenantCredits only: arbiter state
 };
 
 /// Encodes `rec` as one frame (header + payload) appended to `out`.
@@ -151,7 +164,13 @@ class JournalWriter {
   std::uint64_t append(OpKind kind, Time time, std::uint64_t job,
                        Time expected_departure = 0.0,
                        const RVec* size = nullptr, BinId bin = kNoBin,
-                       bool new_bin = false);
+                       bool new_bin = false,
+                       TenantId tenant = kNoTenant);
+
+  /// Buffers one kTenantCredits frame carrying `blob` (opaque arbiter
+  /// state) for the next commit(). Returns the assigned sequence number.
+  std::uint64_t append_credits(Time time,
+                               const std::vector<std::uint8_t>& blob);
 
   /// Writes every buffered frame with one write(2), then fsyncs per the
   /// policy. Throws PersistError on I/O failure -- after which the writer

@@ -32,6 +32,11 @@ RecoveryReport RecoveryManager::run(
   for (const JournalRecord& rec : scan.records) {
     if (rec.seq <= report.checkpoint_seq) continue;
     replay(rec);
+    // Credit frames carry the whole settled state, so only the newest one
+    // matters; capture it here so every binding gets it for free.
+    if (rec.kind == OpKind::kTenantCredits) {
+      report.tenant_credits = rec.blob;
+    }
     report.replayed_ops += 1;
     report.last_seq = rec.seq;
   }
@@ -74,7 +79,7 @@ RecoveryReport RecoveryManager::recover_dispatcher(Dispatcher& dispatcher,
           case OpKind::kArrive: {
             const auto admission =
                 dispatcher.arrive(rec.time, rec.size,
-                                  rec.expected_departure);
+                                  rec.expected_departure, rec.tenant);
             // The serial dispatcher assigns JobIds densely, so replay must
             // land every arrival on its journaled id; divergence means the
             // checkpoint and journal disagree about history.
@@ -111,6 +116,10 @@ RecoveryReport RecoveryManager::recover_dispatcher(Dispatcher& dispatcher,
             }
             break;
           }
+          case OpKind::kTenantCredits:
+            // Captured by run() into report.tenant_credits; no dispatcher
+            // mutation to replay.
+            break;
         }
       });
 }

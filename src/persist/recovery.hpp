@@ -49,6 +49,11 @@ struct RecoveryReport {
   /// The checkpoint's caller-owned blob (sharded job-table slice / router
   /// state); empty without a checkpoint.
   std::vector<std::uint8_t> extra;
+  /// Blob of the LAST kTenantCredits frame replayed (empty when none):
+  /// the newest durably settled arbiter state. The caller feeds it to
+  /// tenancy::Arbiter::restore_state; settlements after this frame were
+  /// lost with the crash, exactly like any uncommitted op.
+  std::vector<std::uint8_t> tenant_credits;
 };
 
 class RecoveryManager {

@@ -1,0 +1,186 @@
+#include "tenancy/arbiter.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace dvbp::tenancy {
+
+namespace {
+/// Slack for credit/quota comparisons, matching kCapacityEps in spirit:
+/// settlement arithmetic accumulates float residue the gate must not turn
+/// into spurious denials.
+constexpr double kCreditEps = 1e-9;
+}  // namespace
+
+Arbiter::Arbiter(ArbiterConfig config) : config_(std::move(config)) {
+  const std::uint32_t n = config_.num_tenants;
+  if (n == 0) {
+    throw std::invalid_argument("Arbiter: need >= 1 tenant");
+  }
+  if (!config_.fair_shares.empty() && config_.fair_shares.size() != n) {
+    throw std::invalid_argument(
+        "Arbiter: fair_shares must be empty or one per tenant");
+  }
+  if (config_.alpha < 0.0 || config_.price < 0.0 ||
+      config_.init_credits < 0.0 || !(config_.capacity_units > 0.0)) {
+    throw std::invalid_argument("Arbiter: negative economy parameter");
+  }
+  shares_.assign(n, 1.0 / static_cast<double>(n));
+  if (!config_.fair_shares.empty()) {
+    double sum = 0.0;
+    for (double w : config_.fair_shares) {
+      if (!(w >= 0.0) || !std::isfinite(w)) {
+        throw std::invalid_argument("Arbiter: fair shares must be >= 0");
+      }
+      sum += w;
+    }
+    if (!(sum > 0.0)) {
+      throw std::invalid_argument("Arbiter: fair shares sum to zero");
+    }
+    for (std::uint32_t t = 0; t < n; ++t) {
+      shares_[t] = config_.fair_shares[t] / sum;
+    }
+  }
+  credits_.assign(n, config_.init_credits);
+  inflight_.assign(n, 0.0);
+}
+
+double Arbiter::fair_share(TenantId tenant) const {
+  return shares_[slot(tenant)];
+}
+
+double Arbiter::quota(TenantId tenant) const {
+  return shares_[slot(tenant)] * config_.capacity_units;
+}
+
+bool Arbiter::admit(TenantId tenant, double demand_units) {
+  if (!(demand_units >= 0.0)) {
+    throw std::invalid_argument("Arbiter::admit: negative demand");
+  }
+  const std::uint32_t t = slot(tenant);
+  const double projected = inflight_[t] + demand_units;
+  const double q = quota(t);
+  if (projected <= q + kCreditEps) {
+    inflight_[t] = projected;
+    return true;
+  }
+  // Over quota: borrowing requires a balance covering the overage. The
+  // credits are not deducted here -- settlement charges realized usage --
+  // but the balance bounds how far over a tenant can run at once.
+  const double overage = projected - q;
+  if (credits_[t] + kCreditEps >= config_.price * overage) {
+    inflight_[t] = projected;
+    return true;
+  }
+  return false;
+}
+
+void Arbiter::release(TenantId tenant, double demand_units) {
+  if (!(demand_units >= 0.0)) {
+    throw std::invalid_argument("Arbiter::release: negative demand");
+  }
+  double& f = inflight_[slot(tenant)];
+  f = std::max(0.0, f - demand_units);
+}
+
+void Arbiter::settle(Time now, std::span<const double> usage) {
+  const std::size_t n = credits_.size();
+  if (usage.size() != n) {
+    throw std::invalid_argument("Arbiter::settle: usage size mismatch");
+  }
+  if (settled_once_ && now < last_settle_ - kTimeEps) {
+    throw std::invalid_argument("Arbiter::settle: time went backwards");
+  }
+  const double epoch = settled_once_ ? std::max(0.0, now - last_settle_)
+                                     : 0.0;
+
+  double total = 0.0;
+  for (double u : usage) {
+    if (!(u >= 0.0)) {
+      throw std::invalid_argument("Arbiter::settle: negative usage");
+    }
+    total += u;
+  }
+
+  if (total > 0.0) {
+    // Entitlement is the proportional slice of what was actually used this
+    // epoch, so transfers are exactly zero-sum: sum(over) == sum(under).
+    double sum_under = 0.0;
+    for (std::size_t t = 0; t < n; ++t) {
+      sum_under += std::max(0.0, shares_[t] * total - usage[t]);
+    }
+    if (sum_under > kCreditEps) {
+      double pool = 0.0;
+      for (std::size_t t = 0; t < n; ++t) {
+        const double over = std::max(0.0, usage[t] - shares_[t] * total);
+        // Charge capped at the balance: a tenant can never overdraw.
+        const double pay = std::min(credits_[t], config_.price * over);
+        credits_[t] -= pay;
+        pool += pay;
+      }
+      for (std::size_t t = 0; t < n; ++t) {
+        const double under = std::max(0.0, shares_[t] * total - usage[t]);
+        credits_[t] += pool * (under / sum_under);
+      }
+    }
+  }
+
+  if (config_.alpha > 0.0 && epoch > 0.0) {
+    for (std::size_t t = 0; t < n; ++t) {
+      const double grant = config_.alpha * shares_[t] * epoch;
+      credits_[t] += grant;
+      public_injected_ += grant;
+    }
+  }
+
+  last_settle_ = std::max(last_settle_, now);
+  settled_once_ = true;
+  ++settlements_;
+}
+
+double Arbiter::credits(TenantId tenant) const {
+  return credits_[slot(tenant)];
+}
+
+double Arbiter::inflight(TenantId tenant) const {
+  return inflight_[slot(tenant)];
+}
+
+double Arbiter::credit_sum() const {
+  double sum = 0.0;
+  for (double c : credits_) sum += c;
+  return sum;
+}
+
+void Arbiter::save_state(serial::Writer& out) const {
+  out.u32(static_cast<std::uint32_t>(credits_.size()));
+  for (double c : credits_) out.f64(c);
+  for (double f : inflight_) out.f64(f);
+  out.f64(public_injected_);
+  out.u64(settlements_);
+  out.f64(last_settle_);
+  out.u8(settled_once_ ? 1 : 0);
+}
+
+void Arbiter::restore_state(serial::Reader& in) {
+  const std::uint32_t n = in.u32();
+  if (n != credits_.size()) {
+    throw serial::SerialError(
+        "Arbiter::restore_state: tenant-count mismatch");
+  }
+  for (double& c : credits_) c = in.f64();
+  for (double& f : inflight_) f = in.f64();
+  public_injected_ = in.f64();
+  settlements_ = in.u64();
+  last_settle_ = in.f64();
+  settled_once_ = in.u8() != 0;
+}
+
+std::vector<std::uint8_t> Arbiter::state_bytes() const {
+  serial::Writer out;
+  save_state(out);
+  return out.take();
+}
+
+}  // namespace dvbp::tenancy

@@ -1,0 +1,128 @@
+// Arbiter: credit-based fair-share arbitration among selfish tenants, in
+// the spirit of Karma (docs/TENANCY.md; PAPERS.md).
+//
+// Each tenant owns a fair share f_t (normalized to sum 1) of the cluster's
+// admission capacity. Credits meter deviation from that share over time:
+//
+//   * Admission gate. A tenant whose projected in-flight demand stays
+//     within its quota f_t * capacity_units is admitted outright. Beyond
+//     the quota, admission requires a credit balance covering the overage
+//     (price * overage); otherwise the arrival is pushed back
+//     (RETRY_LATER), never queued invisibly.
+//   * Settlement. At each settlement epoch the realized usage integrals
+//     (from UsageAccountant::cut_epoch) are compared against the
+//     proportional entitlement f_t * total_usage. Borrowers (over users)
+//     pay price * overage -- capped at their balance, so NO TENANT EVER
+//     OVERDRAWS -- into a pool that is redistributed to donors (under
+//     users) pro rata to how far under they ran. Transfers are zero-sum:
+//     the credit supply is conserved.
+//   * Alpha-public block. Like Karma's public slice, an alpha fraction of
+//     credits is injected from outside the tenant economy at each
+//     settlement (alpha * f_t * epoch_length each), tracked separately in
+//     public_injected() so conservation stays checkable:
+//       credit_sum() == initial supply + public_injected()   (up to fp).
+//
+// Strategy-proofness (tested in tests/test_tenancy.cpp): inflating a
+// demand vector raises the tenant's usage integral, which raises its
+// settlement charge and drains its balance until the gate pushes back --
+// the inflated tenant ends with FEWER jobs served and no better credit
+// balance than truthful play, while the arbiter keeps the other tenants'
+// instant fairness at or above the ungated baseline.
+//
+// Every decision is deterministic arithmetic over the call sequence (no
+// RNG, no clocks), so a front-end that gates arrivals before routing makes
+// identical decisions for any shard count -- the property fuzzed in
+// tests/test_tenancy_fuzz.cpp.
+//
+// Not thread-safe: the gate runs in the admission front-end (one producer
+// or an external lock), settlement at quiescence.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "core/serial.hpp"
+#include "core/types.hpp"
+
+namespace dvbp::tenancy {
+
+struct ArbiterConfig {
+  std::uint32_t num_tenants = 1;
+  /// Relative fair shares; empty means uniform. Normalized to sum 1 at
+  /// construction. Must be nonnegative with a positive sum.
+  std::vector<double> fair_shares;
+  /// Credits injected per unit fair share per unit time at settlement
+  /// (Karma's public block). 0 keeps the credit supply closed.
+  double alpha = 0.0;
+  /// Total admission capacity in bin units (l-inf demand); quota of tenant
+  /// t is fair_share(t) * capacity_units. Infinity disables the quota gate
+  /// (every arrival admitted; settlement still runs).
+  double capacity_units = std::numeric_limits<double>::infinity();
+  /// Starting balance of every tenant.
+  double init_credits = 0.0;
+  /// Credits charged per bin-unit-second of over-entitlement usage, and
+  /// required per bin unit of over-quota in-flight demand at the gate.
+  double price = 1.0;
+};
+
+class Arbiter {
+ public:
+  explicit Arbiter(ArbiterConfig config);
+
+  const ArbiterConfig& config() const noexcept { return config_; }
+  std::uint32_t num_tenants() const noexcept {
+    return static_cast<std::uint32_t>(credits_.size());
+  }
+
+  /// Normalized fair share of `tenant`.
+  double fair_share(TenantId tenant) const;
+  /// Admission quota in bin units: fair_share * capacity_units.
+  double quota(TenantId tenant) const;
+
+  /// Admission gate: true admits a job of `demand_units` (l-inf size) and
+  /// books it in flight; false means over quota with insufficient credits
+  /// -- the caller answers RETRY_LATER and must NOT place the job.
+  bool admit(TenantId tenant, double demand_units);
+  /// Releases in-flight demand booked by a successful admit() (call on
+  /// departure, or when a gated-then-rejected submission is abandoned).
+  void release(TenantId tenant, double demand_units);
+
+  /// Settles the epoch ending at `now`: usage[t] is tenant t's demand
+  /// integral over the epoch (UsageAccountant::cut_epoch). Charges
+  /// borrowers, pays donors, injects the alpha-public block. Throws
+  /// std::invalid_argument on a size mismatch or time regression.
+  void settle(Time now, std::span<const double> usage);
+
+  double credits(TenantId tenant) const;
+  double inflight(TenantId tenant) const;
+  /// Sum of all balances; conservation invariant:
+  /// credit_sum() == num_tenants * init_credits + public_injected() (fp).
+  double credit_sum() const;
+  double public_injected() const noexcept { return public_injected_; }
+  std::uint64_t settlements() const noexcept { return settlements_; }
+  Time last_settle() const noexcept { return last_settle_; }
+
+  // --- Crash safety (journaled as kTenantCredits frames) ----------------
+  void save_state(serial::Writer& out) const;
+  void restore_state(serial::Reader& in);
+  /// Convenience: save_state into a fresh byte buffer.
+  std::vector<std::uint8_t> state_bytes() const;
+
+ private:
+  std::uint32_t slot(TenantId tenant) const noexcept {
+    return tenant < credits_.size() ? tenant : 0;
+  }
+
+  ArbiterConfig config_;
+  std::vector<double> shares_;   // normalized
+  std::vector<double> credits_;
+  std::vector<double> inflight_;
+  double public_injected_ = 0.0;
+  std::uint64_t settlements_ = 0;
+  Time last_settle_ = 0.0;
+  bool settled_once_ = false;
+};
+
+}  // namespace dvbp::tenancy

@@ -1,0 +1,111 @@
+#include "tenancy/gate.hpp"
+
+namespace dvbp::tenancy {
+
+AdmissionGate::AdmissionGate(Arbiter& arbiter, obs::MetricRegistry* metrics,
+                             obs::Tracer* tracer)
+    : arbiter_(arbiter), tracer_(tracer),
+      admitted_jobs_(arbiter.num_tenants(), 0),
+      denied_jobs_(arbiter.num_tenants(), 0),
+      requested_units_(arbiter.num_tenants(), 0.0),
+      admitted_units_(arbiter.num_tenants(), 0.0) {
+  if (metrics != nullptr) {
+    admitted_metric_ = &metrics->counter("dvbp.tenant.admitted_total");
+    denied_metric_ = &metrics->counter("dvbp.tenant.denied_total");
+    settlements_metric_ =
+        &metrics->counter("dvbp.tenant.settlements_total");
+    credit_sum_metric_ = &metrics->gauge("dvbp.tenant.credit_sum");
+    public_injected_metric_ =
+        &metrics->gauge("dvbp.tenant.public_injected");
+    credit_sum_metric_->set(arbiter_.credit_sum());
+  }
+}
+
+bool AdmissionGate::admit(Time now, TenantId tenant, const RVec& size,
+                          ItemId item) {
+  const double units = size.linf();
+  bool ok;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const std::uint32_t t = slot(tenant);
+    requested_units_[t] += units;
+    ok = arbiter_.admit(tenant, units);
+    if (ok) {
+      admitted_units_[t] += units;
+      ++admitted_jobs_[t];
+    } else {
+      ++denied_jobs_[t];
+    }
+  }
+  if (ok) {
+    if (admitted_metric_ != nullptr) admitted_metric_->inc();
+  } else {
+    if (denied_metric_ != nullptr) denied_metric_->inc();
+  }
+  if (tracer_ != nullptr && tracer_->active()) {
+    obs::TraceEvent ev;
+    ev.kind = ok ? obs::TraceEventKind::kAdmit : obs::TraceEventKind::kDeny;
+    ev.time = now;
+    ev.item = item;
+    ev.tenant = tenant;
+    tracer_->emit(ev);
+  }
+  return ok;
+}
+
+void AdmissionGate::release(TenantId tenant, const RVec& size) {
+  release_units(tenant, size.linf());
+}
+
+void AdmissionGate::release_units(TenantId tenant, double units) {
+  std::lock_guard<std::mutex> lock(mu_);
+  arbiter_.release(tenant, units);
+}
+
+void AdmissionGate::settle(Time now, std::span<const double> usage) {
+  std::lock_guard<std::mutex> lock(mu_);
+  arbiter_.settle(now, usage);
+  if (settlements_metric_ != nullptr) settlements_metric_->inc();
+  if (credit_sum_metric_ != nullptr) {
+    credit_sum_metric_->set(arbiter_.credit_sum());
+  }
+  if (public_injected_metric_ != nullptr) {
+    public_injected_metric_->set(arbiter_.public_injected());
+  }
+}
+
+std::uint64_t AdmissionGate::admitted_total() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::uint64_t sum = 0;
+  for (std::uint64_t c : admitted_jobs_) sum += c;
+  return sum;
+}
+
+std::uint64_t AdmissionGate::denied_total() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::uint64_t sum = 0;
+  for (std::uint64_t c : denied_jobs_) sum += c;
+  return sum;
+}
+
+std::uint64_t AdmissionGate::admitted_jobs(TenantId tenant) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return admitted_jobs_[slot(tenant)];
+}
+
+std::uint64_t AdmissionGate::denied_jobs(TenantId tenant) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return denied_jobs_[slot(tenant)];
+}
+
+double AdmissionGate::requested_units(TenantId tenant) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return requested_units_[slot(tenant)];
+}
+
+double AdmissionGate::admitted_units(TenantId tenant) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return admitted_units_[slot(tenant)];
+}
+
+}  // namespace dvbp::tenancy

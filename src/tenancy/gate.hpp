@@ -1,0 +1,89 @@
+// AdmissionGate: the Arbiter's front-end binding -- quota decisions plus
+// the dvbp.tenant.* metric family and admit/deny trace records.
+//
+// Sits between a traffic source and any placement engine (serial
+// Dispatcher, DurableDispatcher, ShardedDispatcher, the network server):
+// ask admit() before submitting an arrival, call release() when an
+// admitted job departs (or when the submission is abandoned). Because the
+// gate runs before routing, its decision sequence depends only on the
+// arrival sequence -- never on the shard count -- which keeps admission
+// deterministic across service topologies.
+//
+// The gate also keeps the per-tenant demand totals (requested vs admitted)
+// the welfare report needs; the arbiter itself only sees bin units.
+//
+// Thread-safety: admit()/release() take an internal lock, so concurrent
+// producers (the network server's event loops) may share one gate. The
+// decision order under concurrency is the lock-acquisition order.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "core/rvec.hpp"
+#include "core/types.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "tenancy/arbiter.hpp"
+
+namespace dvbp::tenancy {
+
+class AdmissionGate {
+ public:
+  /// `arbiter` is borrowed and must outlive the gate. `metrics` and
+  /// `tracer` are borrowed, nullable.
+  explicit AdmissionGate(Arbiter& arbiter,
+                         obs::MetricRegistry* metrics = nullptr,
+                         obs::Tracer* tracer = nullptr);
+
+  /// Gate one arrival: returns true when the arbiter admits it (demand
+  /// booked in flight). `item` only labels the trace record.
+  bool admit(Time now, TenantId tenant, const RVec& size,
+             ItemId item = kNoItem);
+
+  /// Releases demand booked by a successful admit().
+  void release(TenantId tenant, const RVec& size);
+  /// Same, for callers that kept only the l-inf units (the network server
+  /// holds units, not the full vector, in its job table).
+  void release_units(TenantId tenant, double units);
+
+  /// Settles the arbiter and refreshes the settlement metrics (see
+  /// Arbiter::settle for semantics).
+  void settle(Time now, std::span<const double> usage);
+
+  Arbiter& arbiter() noexcept { return arbiter_; }
+  const Arbiter& arbiter() const noexcept { return arbiter_; }
+
+  std::uint64_t admitted_total() const;
+  std::uint64_t denied_total() const;
+  std::uint64_t admitted_jobs(TenantId tenant) const;
+  std::uint64_t denied_jobs(TenantId tenant) const;
+  /// Total demand (bin units) tenant asked for / got through the gate.
+  double requested_units(TenantId tenant) const;
+  double admitted_units(TenantId tenant) const;
+
+ private:
+  std::uint32_t slot(TenantId tenant) const noexcept {
+    return tenant < admitted_jobs_.size()
+               ? tenant
+               : 0;
+  }
+
+  Arbiter& arbiter_;
+  obs::Tracer* tracer_;
+  mutable std::mutex mu_;
+  std::vector<std::uint64_t> admitted_jobs_;
+  std::vector<std::uint64_t> denied_jobs_;
+  std::vector<double> requested_units_;
+  std::vector<double> admitted_units_;
+
+  // Cached instruments (null when metrics are off).
+  obs::Counter* admitted_metric_ = nullptr;
+  obs::Counter* denied_metric_ = nullptr;
+  obs::Counter* settlements_metric_ = nullptr;
+  obs::Gauge* credit_sum_metric_ = nullptr;
+  obs::Gauge* public_injected_metric_ = nullptr;
+};
+
+}  // namespace dvbp::tenancy

@@ -1,0 +1,125 @@
+#include "tenancy/report.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+
+namespace dvbp::tenancy {
+
+double jain_index(std::span<const double> x) {
+  if (x.empty()) return 1.0;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (double v : x) {
+    sum += v;
+    sum_sq += v * v;
+  }
+  if (!(sum_sq > 0.0)) return 1.0;
+  return (sum * sum) / (static_cast<double>(x.size()) * sum_sq);
+}
+
+FairnessTracker::FairnessTracker(std::uint32_t num_tenants)
+    : num_tenants_(num_tenants) {
+  if (num_tenants == 0) {
+    throw std::invalid_argument("FairnessTracker: need >= 1 tenant");
+  }
+}
+
+void FairnessTracker::on_epoch(double epoch_len,
+                               std::span<const double> usage,
+                               std::span<const double> shares) {
+  if (usage.size() != num_tenants_ || shares.size() != num_tenants_) {
+    throw std::invalid_argument("FairnessTracker::on_epoch: size mismatch");
+  }
+  if (!(epoch_len > 0.0)) return;
+  // Share-normalize so a tenant using exactly its weighted entitlement
+  // scores the same as every other such tenant.
+  std::vector<double> norm(num_tenants_, 0.0);
+  for (std::uint32_t t = 0; t < num_tenants_; ++t) {
+    norm[t] = shares[t] > 0.0 ? usage[t] / shares[t] : 0.0;
+  }
+  weighted_sum_ += epoch_len * jain_index(norm);
+  weight_ += epoch_len;
+  ++epochs_;
+}
+
+double FairnessTracker::instant_fairness() const {
+  return weight_ > 0.0 ? weighted_sum_ / weight_ : 1.0;
+}
+
+FairnessReport build_report(const UsageAccountant& accountant,
+                            const Arbiter& arbiter,
+                            const AdmissionGate& gate,
+                            const FairnessTracker& tracker) {
+  FairnessReport report;
+  const std::uint32_t n = arbiter.num_tenants();
+  report.rows.reserve(n);
+  double welfare_num = 0.0;
+  double welfare_den = 0.0;
+  double billed_total = 0.0;
+  for (std::uint32_t t = 0; t < n; ++t) {
+    TenantReportRow row;
+    row.tenant = t;
+    row.fair_share = arbiter.fair_share(t);
+    row.admitted_jobs = gate.admitted_jobs(t);
+    row.denied_jobs = gate.denied_jobs(t);
+    row.requested_jobs = row.admitted_jobs + row.denied_jobs;
+    row.requested_units = gate.requested_units(t);
+    row.admitted_units = gate.admitted_units(t);
+    row.billed_utilization = accountant.demand_integral(t);
+    row.attributed_bin_seconds = accountant.attributed_bin_seconds(t);
+    row.credits = arbiter.credits(t);
+    billed_total += row.billed_utilization;
+    if (row.requested_units > 0.0) {
+      welfare_num +=
+          row.fair_share * (row.admitted_units / row.requested_units);
+      welfare_den += row.fair_share;
+    }
+    report.rows.push_back(row);
+  }
+  report.welfare = welfare_den > 0.0 ? welfare_num / welfare_den : 1.0;
+  report.instant_fairness = tracker.instant_fairness();
+  report.total_bin_seconds = accountant.total_bin_seconds();
+  report.utilization = report.total_bin_seconds > 0.0
+                           ? billed_total / report.total_bin_seconds
+                           : 0.0;
+  report.credit_sum = arbiter.credit_sum();
+  report.public_injected = arbiter.public_injected();
+  report.settlements = arbiter.settlements();
+  return report;
+}
+
+std::string render_report(const FairnessReport& report) {
+  std::string out;
+  char line[256];
+  std::snprintf(line, sizeof(line),
+                "tenant  share   req_jobs  adm_jobs  req_units  adm_units  "
+                "billed_util  bin_sec     credits\n");
+  out += line;
+  for (const TenantReportRow& row : report.rows) {
+    std::snprintf(line, sizeof(line),
+                  "%-7u %-7.3f %-9llu %-9llu %-10.3f %-10.3f %-12.3f "
+                  "%-11.3f %-10.3f\n",
+                  row.tenant, row.fair_share,
+                  static_cast<unsigned long long>(row.requested_jobs),
+                  static_cast<unsigned long long>(row.admitted_jobs),
+                  row.requested_units, row.admitted_units,
+                  row.billed_utilization, row.attributed_bin_seconds,
+                  row.credits);
+    out += line;
+  }
+  std::snprintf(line, sizeof(line),
+                "welfare=%.4f instant_fairness=%.4f utilization=%.4f "
+                "bin_seconds=%.3f\n",
+                report.welfare, report.instant_fairness, report.utilization,
+                report.total_bin_seconds);
+  out += line;
+  std::snprintf(line, sizeof(line),
+                "credit_sum=%.4f public_injected=%.4f settlements=%llu\n",
+                report.credit_sum, report.public_injected,
+                static_cast<unsigned long long>(report.settlements));
+  out += line;
+  return out;
+}
+
+}  // namespace dvbp::tenancy

@@ -1,0 +1,91 @@
+// Welfare / instant-fairness / utilization reporting, mirroring the
+// metrics of Karma's simulator (docs/TENANCY.md).
+//
+//   * welfare          -- fair-share-weighted mean of each tenant's
+//                         satisfaction (admitted demand / requested
+//                         demand); 1.0 when nobody was pushed back.
+//   * instant_fairness -- Jain's fairness index over the tenants'
+//                         share-normalized usage, computed per settlement
+//                         epoch and averaged weighted by epoch length
+//                         ("how fair was the allocation at each instant",
+//                         not just in aggregate).
+//   * utilization      -- total billed demand integral divided by total
+//                         bin-seconds (eq. (1) cost): how much of the
+//                         capacity the allocator kept busy actually served
+//                         tenant demand.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/types.hpp"
+#include "tenancy/accountant.hpp"
+#include "tenancy/arbiter.hpp"
+#include "tenancy/gate.hpp"
+
+namespace dvbp::tenancy {
+
+/// Jain's fairness index (sum x)^2 / (n * sum x^2) in [1/n, 1]; defined
+/// as 1 (perfectly fair) when every component is zero.
+double jain_index(std::span<const double> x);
+
+/// Accumulates the per-epoch fairness samples. Feed it each settlement
+/// epoch's usage vector (before or after Arbiter::settle; it only reads).
+class FairnessTracker {
+ public:
+  explicit FairnessTracker(std::uint32_t num_tenants);
+
+  /// One settlement epoch of length `epoch_len` with per-tenant usage
+  /// integrals `usage` and normalized fair shares `shares`. Usage is
+  /// normalized by share before the Jain index, so weighted economies are
+  /// judged against their weights. Zero-length epochs are ignored.
+  void on_epoch(double epoch_len, std::span<const double> usage,
+                std::span<const double> shares);
+
+  /// Epoch-length-weighted mean Jain index; 1.0 before any epoch.
+  double instant_fairness() const;
+  std::uint64_t epochs() const noexcept { return epochs_; }
+
+ private:
+  std::uint32_t num_tenants_;
+  double weighted_sum_ = 0.0;
+  double weight_ = 0.0;
+  std::uint64_t epochs_ = 0;
+};
+
+struct TenantReportRow {
+  TenantId tenant = 0;
+  double fair_share = 0.0;
+  std::uint64_t requested_jobs = 0;
+  std::uint64_t admitted_jobs = 0;
+  std::uint64_t denied_jobs = 0;
+  double requested_units = 0.0;
+  double admitted_units = 0.0;
+  double billed_utilization = 0.0;      ///< demand integral
+  double attributed_bin_seconds = 0.0;  ///< eq. (1) cost share
+  double credits = 0.0;                 ///< final balance
+};
+
+struct FairnessReport {
+  std::vector<TenantReportRow> rows;
+  double welfare = 1.0;
+  double instant_fairness = 1.0;
+  double utilization = 0.0;
+  double total_bin_seconds = 0.0;
+  double credit_sum = 0.0;
+  double public_injected = 0.0;
+  std::uint64_t settlements = 0;
+};
+
+/// Assembles the report from the live tenancy objects at end of run.
+FairnessReport build_report(const UsageAccountant& accountant,
+                            const Arbiter& arbiter,
+                            const AdmissionGate& gate,
+                            const FairnessTracker& tracker);
+
+/// Plain-text table (the harness --tenants output).
+std::string render_report(const FairnessReport& report);
+
+}  // namespace dvbp::tenancy

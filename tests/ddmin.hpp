@@ -1,0 +1,46 @@
+// ddmin (Zeller/Hildebrandt delta debugging): shrink a failing input
+// sequence to a 1-minimal subsequence that still satisfies `fails` --
+// dropping any single element makes the failure disappear. Complements of
+// ever-finer partitions are tried first, then the granularity doubles.
+//
+// Shared by the migration fuzzer and the tenancy fuzzer; the element type
+// only needs to be copyable. `fails` must be deterministic, and any
+// subsequence of a failing sequence must be *executable* (ops whose
+// preconditions were dropped get skipped by the replayer, not rejected).
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+namespace dvbp::testing {
+
+template <typename T, typename Predicate>
+std::vector<T> ddmin(std::vector<T> items, const Predicate& fails) {
+  std::size_t granularity = 2;
+  while (items.size() >= 2) {
+    const std::size_t chunk =
+        std::max<std::size_t>(1, items.size() / granularity);
+    bool reduced = false;
+    for (std::size_t start = 0; start < items.size(); start += chunk) {
+      std::vector<T> complement;
+      complement.reserve(items.size());
+      for (std::size_t i = 0; i < items.size(); ++i) {
+        if (i < start || i >= start + chunk) complement.push_back(items[i]);
+      }
+      if (complement.size() < items.size() && fails(complement)) {
+        items = std::move(complement);
+        granularity = std::max<std::size_t>(2, granularity - 1);
+        reduced = true;
+        break;
+      }
+    }
+    if (!reduced) {
+      if (chunk <= 1) break;  // 1-minimal
+      granularity = std::min(items.size(), granularity * 2);
+    }
+  }
+  return items;
+}
+
+}  // namespace dvbp::testing

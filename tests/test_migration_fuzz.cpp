@@ -9,9 +9,10 @@
 //      threads (this test is in the ThreadSanitizer CI job's net).
 //
 // A failing op stream is useless at 500 ops, so the harness ships a ddmin
-// shrinker: it reduces a failing stream to a 1-minimal sub-stream (drop
-// any op and the failure disappears) before printing it. The shrinker is
-// itself under test against predicates with known minimal cores.
+// shrinker (tests/ddmin.hpp, shared with the tenancy fuzzer): it reduces
+// a failing stream to a 1-minimal sub-stream (drop any op and the failure
+// disappears) before printing it. The shrinker is itself under test
+// against predicates with known minimal cores.
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -34,8 +35,12 @@
 #include "core/simulator.hpp"  // PolicyViolation
 #include "gen/uniform.hpp"
 
+#include "ddmin.hpp"
+
 namespace dvbp {
 namespace {
+
+using testing::ddmin;
 
 constexpr std::uint64_t kPolicySeed = 0xD1CEu;
 
@@ -190,38 +195,6 @@ std::optional<std::string> apply_stream(const std::vector<FuzzOp>& ops,
     }
   }
   return std::nullopt;
-}
-
-// ---------------------------------------------------------------------------
-// ddmin (Zeller/Hildebrandt): shrink `ops` to a 1-minimal subsequence
-// that still satisfies `fails`. Complements of ever-finer partitions are
-// tried first, then the granularity doubles.
-template <typename Predicate>
-std::vector<FuzzOp> ddmin(std::vector<FuzzOp> ops, const Predicate& fails) {
-  std::size_t granularity = 2;
-  while (ops.size() >= 2) {
-    const std::size_t chunk =
-        std::max<std::size_t>(1, ops.size() / granularity);
-    bool reduced = false;
-    for (std::size_t start = 0; start < ops.size(); start += chunk) {
-      std::vector<FuzzOp> complement;
-      complement.reserve(ops.size());
-      for (std::size_t i = 0; i < ops.size(); ++i) {
-        if (i < start || i >= start + chunk) complement.push_back(ops[i]);
-      }
-      if (complement.size() < ops.size() && fails(complement)) {
-        ops = std::move(complement);
-        granularity = std::max<std::size_t>(2, granularity - 1);
-        reduced = true;
-        break;
-      }
-    }
-    if (!reduced) {
-      if (chunk <= 1) break;  // 1-minimal
-      granularity = std::min(ops.size(), granularity * 2);
-    }
-  }
-  return ops;
 }
 
 // ---------------------------------------------------------------------------

@@ -5,7 +5,10 @@
 // uninterrupted run over the surviving prefix (dispatcher_state_hash from
 // packing_hash.hpp hashes raw load bits, so "equal" means equal futures).
 // A sharded K=4 service killed mid-drain by an injected commit fault is
-// recovered the same way, shard by shard.
+// recovered the same way, shard by shard. A journal whose tail carries
+// tenant-credit (kTenantCredits) frames gets the same every-byte-offset
+// treatment: the surviving prefix must reproduce the dispatcher, the
+// usage ledgers, AND the last surviving credit snapshot bit for bit.
 #include <gtest/gtest.h>
 #include <unistd.h>
 
@@ -24,11 +27,14 @@
 #include "core/policies/registry.hpp"
 #include "core/rebalancer.hpp"
 #include "core/simulator.hpp"
+#include "gen/tenants.hpp"
 #include "gen/uniform.hpp"
 #include "packing_hash.hpp"
 #include "persist/durable.hpp"
 #include "persist/fault.hpp"
 #include "persist/journal.hpp"
+#include "tenancy/accountant.hpp"
+#include "tenancy/arbiter.hpp"
 
 namespace dvbp {
 namespace {
@@ -435,6 +441,211 @@ TEST(CrashFuzz, MigrationTailEveryByteOffsetTruncateAndCorrupt) {
       out.close();
       check_recovery(trial.path, containing, /*torn=*/true,
                      "flip@" + std::to_string(off));
+    }
+  }
+}
+
+// Tenant-credit tail fuzz: a durable, tenant-labeled run settles credits
+// every 40 ops through settle_credits(), so the journal interleaves
+// kTenantCredits frames with labeled kArrive frames and ENDS on one.
+// Truncate and flip-corrupt EVERY byte offset of the tail region spanning
+// the final settlement cycle (labeled ops + the last credit frame):
+// recovery must rebuild the dispatcher AND the per-tenant usage ledgers
+// from the surviving op prefix, and recovery().tenant_credits must be
+// byte-identical to the newest credit blob that survived that prefix --
+// restorable into a fresh Arbiter that serializes right back to it.
+TEST(CrashFuzz, TenantCreditTailEveryByteOffsetTruncateAndCorrupt) {
+  constexpr std::uint32_t kTenants = 4;
+  constexpr std::size_t kSettleEvery = 40;
+  Instance inst = fuzz_instance();
+  gen::label_tenants_uniform(inst, kTenants, /*seed=*/0xFEEDu);
+  const std::vector<Event> events = build_event_stream(inst);
+
+  tenancy::ArbiterConfig aconfig;
+  aconfig.num_tenants = kTenants;
+  aconfig.init_credits = 2.0;
+  aconfig.alpha = 0.25;
+  // capacity_units stays infinite: the gate is fuzzed elsewhere; what is
+  // under test here is the durability of the settled credit state.
+
+  TempDir base("credits_base");
+  std::vector<std::vector<std::uint8_t>> blobs;  // journaled, in order
+  std::uint64_t live_hash = 0;
+  {
+    PolicyPtr policy = make_policy("BestFit", kPolicySeed);
+    tenancy::UsageAccountant accountant(kTenants);
+    tenancy::Arbiter arbiter(aconfig);
+    persist::DurableOptions opts;
+    opts.dir = base.str();
+    opts.fsync = FsyncPolicy::kNone;
+    opts.usage_hook = &accountant;
+    persist::DurableDispatcher durable(inst.dim(), *policy, opts);
+    std::size_t ops = 0;
+    for (const Event& ev : events) {
+      const Item& item = inst[ev.item];
+      if (ev.kind == EventKind::kArrival) {
+        durable.arrive(item.arrival, item.size, item.departure,
+                       item.tenant);
+      } else {
+        durable.depart(ev.time, item.id);
+      }
+      if (++ops % kSettleEvery == 0 && ops < events.size()) {
+        arbiter.settle(ev.time, accountant.cut_epoch());
+        durable.settle_credits(ev.time, arbiter.state_bytes());
+        blobs.push_back(arbiter.state_bytes());
+      }
+    }
+    // End the journal ON a settlement, so the tail frame is kTenantCredits.
+    arbiter.settle(events.back().time, accountant.cut_epoch());
+    durable.settle_credits(events.back().time, arbiter.state_bytes());
+    blobs.push_back(arbiter.state_bytes());
+    live_hash = dispatcher_state_hash(durable.dispatcher());
+  }
+  ASSERT_GE(blobs.size(), 3u);
+
+  const auto segments = persist::journal_segments(base.str());
+  ASSERT_EQ(segments.size(), 1u);
+  std::ifstream in(segments[0], std::ios::binary);
+  const std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                                std::istreambuf_iterator<char>());
+  const persist::JournalScan scan = persist::scan_journal(base.str());
+  ASSERT_FALSE(scan.torn_tail);
+  ASSERT_EQ(scan.records.size(), events.size() + blobs.size());
+
+  // Byte offset where each frame starts; frame_start.back() == EOF.
+  std::vector<std::size_t> frame_start;
+  {
+    std::vector<std::uint8_t> buf;
+    for (const persist::JournalRecord& rec : scan.records) {
+      frame_start.push_back(buf.size());
+      persist::encode_frame(rec, buf);
+    }
+    frame_start.push_back(buf.size());
+    ASSERT_EQ(buf.size(), bytes.size());
+  }
+
+  // Locate the credit frames; the journaled blobs must round out on disk
+  // exactly as settled, and the journal must end on one.
+  std::vector<std::size_t> credit_idx;
+  for (std::size_t i = 0; i < scan.records.size(); ++i) {
+    if (scan.records[i].kind == persist::OpKind::kTenantCredits) {
+      credit_idx.push_back(i);
+    }
+  }
+  ASSERT_EQ(credit_idx.size(), blobs.size());
+  for (std::size_t k = 0; k < blobs.size(); ++k) {
+    ASSERT_EQ(scan.records[credit_idx[k]].blob, blobs[k]) << "frame " << k;
+  }
+  ASSERT_EQ(credit_idx.back(), scan.records.size() - 1);
+
+  // Recovery check against a reference replay of the first `k` records:
+  // dispatcher hash, recovered usage ledgers (a fresh accountant installed
+  // before replay re-accrues them), and the newest surviving credit blob.
+  const auto check = [&](const fs::path& dir, std::size_t k, bool torn,
+                         const std::string& what) {
+    PolicyPtr policy = make_policy("BestFit", kPolicySeed);
+    tenancy::UsageAccountant recovered_acc(kTenants);
+    persist::DurableOptions opts;
+    opts.dir = dir.string();
+    opts.fsync = FsyncPolicy::kNone;
+    opts.usage_hook = &recovered_acc;
+    persist::DurableDispatcher recovered(inst.dim(), *policy, opts);
+    EXPECT_EQ(recovered.recovery().last_seq, k) << what;
+    EXPECT_EQ(recovered.recovery().torn_tail, torn) << what;
+
+    PolicyPtr ref_policy = make_policy("BestFit", kPolicySeed);
+    Dispatcher reference(inst.dim(), *ref_policy);
+    tenancy::UsageAccountant ref_acc(kTenants);
+    reference.set_usage_hook(&ref_acc);
+    std::vector<std::uint8_t> expect_blob;
+    for (std::size_t i = 0; i < k; ++i) {
+      const persist::JournalRecord& rec = scan.records[i];
+      switch (rec.kind) {
+        case persist::OpKind::kArrive:
+          reference.arrive(rec.time, rec.size, rec.expected_departure,
+                           rec.tenant);
+          break;
+        case persist::OpKind::kDepart:
+          reference.depart(rec.time, rec.job);
+          break;
+        case persist::OpKind::kTenantCredits:
+          expect_blob = rec.blob;
+          break;
+        default:
+          break;
+      }
+    }
+    EXPECT_EQ(dispatcher_state_hash(recovered.dispatcher()),
+              dispatcher_state_hash(reference))
+        << what << ": recovered state != journal-record prefix replay";
+    EXPECT_EQ(recovered.recovery().tenant_credits, expect_blob)
+        << what << ": wrong surviving credit blob";
+    for (std::uint32_t t = 0; t < kTenants; ++t) {
+      // Same hook code replaying the same op sequence: bit-exact.
+      EXPECT_EQ(recovered_acc.demand_integral(t), ref_acc.demand_integral(t))
+          << what << " tenant " << t;
+      EXPECT_EQ(recovered_acc.active_demand(t), ref_acc.active_demand(t))
+          << what << " tenant " << t;
+    }
+    if (!expect_blob.empty()) {
+      tenancy::Arbiter restored(aconfig);
+      serial::Reader blob_in(expect_blob);
+      restored.restore_state(blob_in);
+      EXPECT_EQ(restored.state_bytes(), expect_blob)
+          << what << ": credit blob does not round-trip through Arbiter";
+    }
+  };
+
+  const std::string seg_name = fs::path(segments[0]).filename().string();
+  const auto write_prefix = [&](const fs::path& dir,
+                                const std::vector<char>& data,
+                                std::size_t len) {
+    fs::create_directories(dir);
+    std::ofstream out(dir / seg_name, std::ios::binary);
+    out.write(data.data(), static_cast<std::streamsize>(len));
+  };
+
+  // Untampered recovery first: bit-exact with the live run, newest blob.
+  {
+    TempDir trial("cred_full");
+    write_prefix(trial.path, bytes, bytes.size());
+    PolicyPtr policy = make_policy("BestFit", kPolicySeed);
+    persist::DurableOptions opts;
+    opts.dir = trial.str();
+    opts.fsync = FsyncPolicy::kNone;
+    persist::DurableDispatcher recovered(inst.dim(), *policy, opts);
+    ASSERT_EQ(recovered.recovery().last_seq, scan.records.size());
+    ASSERT_EQ(dispatcher_state_hash(recovered.dispatcher()), live_hash);
+    ASSERT_EQ(recovered.recovery().tenant_credits, blobs.back());
+  }
+  // Chopping off every credit frame leaves tenant_credits empty.
+  {
+    TempDir trial("cred_none");
+    write_prefix(trial.path, bytes, frame_start[credit_idx.front()]);
+    check(trial.path, credit_idx.front(), /*torn=*/false, "pre-credit cut");
+  }
+
+  // The fuzz region: a few labeled op frames before the last credit frame,
+  // plus every byte of the credit frame itself. Prefixes inside the region
+  // surface the SECOND-newest blob; only full survival surfaces the last.
+  const std::size_t tail_begin = frame_start[credit_idx.back() - 4];
+  for (std::size_t off = tail_begin; off < bytes.size(); ++off) {
+    std::size_t containing = 0;
+    while (frame_start[containing + 1] <= off) ++containing;
+    {
+      TempDir trial("cred_trunc");
+      write_prefix(trial.path, bytes, off);
+      check(trial.path, containing,
+            /*torn=*/off != frame_start[containing],
+            "truncate@" + std::to_string(off));
+    }
+    {
+      TempDir trial("cred_flip");
+      std::vector<char> mutated = bytes;
+      mutated[off] = static_cast<char>(mutated[off] ^ 0x5A);
+      write_prefix(trial.path, mutated, mutated.size());
+      check(trial.path, containing, /*torn=*/true,
+            "flip@" + std::to_string(off));
     }
   }
 }

@@ -1,0 +1,409 @@
+// Multi-tenant fairness layer: arbiter/accountant/gate contracts, the
+// strategy-proofness regression, and the arbiter-improves-fairness
+// acceptance experiment (docs/TENANCY.md).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/dispatcher.hpp"
+#include "core/event.hpp"
+#include "core/instance.hpp"
+#include "core/policies/registry.hpp"
+#include "gen/tenants.hpp"
+#include "gen/uniform.hpp"
+#include "tenancy/accountant.hpp"
+#include "tenancy/arbiter.hpp"
+#include "tenancy/gate.hpp"
+#include "tenancy/report.hpp"
+
+namespace dvbp {
+namespace {
+
+constexpr std::uint64_t kPolicySeed = 0xD1CEu;
+constexpr double kTol = 1e-9;
+
+// ---------------------------------------------------------------------------
+// Arbiter contracts.
+
+TEST(Arbiter, NormalizesSharesAndComputesQuotas) {
+  tenancy::ArbiterConfig config;
+  config.num_tenants = 3;
+  config.fair_shares = {1.0, 2.0, 1.0};
+  config.capacity_units = 8.0;
+  tenancy::Arbiter arbiter(config);
+  EXPECT_NEAR(arbiter.fair_share(0), 0.25, kTol);
+  EXPECT_NEAR(arbiter.fair_share(1), 0.50, kTol);
+  EXPECT_NEAR(arbiter.fair_share(2), 0.25, kTol);
+  EXPECT_NEAR(arbiter.quota(0), 2.0, kTol);
+  EXPECT_NEAR(arbiter.quota(1), 4.0, kTol);
+}
+
+TEST(Arbiter, AdmitsWithinQuotaAndDeniesBeyondWithoutCredits) {
+  tenancy::ArbiterConfig config;
+  config.num_tenants = 2;
+  config.capacity_units = 4.0;  // quota 2.0 each
+  config.init_credits = 0.0;
+  tenancy::Arbiter arbiter(config);
+  EXPECT_TRUE(arbiter.admit(0, 1.5));
+  EXPECT_TRUE(arbiter.admit(0, 0.5));   // exactly at quota
+  EXPECT_FALSE(arbiter.admit(0, 0.1));  // over quota, no credits
+  EXPECT_TRUE(arbiter.admit(1, 1.0));   // tenant 1 unaffected
+  arbiter.release(0, 1.5);
+  EXPECT_TRUE(arbiter.admit(0, 1.0));   // room again after release
+}
+
+TEST(Arbiter, CreditsBuyOverQuotaAdmission) {
+  tenancy::ArbiterConfig config;
+  config.num_tenants = 2;
+  config.capacity_units = 2.0;  // quota 1.0 each
+  config.init_credits = 5.0;
+  config.price = 1.0;
+  tenancy::Arbiter arbiter(config);
+  // Over quota by 3.0: affordable with 5 credits at price 1.
+  EXPECT_TRUE(arbiter.admit(0, 4.0));
+  // Over quota by 9.0 on top: not affordable.
+  EXPECT_FALSE(arbiter.admit(0, 6.0));
+}
+
+TEST(Arbiter, SettlementConservesCreditsAndNeverOverdraws) {
+  tenancy::ArbiterConfig config;
+  config.num_tenants = 3;
+  config.init_credits = 2.0;
+  config.price = 1.0;
+  tenancy::Arbiter arbiter(config);
+  const double supply = arbiter.credit_sum();
+  EXPECT_NEAR(supply, 6.0, kTol);
+
+  // Tenant 0 hogs: usage 9 of 12 total; entitlement 4 each.
+  const std::array<double, 3> usage = {9.0, 2.0, 1.0};
+  arbiter.settle(10.0, usage);
+  // Zero-sum: supply unchanged (alpha = 0).
+  EXPECT_NEAR(arbiter.credit_sum(), supply, 1e-6);
+  EXPECT_NEAR(arbiter.public_injected(), 0.0, kTol);
+  // Overage 5 at price 1 exceeds tenant 0's balance of 2: capped, so the
+  // balance floors at exactly zero -- never negative.
+  EXPECT_NEAR(arbiter.credits(0), 0.0, kTol);
+  EXPECT_GE(arbiter.credits(1), config.init_credits);
+  EXPECT_GE(arbiter.credits(2), config.init_credits);
+  // Donors split the pool pro rata to how far under they ran (2 vs 3).
+  EXPECT_GT(arbiter.credits(2), arbiter.credits(1));
+  for (TenantId t = 0; t < 3; ++t) {
+    EXPECT_GE(arbiter.credits(t), -kTol) << "tenant " << t << " overdrew";
+  }
+}
+
+TEST(Arbiter, AlphaInjectsPublicCreditsTrackedSeparately) {
+  tenancy::ArbiterConfig config;
+  config.num_tenants = 2;
+  config.alpha = 0.5;
+  config.init_credits = 1.0;
+  tenancy::Arbiter arbiter(config);
+  const double supply = arbiter.credit_sum();
+  const std::array<double, 2> usage = {1.0, 1.0};
+  // The first settle only anchors the epoch clock (length 0, no grant).
+  arbiter.settle(0.0, std::array<double, 2>{0.0, 0.0});
+  arbiter.settle(4.0, usage);  // epoch length 4, alpha * share * len = 1.0
+  EXPECT_NEAR(arbiter.public_injected(), 2.0, kTol);
+  EXPECT_NEAR(arbiter.credit_sum(), supply + arbiter.public_injected(),
+              1e-6);
+}
+
+TEST(Arbiter, StateRoundTripsThroughBytes) {
+  tenancy::ArbiterConfig config;
+  config.num_tenants = 4;
+  config.fair_shares = {3.0, 1.0, 1.0, 1.0};
+  config.capacity_units = 10.0;
+  config.init_credits = 2.5;
+  config.alpha = 0.1;
+  tenancy::Arbiter arbiter(config);
+  ASSERT_TRUE(arbiter.admit(0, 2.0));
+  ASSERT_TRUE(arbiter.admit(2, 1.0));
+  arbiter.settle(5.0, std::array<double, 4>{4.0, 0.5, 2.0, 0.0});
+
+  const std::vector<std::uint8_t> bytes = arbiter.state_bytes();
+  tenancy::Arbiter restored(config);
+  serial::Reader in(bytes.data(), bytes.size());
+  restored.restore_state(in);
+  for (TenantId t = 0; t < 4; ++t) {
+    EXPECT_NEAR(restored.credits(t), arbiter.credits(t), kTol);
+    EXPECT_NEAR(restored.inflight(t), arbiter.inflight(t), kTol);
+  }
+  EXPECT_NEAR(restored.public_injected(), arbiter.public_injected(), kTol);
+  EXPECT_EQ(restored.settlements(), arbiter.settlements());
+  EXPECT_NEAR(restored.last_settle(), arbiter.last_settle(), kTol);
+}
+
+// ---------------------------------------------------------------------------
+// Accountant: exact piecewise-constant integration on a hand-built run.
+
+TEST(UsageAccountant, IntegratesDemandAndAttributesBinSeconds) {
+  const PolicyPtr policy = make_policy("FirstFit", kPolicySeed);
+  Dispatcher dispatcher(1, *policy);
+  tenancy::UsageAccountant acc(2);
+  dispatcher.set_usage_hook(&acc);
+
+  // t=0: tenant 0 arrives with 0.6; one bin opens.
+  const JobId a = dispatcher.arrive(0.0, RVec({0.6}), 10.0, 0).job;
+  // t=2: tenant 1 arrives with 0.3; same bin (FirstFit, 0.9 <= 1).
+  const JobId b = dispatcher.arrive(2.0, RVec({0.3}), 10.0, 1).job;
+  // t=6: tenant 0 departs. t=8: tenant 1 departs.
+  dispatcher.depart(6.0, a);
+  dispatcher.depart(8.0, b);
+
+  // Demand integrals: tenant 0 holds 0.6 over [0,6) = 3.6;
+  // tenant 1 holds 0.3 over [2,8) = 1.8.
+  EXPECT_NEAR(acc.demand_integral(0), 3.6, kTol);
+  EXPECT_NEAR(acc.demand_integral(1), 1.8, kTol);
+  // One bin open over [0,8): 8 bin-seconds, split by demand share:
+  //   [0,2): all to tenant 0                    -> 2.0
+  //   [2,6): 0.6/0.9 vs 0.3/0.9 of 4 seconds    -> 8/3 vs 4/3
+  //   [6,8): all to tenant 1                    -> 2.0
+  EXPECT_NEAR(acc.total_bin_seconds(), 8.0, kTol);
+  EXPECT_NEAR(acc.attributed_bin_seconds(0), 2.0 + 8.0 / 3.0, 1e-6);
+  EXPECT_NEAR(acc.attributed_bin_seconds(1), 4.0 / 3.0 + 2.0, 1e-6);
+  EXPECT_NEAR(acc.attributed_bin_seconds(0) + acc.attributed_bin_seconds(1) +
+                  acc.unattributed_bin_seconds(),
+              acc.total_bin_seconds(), 1e-6);
+}
+
+TEST(UsageAccountant, EpochCutsPartitionTheIntegral) {
+  const PolicyPtr policy = make_policy("FirstFit", kPolicySeed);
+  Dispatcher dispatcher(1, *policy);
+  tenancy::UsageAccountant acc(1);
+  dispatcher.set_usage_hook(&acc);
+  const JobId a = dispatcher.arrive(0.0, RVec({0.5}), 100.0, 0).job;
+  dispatcher.arrive(1.0, RVec({0.2}), 100.0, 0);
+  acc.on_advance(4.0, dispatcher.open_bins());
+  const std::vector<double> first = acc.cut_epoch();
+  dispatcher.depart(6.0, a);
+  acc.on_advance(10.0, dispatcher.open_bins());
+  const std::vector<double> second = acc.cut_epoch();
+  ASSERT_EQ(first.size(), 1u);
+  ASSERT_EQ(second.size(), 1u);
+  EXPECT_NEAR(first[0] + second[0], acc.demand_integral(0), kTol);
+  // [0,4): 0.5*4 + 0.2*3 = 2.6.
+  EXPECT_NEAR(first[0], 2.6, kTol);
+}
+
+TEST(UsageAccountant, ChargesUnlabeledItemsToTenantZero) {
+  const PolicyPtr policy = make_policy("FirstFit", kPolicySeed);
+  Dispatcher dispatcher(1, *policy);
+  tenancy::UsageAccountant acc(2);
+  dispatcher.set_usage_hook(&acc);
+  const JobId a = dispatcher.arrive(0.0, RVec({0.4}), 5.0).job;  // kNoTenant
+  dispatcher.depart(5.0, a);
+  EXPECT_NEAR(acc.demand_integral(0), 2.0, kTol);
+  EXPECT_NEAR(acc.demand_integral(1), 0.0, kTol);
+}
+
+// ---------------------------------------------------------------------------
+// Gate bookkeeping + Jain index + tracker.
+
+TEST(AdmissionGate, CountsRequestsAdmissionsAndDenials) {
+  tenancy::ArbiterConfig config;
+  config.num_tenants = 2;
+  config.capacity_units = 2.0;  // quota 1.0 each
+  tenancy::Arbiter arbiter(config);
+  tenancy::AdmissionGate gate(arbiter);
+  EXPECT_TRUE(gate.admit(0.0, 0, RVec({0.8})));
+  EXPECT_FALSE(gate.admit(1.0, 0, RVec({0.8})));  // over quota
+  EXPECT_TRUE(gate.admit(1.0, 1, RVec({0.5})));
+  EXPECT_EQ(gate.admitted_total(), 2u);
+  EXPECT_EQ(gate.denied_total(), 1u);
+  EXPECT_EQ(gate.admitted_jobs(0), 1u);
+  EXPECT_EQ(gate.denied_jobs(0), 1u);
+  EXPECT_NEAR(gate.requested_units(0), 1.6, kTol);
+  EXPECT_NEAR(gate.admitted_units(0), 0.8, kTol);
+  gate.release(0, RVec({0.8}));
+  EXPECT_TRUE(gate.admit(2.0, 0, RVec({0.8})));
+}
+
+TEST(FairnessReport, JainIndexBoundsAndEdgeCases) {
+  EXPECT_NEAR(tenancy::jain_index(std::array<double, 3>{1.0, 1.0, 1.0}),
+              1.0, kTol);
+  EXPECT_NEAR(tenancy::jain_index(std::array<double, 4>{1.0, 0.0, 0.0, 0.0}),
+              0.25, kTol);  // 1/n at maximal unfairness
+  EXPECT_NEAR(tenancy::jain_index(std::array<double, 2>{0.0, 0.0}), 1.0,
+              kTol);  // all-zero defined as fair
+  EXPECT_NEAR(tenancy::jain_index({}), 1.0, kTol);
+}
+
+TEST(FairnessReport, TrackerWeightsEpochsByLength) {
+  tenancy::FairnessTracker tracker(2);
+  EXPECT_NEAR(tracker.instant_fairness(), 1.0, kTol);
+  const std::array<double, 2> shares = {0.5, 0.5};
+  // Fair epoch of length 3, maximally unfair epoch of length 1.
+  tracker.on_epoch(3.0, std::array<double, 2>{2.0, 2.0}, shares);
+  tracker.on_epoch(1.0, std::array<double, 2>{4.0, 0.0}, shares);
+  EXPECT_EQ(tracker.epochs(), 2u);
+  EXPECT_NEAR(tracker.instant_fairness(), (3.0 * 1.0 + 1.0 * 0.5) / 4.0,
+              kTol);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end economy runs: the same loop as `harness --tenants`.
+
+struct EconomyOutcome {
+  tenancy::FairnessReport report;
+  std::uint64_t denied = 0;
+};
+
+struct EconomyParams {
+  std::uint32_t tenants = 8;
+  double capacity_units = 16.0;
+  double credits = 2.0;
+  double alpha = 0.0;
+  double settle_every = 50.0;
+  bool gated = true;  // false: quota off (the no-arbiter baseline)
+  TenantId inflate_tenant = kNoTenant;
+  double inflate_factor = 1.0;
+};
+
+Instance adversarial_workload(const EconomyParams& p) {
+  gen::UniformParams params;
+  params.d = 2;
+  params.n = 2000;
+  params.mu = 10;
+  params.span = 1000;
+  params.bin_size = 100;
+  Instance inst = gen::uniform_instance(params, /*seed=*/7);
+  gen::label_tenants(inst, std::vector<double>(p.tenants, 1.0), 0x7e4a7e);
+  if (p.inflate_tenant != kNoTenant) {
+    gen::inflate_tenant_demand(inst, p.inflate_tenant, p.inflate_factor);
+  }
+  return inst;
+}
+
+EconomyOutcome run_economy(const Instance& inst, const EconomyParams& p) {
+  tenancy::ArbiterConfig aconfig;
+  aconfig.num_tenants = p.tenants;
+  aconfig.alpha = p.alpha;
+  aconfig.init_credits = p.credits;
+  if (p.gated) aconfig.capacity_units = p.capacity_units;
+  tenancy::Arbiter arbiter(aconfig);
+  tenancy::AdmissionGate gate(arbiter);
+  tenancy::UsageAccountant accountant(p.tenants);
+  tenancy::FairnessTracker tracker(p.tenants);
+
+  const PolicyPtr policy = make_policy("BestFit", kPolicySeed);
+  Dispatcher dispatcher(inst.dim(), *policy);
+  dispatcher.set_usage_hook(&accountant);
+
+  std::vector<double> shares(p.tenants, 0.0);
+  for (std::uint32_t t = 0; t < p.tenants; ++t) {
+    shares[t] = arbiter.fair_share(t);
+  }
+
+  Time last_settle = inst.first_arrival();
+  Time next_settle = last_settle + p.settle_every;
+  const auto settle = [&](Time at) {
+    accountant.on_advance(std::max(at, accountant.last_event()),
+                          dispatcher.open_bins());
+    const std::vector<double> usage = accountant.cut_epoch();
+    tracker.on_epoch(at - last_settle, usage, shares);
+    gate.settle(at, usage);
+    last_settle = at;
+  };
+
+  EconomyOutcome out;
+  std::vector<JobId> job_of_item(inst.size(), kNoItem);
+  const std::vector<Event> events = build_event_stream(inst);
+  for (const Event& ev : events) {
+    while (ev.time >= next_settle) {
+      settle(next_settle);
+      next_settle += p.settle_every;
+    }
+    const Item& item = inst[ev.item];
+    if (ev.kind == EventKind::kArrival) {
+      if (!gate.admit(ev.time, item.tenant, item.size, item.id)) {
+        ++out.denied;
+        continue;
+      }
+      job_of_item[ev.item] =
+          dispatcher.arrive(ev.time, item.size, item.departure, item.tenant)
+              .job;
+    } else {
+      if (job_of_item[ev.item] == kNoItem) continue;
+      dispatcher.depart(ev.time, job_of_item[ev.item]);
+      gate.release(item.tenant, item.size);
+    }
+  }
+  const Time end = events.empty() ? last_settle : events.back().time;
+  if (end > last_settle) settle(end);
+  out.report = tenancy::build_report(accountant, arbiter, gate, tracker);
+  return out;
+}
+
+// The acceptance experiment: on the 8-tenant adversarial demand-inflation
+// workload, the arbiter strictly improves instant fairness over the
+// ungated baseline.
+TEST(TenantEconomy, ArbiterStrictlyImprovesInstantFairnessUnderInflation) {
+  EconomyParams p;
+  p.inflate_tenant = 0;
+  p.inflate_factor = 4.0;
+  const Instance inst = adversarial_workload(p);
+
+  EconomyParams baseline = p;
+  baseline.gated = false;
+  const EconomyOutcome with_arbiter = run_economy(inst, p);
+  const EconomyOutcome without = run_economy(inst, baseline);
+
+  EXPECT_EQ(without.denied, 0u) << "baseline must admit everything";
+  EXPECT_GT(with_arbiter.report.instant_fairness,
+            without.report.instant_fairness)
+      << "arbiter failed to improve instant fairness on the adversarial "
+         "workload";
+}
+
+// Strategy-proofness regression: the demand-inflating tenant ends with
+// fewer jobs served, no better credit balance, and a worse satisfaction
+// ratio than under truthful play; system welfare does not improve.
+TEST(TenantEconomy, DemandInflationDoesNotPay) {
+  EconomyParams truthful;
+  const EconomyOutcome honest =
+      run_economy(adversarial_workload(truthful), truthful);
+
+  EconomyParams lying = truthful;
+  lying.inflate_tenant = 0;
+  lying.inflate_factor = 4.0;
+  const EconomyOutcome liar =
+      run_economy(adversarial_workload(lying), lying);
+
+  const tenancy::TenantReportRow& honest0 = honest.report.rows.at(0);
+  const tenancy::TenantReportRow& liar0 = liar.report.rows.at(0);
+  EXPECT_LT(liar0.admitted_jobs, honest0.admitted_jobs)
+      << "inflation should cost the liar served jobs";
+  EXPECT_LE(liar0.credits, honest0.credits + kTol)
+      << "inflation should not improve the liar's credit balance";
+  ASSERT_GT(honest0.requested_units, 0.0);
+  ASSERT_GT(liar0.requested_units, 0.0);
+  EXPECT_LT(liar0.admitted_units / liar0.requested_units,
+            honest0.admitted_units / honest0.requested_units)
+      << "inflation should lower the liar's satisfaction ratio";
+  EXPECT_LE(liar.report.welfare, honest.report.welfare + kTol);
+}
+
+// Conservation holds over a full economy run with public injection.
+TEST(TenantEconomy, CreditSupplyConservedUpToPublicBlock) {
+  EconomyParams p;
+  p.alpha = 0.05;
+  p.inflate_tenant = 2;
+  p.inflate_factor = 3.0;
+  const EconomyOutcome out = run_economy(adversarial_workload(p), p);
+  const double initial =
+      static_cast<double>(p.tenants) * p.credits;
+  EXPECT_NEAR(out.report.credit_sum,
+              initial + out.report.public_injected, 1e-6);
+  for (const tenancy::TenantReportRow& row : out.report.rows) {
+    EXPECT_GE(row.credits, -kTol)
+        << "tenant " << row.tenant << " overdrew";
+  }
+}
+
+}  // namespace
+}  // namespace dvbp

@@ -1,0 +1,368 @@
+// Property fuzz for the tenant credit economy (docs/TENANCY.md):
+//
+//   1. credit conservation -- after any op soup, credit_sum equals the
+//      initial supply plus the alpha-public injections (fp tolerance);
+//   2. no tenant ever overdraws -- balances stay >= 0 after every op;
+//   3. admission determinism -- the gate's decision sequence depends only
+//      on the arrival sequence, so running the identical labeled feed
+//      against shard counts K = 1, 2, 4 yields identical admit/deny
+//      vectors (the front-end-gating contract);
+//   4. save/restore determinism -- snapshotting the arbiter mid-stream
+//      and replaying the suffix on the restored copy matches the
+//      uninterrupted run exactly.
+//
+// Failing op soups shrink through the shared ddmin harness
+// (tests/ddmin.hpp) before being reported.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <optional>
+#include <random>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "tenancy/arbiter.hpp"
+
+#include "ddmin.hpp"
+
+namespace dvbp {
+namespace {
+
+using testing::ddmin;
+
+constexpr double kTol = 1e-6;
+
+// ---------------------------------------------------------------------------
+// Op model over the arbiter: admit / release / settle. Any subsequence is
+// executable -- releases are capped to the tenant's booked in-flight
+// demand so dropping the matching admit cannot underflow, and settle
+// times are re-monotonized by the replayer.
+struct EconOp {
+  enum class Kind : std::uint8_t { kAdmit, kRelease, kSettle };
+  Kind kind = Kind::kAdmit;
+  TenantId tenant = 0;
+  double units = 0.0;
+  double dt = 1.0;  // kSettle: epoch length
+};
+
+std::string describe(const EconOp& op) {
+  std::ostringstream out;
+  switch (op.kind) {
+    case EconOp::Kind::kAdmit:
+      out << "admit t" << op.tenant << " units=" << op.units;
+      break;
+    case EconOp::Kind::kRelease:
+      out << "release t" << op.tenant << " units=" << op.units;
+      break;
+    case EconOp::Kind::kSettle:
+      out << "settle dt=" << op.dt;
+      break;
+  }
+  return out.str();
+}
+
+std::string describe(const std::vector<EconOp>& ops) {
+  std::string out;
+  for (const EconOp& op : ops) out += "  " + describe(op) + "\n";
+  return out;
+}
+
+std::vector<EconOp> generate_ops(std::uint64_t seed, std::size_t n,
+                                 std::uint32_t tenants) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> unit(0.05, 1.5);
+  std::vector<EconOp> ops;
+  ops.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    EconOp op;
+    const std::uint32_t roll = static_cast<std::uint32_t>(rng() % 100);
+    op.tenant = static_cast<TenantId>(rng() % tenants);
+    op.units = unit(rng);
+    if (roll < 50) {
+      op.kind = EconOp::Kind::kAdmit;
+    } else if (roll < 85) {
+      op.kind = EconOp::Kind::kRelease;
+    } else {
+      op.kind = EconOp::Kind::kSettle;
+      op.dt = 0.5 + static_cast<double>(rng() % 10);
+    }
+    ops.push_back(op);
+  }
+  return ops;
+}
+
+tenancy::ArbiterConfig fuzz_config(std::uint32_t tenants, double alpha) {
+  tenancy::ArbiterConfig config;
+  config.num_tenants = tenants;
+  config.capacity_units = 2.0 * tenants;
+  config.init_credits = 3.0;
+  config.alpha = alpha;
+  return config;
+}
+
+/// Replays `ops`, checking conservation and no-overdraw after every op.
+/// Usage fed to settle is the tenants' in-flight demand times the epoch
+/// length (a plausible integral). Returns the first violation, or
+/// nullopt.
+std::optional<std::string> replay(const std::vector<EconOp>& ops,
+                                  const tenancy::ArbiterConfig& config) {
+  tenancy::Arbiter arbiter(config);
+  const std::uint32_t n = arbiter.num_tenants();
+  const double initial = static_cast<double>(n) * config.init_credits;
+  Time now = 0.0;
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    const EconOp& op = ops[i];
+    switch (op.kind) {
+      case EconOp::Kind::kAdmit:
+        arbiter.admit(op.tenant, op.units);
+        break;
+      case EconOp::Kind::kRelease: {
+        const double booked = arbiter.inflight(op.tenant);
+        arbiter.release(op.tenant, std::min(op.units, booked));
+        break;
+      }
+      case EconOp::Kind::kSettle: {
+        now += op.dt;
+        std::vector<double> usage(n, 0.0);
+        for (std::uint32_t t = 0; t < n; ++t) {
+          usage[t] = arbiter.inflight(t) * op.dt;
+        }
+        arbiter.settle(now, usage);
+        break;
+      }
+    }
+    for (std::uint32_t t = 0; t < n; ++t) {
+      if (arbiter.credits(t) < -kTol) {
+        return "op " + std::to_string(i) + " [" + describe(op) +
+               "]: tenant " + std::to_string(t) + " overdrew to " +
+               std::to_string(arbiter.credits(t));
+      }
+    }
+    const double expect = initial + arbiter.public_injected();
+    if (std::abs(arbiter.credit_sum() - expect) > kTol) {
+      return "op " + std::to_string(i) + " [" + describe(op) +
+             "]: credit sum " + std::to_string(arbiter.credit_sum()) +
+             " != " + std::to_string(expect);
+    }
+  }
+  return std::nullopt;
+}
+
+TEST(TenancyFuzz, ConservationAndNoOverdrawUnderOpSoup) {
+  for (const std::uint64_t seed : {3u, 17u, 101u, 4242u}) {
+    for (const double alpha : {0.0, 0.25}) {
+      for (const std::uint32_t tenants : {2u, 5u, 9u}) {
+        SCOPED_TRACE("seed=" + std::to_string(seed) + " alpha=" +
+                     std::to_string(alpha) + " tenants=" +
+                     std::to_string(tenants));
+        const tenancy::ArbiterConfig config = fuzz_config(tenants, alpha);
+        auto ops = generate_ops(seed, 600, tenants);
+        auto failure = replay(ops, config);
+        if (failure.has_value()) {
+          const auto fails = [&](const std::vector<EconOp>& sub) {
+            return replay(sub, config).has_value();
+          };
+          const auto minimal = ddmin(ops, fails);
+          FAIL() << *failure << "\nminimal repro (" << minimal.size()
+                 << " ops):\n" << describe(minimal);
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Admission determinism across shard counts. The gate runs in the
+// front-end, so its decisions are a pure function of the arrival
+// sequence; the "shard count" below only changes which backend would
+// receive the job, which must not leak into the decision stream.
+
+struct Arrival {
+  TenantId tenant = 0;
+  double units = 0.0;
+  bool departs = false;     // half the jobs release mid-stream
+  std::size_t depart_after = 0;
+};
+
+std::vector<Arrival> generate_arrivals(std::uint64_t seed, std::size_t n,
+                                       std::uint32_t tenants) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> unit(0.05, 1.2);
+  std::vector<Arrival> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    Arrival a;
+    a.tenant = static_cast<TenantId>(rng() % tenants);
+    a.units = unit(rng);
+    a.departs = (rng() % 2) == 0;
+    a.depart_after = 1 + rng() % 8;
+    out.push_back(a);
+  }
+  return out;
+}
+
+/// Simulates the front-end: gate every arrival, round-robin admitted jobs
+/// across `shards` backends (affecting nothing but a counter), release
+/// departing jobs a few arrivals later. Returns the admit/deny bitmap.
+std::vector<bool> decision_stream(const std::vector<Arrival>& arrivals,
+                                  std::size_t shards,
+                                  std::uint32_t tenants) {
+  tenancy::ArbiterConfig config = fuzz_config(tenants, 0.1);
+  config.capacity_units = 0.9 * tenants;  // tight: force denials
+  tenancy::Arbiter arbiter(config);
+  std::vector<bool> decisions;
+  decisions.reserve(arrivals.size());
+  std::vector<std::pair<std::size_t, const Arrival*>> pending;  // (due, job)
+  std::size_t next_shard = 0;
+  Time now = 0.0;
+  for (std::size_t i = 0; i < arrivals.size(); ++i) {
+    // Releases due at this index (scheduled by earlier admissions).
+    for (auto it = pending.begin(); it != pending.end();) {
+      if (it->first <= i) {
+        arbiter.release(it->second->tenant, it->second->units);
+        it = pending.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    // Periodic settlement keeps credits moving.
+    if (i > 0 && i % 25 == 0) {
+      now += 1.0;
+      std::vector<double> usage(tenants, 0.0);
+      for (std::uint32_t t = 0; t < tenants; ++t) {
+        usage[t] = arbiter.inflight(t);
+      }
+      arbiter.settle(now, usage);
+    }
+    const Arrival& a = arrivals[i];
+    const bool ok = arbiter.admit(a.tenant, a.units);
+    decisions.push_back(ok);
+    if (ok) {
+      next_shard = (next_shard + 1) % shards;  // backend choice: no effect
+      if (a.departs) pending.emplace_back(i + a.depart_after, &a);
+    }
+  }
+  return decisions;
+}
+
+TEST(TenancyFuzz, AdmissionDecisionsIdenticalForAnyShardCount) {
+  for (const std::uint64_t seed : {7u, 23u, 555u}) {
+    for (const std::uint32_t tenants : {3u, 8u}) {
+      SCOPED_TRACE("seed=" + std::to_string(seed) + " tenants=" +
+                   std::to_string(tenants));
+      const auto arrivals = generate_arrivals(seed, 400, tenants);
+      const std::vector<bool> k1 = decision_stream(arrivals, 1, tenants);
+      const std::vector<bool> k2 = decision_stream(arrivals, 2, tenants);
+      const std::vector<bool> k4 = decision_stream(arrivals, 4, tenants);
+      EXPECT_EQ(k1, k2) << "K=2 diverged from K=1";
+      EXPECT_EQ(k1, k4) << "K=4 diverged from K=1";
+      // The stream must actually exercise both outcomes to mean anything.
+      EXPECT_NE(std::count(k1.begin(), k1.end(), true), 0);
+      EXPECT_NE(std::count(k1.begin(), k1.end(), false), 0)
+          << "quota never bound; tighten capacity_units";
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Mid-stream snapshot/restore equals the uninterrupted run (the journal
+// recovery contract, minus the journal).
+
+TEST(TenancyFuzz, RestoredArbiterReplaysSuffixIdentically) {
+  for (const std::uint64_t seed : {13u, 77u}) {
+    const std::uint32_t tenants = 6;
+    const tenancy::ArbiterConfig config = fuzz_config(tenants, 0.2);
+    const auto ops = generate_ops(seed, 500, tenants);
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+
+    const auto step = [&](tenancy::Arbiter& arbiter, const EconOp& op,
+                          Time& now) {
+      switch (op.kind) {
+        case EconOp::Kind::kAdmit:
+          arbiter.admit(op.tenant, op.units);
+          break;
+        case EconOp::Kind::kRelease:
+          arbiter.release(op.tenant,
+                          std::min(op.units, arbiter.inflight(op.tenant)));
+          break;
+        case EconOp::Kind::kSettle: {
+          now += op.dt;
+          std::vector<double> usage(tenants, 0.0);
+          for (std::uint32_t t = 0; t < tenants; ++t) {
+            usage[t] = arbiter.inflight(t) * op.dt;
+          }
+          arbiter.settle(now, usage);
+          break;
+        }
+      }
+    };
+
+    tenancy::Arbiter straight(config);
+    Time straight_now = 0.0;
+    tenancy::Arbiter crashed(config);
+    Time crashed_now = 0.0;
+    const std::size_t cut = ops.size() / 2;
+    for (std::size_t i = 0; i < cut; ++i) {
+      step(straight, ops[i], straight_now);
+      step(crashed, ops[i], crashed_now);
+    }
+    // "Crash": serialize, restore into a fresh arbiter, replay the rest.
+    const std::vector<std::uint8_t> bytes = crashed.state_bytes();
+    tenancy::Arbiter restored(config);
+    serial::Reader in(bytes.data(), bytes.size());
+    restored.restore_state(in);
+    Time restored_now = crashed_now;
+    for (std::size_t i = cut; i < ops.size(); ++i) {
+      step(straight, ops[i], straight_now);
+      step(restored, ops[i], restored_now);
+    }
+    for (std::uint32_t t = 0; t < tenants; ++t) {
+      EXPECT_NEAR(restored.credits(t), straight.credits(t), kTol)
+          << "tenant " << t;
+      EXPECT_NEAR(restored.inflight(t), straight.inflight(t), kTol)
+          << "tenant " << t;
+    }
+    EXPECT_EQ(restored.settlements(), straight.settlements());
+    EXPECT_NEAR(restored.public_injected(), straight.public_injected(),
+                kTol);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The shrinker on this op model: a seeded predicate with a known core.
+
+TEST(TenancyFuzz, DdminShrinksEconOpStreams) {
+  // Fails iff some tenant's in-flight demand reaches 4 admits with no
+  // intervening release -- core is exactly 4 admit ops for one tenant.
+  const std::uint32_t tenants = 4;
+  const auto deep = [&](const std::vector<EconOp>& sub) {
+    std::vector<int> streak(tenants, 0);
+    for (const EconOp& op : sub) {
+      if (op.kind == EconOp::Kind::kAdmit) {
+        if (++streak[op.tenant] >= 4) return true;
+      } else if (op.kind == EconOp::Kind::kRelease) {
+        streak[op.tenant] = 0;
+      }
+    }
+    return false;
+  };
+  std::vector<EconOp> ops;
+  std::uint64_t seed = 1;
+  do {
+    ops = generate_ops(seed++, 300, tenants);
+  } while (!deep(ops));
+  const auto minimal = ddmin(ops, deep);
+  ASSERT_TRUE(deep(minimal)) << describe(minimal);
+  EXPECT_EQ(minimal.size(), 4u) << describe(minimal);
+  for (std::size_t i = 0; i < minimal.size(); ++i) {
+    auto probe = minimal;
+    probe.erase(probe.begin() + static_cast<std::ptrdiff_t>(i));
+    EXPECT_FALSE(deep(probe));
+  }
+}
+
+}  // namespace
+}  // namespace dvbp
