@@ -18,11 +18,15 @@
 #            the Lemma 1 lower bounds; emits its own JSON, --repetitions
 #            does not apply (curated record: bench/BENCH_migration.json,
 #            docs/MIGRATION.md)
+#   trace    bench/bench_trace.cpp, trace data-plane throughput ladder
+#            (write / streaming ingest / streaming replay, d in {2,5});
+#            emits its own JSON, --repetitions does not apply (curated
+#            record: bench/BENCH_trace.json, docs/TRACES.md)
 # Re-run after any engine or service change and compare against the
 # committed record.
 #
 # Usage: scripts/bench_baseline.sh
-#          [--target=hotpath|sharded|persist|net|migration]
+#          [--target=hotpath|sharded|persist|net|migration|trace]
 #                                  [--smoke]
 #                                  [--build-dir=DIR] [--out=FILE]
 #                                  [--repetitions=N] [--merge[=FILE]]
@@ -74,9 +78,9 @@ if [[ -n "$merge" && "$repetitions" -le 0 ]]; then
 fi
 
 case "$target" in
-  hotpath|sharded|persist|net|migration) ;;
+  hotpath|sharded|persist|net|migration|trace) ;;
   *) echo "unknown target: $target" \
-          "(hotpath|sharded|persist|net|migration)" >&2
+          "(hotpath|sharded|persist|net|migration|trace)" >&2
      exit 2 ;;
 esac
 [[ -n "$out" ]] || out="BENCH_${target}.json"
@@ -88,9 +92,10 @@ if [[ ! -x "$bench" ]]; then
   exit 1
 fi
 
-# bench_net and bench_migration speak the harness CLI and write their
-# own JSON.
-if [[ "$target" == net || "$target" == migration ]]; then
+# bench_net, bench_migration, and bench_trace speak the harness CLI and
+# write their own JSON.
+if [[ "$target" == net || "$target" == migration || "$target" == trace ]];
+then
   args=(--out="$out")
   if [[ "$smoke" == 1 ]]; then
     args+=(--smoke)

@@ -137,9 +137,11 @@ void OpenBinTable::ensure_capacity(std::size_t want_slots) {
   std::size_t new_stride = std::max<std::size_t>(stride_ * 2, kChunkSlots);
   while (new_stride < want_slots) new_stride *= 2;
   std::vector<double> grown(dim_ * new_stride, kPoison);
-  for (std::size_t j = 0; j < dim_; ++j) {
-    std::memcpy(grown.data() + j * new_stride, lane(j),
-                size_ * sizeof(double));
+  if (size_ > 0) {  // on the first growth lanes_ is empty and lane(j) null
+    for (std::size_t j = 0; j < dim_; ++j) {
+      std::memcpy(grown.data() + j * new_stride, lane(j),
+                  size_ * sizeof(double));
+    }
   }
   lanes_.swap(grown);
   stride_ = new_stride;

@@ -1,9 +1,18 @@
 #include "core/policies/move_to_front.hpp"
 
 #include <cassert>
-#include <iterator>
 
 namespace dvbp {
+
+std::vector<BinId> MoveToFrontPolicy::mru_order() const {
+  std::vector<BinId> order;
+  order.reserve(mru_.size());
+  for (std::uint32_t n = mru_.head(); n != IndexList::kNil;
+       n = mru_.next(n)) {
+    order.push_back(mru_.value(n));
+  }
+  return order;
+}
 
 BinId MoveToFrontPolicy::choose(Time, const Item&,
                                 std::span<const BinView> fitting) {
@@ -26,12 +35,11 @@ BinId MoveToFrontPolicy::choose(Time, const Item&,
 }
 
 void MoveToFrontPolicy::on_open(Time now, BinId bin, const Item& first) {
-  mru_.push_front(bin);
   if (bin >= pos_.size()) {
-    pos_.resize(bin + 1);
+    pos_.resize(bin + 1, IndexList::kNil);
     stamp_.resize(bin + 1, 0);
   }
-  pos_[bin] = mru_.begin();
+  pos_[bin] = mru_.push_front(bin);
   stamp_[bin] = ++clock_;
   record(now, first.id);
 }
@@ -46,6 +54,7 @@ void MoveToFrontPolicy::on_depart(Time now, BinId bin, const Item&,
   if (bin >= stamp_.size() || stamp_[bin] == 0) return;
   const bool was_leader = !mru_.empty() && mru_.front() == bin;
   mru_.erase(pos_[bin]);
+  pos_[bin] = IndexList::kNil;
   stamp_[bin] = 0;
   if (was_leader) record(now, kNoItem);
 }
@@ -62,7 +71,7 @@ void MoveToFrontPolicy::move_to_front(Time now, BinId bin, ItemId cause) {
   if (!mru_.empty() && mru_.front() == bin) return;
   assert(bin < stamp_.size() && stamp_[bin] != 0 &&
          "MoveToFront: unknown bin");
-  mru_.splice(mru_.begin(), mru_, pos_[bin]);
+  mru_.move_to_front(pos_[bin]);
   stamp_[bin] = ++clock_;
   record(now, cause);
 }
@@ -74,7 +83,9 @@ void MoveToFrontPolicy::save_state(serial::Writer& out) const {
   // order) are serialized so choose()'s max-stamp scan sees identical
   // values after restore.
   out.u64(mru_.size());
-  for (BinId bin : mru_) {
+  for (std::uint32_t n = mru_.head(); n != IndexList::kNil;
+       n = mru_.next(n)) {
+    const BinId bin = mru_.value(n);
     out.u32(bin);
     out.u64(stamp_[bin]);
   }
@@ -90,7 +101,7 @@ void MoveToFrontPolicy::restore_state(serial::Reader& in) {
   reset();
   clock_ = in.u64();
   const std::uint64_t tracked = in.u64();
-  pos_.resize(tracked);
+  pos_.assign(tracked, IndexList::kNil);
   stamp_.assign(tracked, 0);
   const std::uint64_t n = in.u64();
   for (std::uint64_t i = 0; i < n; ++i) {
@@ -100,8 +111,7 @@ void MoveToFrontPolicy::restore_state(serial::Reader& in) {
       throw serial::SerialError("MoveToFront::restore_state: bin id out of "
                                 "range");
     }
-    mru_.push_back(bin);
-    pos_[bin] = std::prev(mru_.end());
+    pos_[bin] = mru_.push_back(bin);
     stamp_[bin] = stamp;
   }
   const std::uint64_t hist = in.u64();

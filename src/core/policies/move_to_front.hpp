@@ -3,11 +3,13 @@
 // front (paper Sec. 2.2). CR: at most (2mu+1)d+1 (Thm 2), at least
 // max{2mu, (mu+1)d} (Thm 8).
 //
-// Bookkeeping is O(1) per list operation: pos_ maps a BinId to its node in
-// the MRU list (splice instead of find+erase), and stamp_ records a
-// monotone move-to-front clock per bin, so choose() picks the fitting bin
-// with the largest stamp -- identical to walking the MRU list front to
-// back, but O(fitting bins) instead of O(open bins).
+// Bookkeeping is O(1) per list operation: the MRU order lives in a pooled
+// IndexList (core/pool.hpp) whose nodes are recycled through a free list
+// as bins open and close -- no per-bin heap allocation -- and pos_ maps a
+// BinId to its node handle (unlink/relink instead of find+erase). stamp_
+// records a monotone move-to-front clock per bin, so choose() picks the
+// fitting bin with the largest stamp -- identical to walking the MRU list
+// front to back, but O(fitting bins) instead of O(open bins).
 //
 // The policy optionally records its *leader history* -- which bin is at the
 // front of the list at each moment -- which the analysis of Thm 2
@@ -16,11 +18,11 @@
 #pragma once
 
 #include <cstdint>
-#include <list>
 #include <utility>
 #include <vector>
 
 #include "core/policies/any_fit.hpp"
+#include "core/pool.hpp"
 
 namespace dvbp {
 
@@ -38,8 +40,8 @@ class MoveToFrontPolicy final : public AnyFitPolicy {
   void save_state(serial::Writer& out) const override;
   void restore_state(serial::Reader& in) override;
 
-  /// The MRU order (front = leader = most recently used).
-  const std::list<BinId>& mru_order() const noexcept { return mru_; }
+  /// Snapshot of the MRU order (front = leader = most recently used).
+  std::vector<BinId> mru_order() const;
 
   /// One leader transition. `cause` is the item whose packing made the new
   /// bin the leader, or kNoItem when the previous leader closed (its last
@@ -70,10 +72,11 @@ class MoveToFrontPolicy final : public AnyFitPolicy {
   void move_to_front(Time now, BinId bin, ItemId cause);
   void record(Time now, ItemId cause);
 
-  std::list<BinId> mru_;
-  /// BinId -> node in mru_ (valid while stamp_[bin] != 0). List iterators
-  /// survive splice, so entries never need rewriting on reorder.
-  std::vector<std::list<BinId>::iterator> pos_;
+  IndexList mru_;
+  /// BinId -> node handle in mru_ (valid while stamp_[bin] != 0). Node
+  /// handles survive move_to_front, so entries never need rewriting on
+  /// reorder.
+  std::vector<std::uint32_t> pos_;
   /// BinId -> value of clock_ when the bin last reached the front; 0 for
   /// bins not (or no longer) in the list. Descending stamp == MRU order.
   std::vector<std::uint64_t> stamp_;

@@ -168,4 +168,133 @@ class UsagePool {
   std::uint32_t free_head_ = kNil;
 };
 
+/// Free-listed doubly-linked list of BinIds over a chunked slab --
+/// std::list's splice-to-front interface without its per-node heap
+/// allocations. Node handles are uint32 slab indices (stable for the
+/// node's lifetime), so a caller can keep a BinId -> node map and erase
+/// or move-to-front in O(1) without searching. MoveToFront's MRU list is
+/// the intended customer: one list per policy, nodes recycled through the
+/// free list as bins open and close.
+class IndexList {
+ public:
+  static constexpr std::uint32_t kNil = 0xFFFFFFFFu;
+
+  bool empty() const noexcept { return head_ == kNil; }
+  std::size_t size() const noexcept { return size_; }
+  std::uint32_t head() const noexcept { return head_; }
+
+  BinId front() const noexcept { return nodes_[head_].value; }
+  BinId value(std::uint32_t node) const noexcept {
+    return nodes_[node].value;
+  }
+  std::uint32_t next(std::uint32_t node) const noexcept {
+    return nodes_[node].next;
+  }
+
+  /// Inserts `value` at the front; returns its node handle.
+  std::uint32_t push_front(BinId value) {
+    const std::uint32_t idx = alloc(value);
+    link_front(idx);
+    ++size_;
+    return idx;
+  }
+
+  /// Inserts `value` at the back; returns its node handle (restore path).
+  std::uint32_t push_back(BinId value) {
+    const std::uint32_t idx = alloc(value);
+    Node& n = nodes_[idx];
+    n.prev = tail_;
+    n.next = kNil;
+    if (tail_ != kNil) {
+      nodes_[tail_].next = idx;
+    } else {
+      head_ = idx;
+    }
+    tail_ = idx;
+    ++size_;
+    return idx;
+  }
+
+  /// Unlinks `node` and recycles it through the free list.
+  void erase(std::uint32_t node) noexcept {
+    unlink(node);
+    nodes_[node].next = free_head_;
+    free_head_ = node;
+    --size_;
+  }
+
+  /// Moves `node` to the front (no-op when already there).
+  void move_to_front(std::uint32_t node) noexcept {
+    if (head_ == node) return;
+    unlink(node);
+    link_front(node);
+  }
+
+  /// Empties the list; keeps the slab for reuse.
+  void clear() noexcept {
+    // Thread every live node onto the free list in one walk.
+    std::uint32_t cur = head_;
+    while (cur != kNil) {
+      const std::uint32_t nxt = nodes_[cur].next;
+      nodes_[cur].next = free_head_;
+      free_head_ = cur;
+      cur = nxt;
+    }
+    head_ = tail_ = kNil;
+    size_ = 0;
+  }
+
+ private:
+  struct Node {
+    BinId value = kNoBin;
+    std::uint32_t prev = kNil;
+    std::uint32_t next = kNil;  ///< doubles as the free-list link
+  };
+
+  std::uint32_t alloc(BinId value) {
+    std::uint32_t idx;
+    if (free_head_ != kNil) {
+      idx = free_head_;
+      free_head_ = nodes_[idx].next;
+    } else {
+      idx = static_cast<std::uint32_t>(nodes_.size());
+      nodes_.emplace_back();
+    }
+    nodes_[idx] = Node{value, kNil, kNil};
+    return idx;
+  }
+
+  void link_front(std::uint32_t node) noexcept {
+    Node& n = nodes_[node];
+    n.prev = kNil;
+    n.next = head_;
+    if (head_ != kNil) {
+      nodes_[head_].prev = node;
+    } else {
+      tail_ = node;
+    }
+    head_ = node;
+  }
+
+  void unlink(std::uint32_t node) noexcept {
+    Node& n = nodes_[node];
+    if (n.prev != kNil) {
+      nodes_[n.prev].next = n.next;
+    } else {
+      head_ = n.next;
+    }
+    if (n.next != kNil) {
+      nodes_[n.next].prev = n.prev;
+    } else {
+      tail_ = n.prev;
+    }
+  }
+
+  StableVector<Node> nodes_;
+  std::uint32_t head_ = kNil;
+  std::uint32_t tail_ = kNil;
+  std::uint32_t free_head_ = kNil;
+  std::size_t size_ = 0;
+};
+
 }  // namespace dvbp

@@ -3,15 +3,33 @@
 #include <stdexcept>
 
 #include "gen/traces.hpp"
+#include "trace/reader.hpp"
 
 namespace dvbp::gen {
 
 std::vector<std::string> generator_names() {
+  // "trace:<path>" is accepted by make_generator but deliberately not
+  // listed: these names are iterated by tests/sweeps that instantiate
+  // every generator from base params alone, and a pseudo-generator with
+  // no file behind it cannot honor that contract.
   return {"uniform", "zipf", "bursty", "correlated", "diurnal"};
 }
 
 GeneratorFn make_generator(std::string_view name, const UniformParams& base,
                            std::uint64_t seed) {
+  if (name.rfind(kTracePrefix, 0) == 0) {
+    // Trace files replay one fixed workload: every trial materializes the
+    // same instance, and the base params/seed are ignored by design --
+    // any sweep or harness path can consume a recorded trace unchanged.
+    std::string path(name.substr(kTracePrefix.size()));
+    if (path.empty()) {
+      throw std::invalid_argument(
+          "make_generator: 'trace:' needs a file path");
+    }
+    return [path](std::uint64_t /*trial*/) {
+      return trace::TraceReader(path).materialize();
+    };
+  }
   if (name == "uniform") {
     return [base, seed](std::uint64_t trial) {
       Xoshiro256pp rng = Xoshiro256pp::for_trial(seed, trial);

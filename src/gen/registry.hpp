@@ -19,12 +19,20 @@ using GeneratorFn = std::function<Instance(std::uint64_t trial)>;
 /// Names accepted by make_generator.
 std::vector<std::string> generator_names();
 
+/// Prefix of the trace-replay pseudo-generator (see make_generator).
+inline constexpr std::string_view kTracePrefix = "trace:";
+
 /// Builds a generator over the given base parameters:
-///   "uniform"     -- the Sec. 7 / Table 2 model
-///   "zipf"        -- Zipf(1.2) durations
-///   "bursty"      -- 10 bursts of width 5
-///   "correlated"  -- rho = 0.8 correlated sizes
-///   "diurnal"     -- sinusoidal arrival intensity (amplitude 0.8)
+///   "uniform"      -- the Sec. 7 / Table 2 model
+///   "zipf"         -- Zipf(1.2) durations
+///   "bursty"       -- 10 bursts of width 5
+///   "correlated"   -- rho = 0.8 correlated sizes
+///   "diurnal"      -- sinusoidal arrival intensity (amplitude 0.8)
+///   "trace:<path>" -- replay of a recorded binary trace (src/trace/);
+///                     every trial yields the same instance, and `base`
+///                     and `seed` are ignored. Not listed by
+///                     generator_names(). Opening/validation errors
+///                     surface as trace::TraceError at call time.
 /// Throws std::invalid_argument for unknown names.
 GeneratorFn make_generator(std::string_view name, const UniformParams& base,
                            std::uint64_t seed);

@@ -16,6 +16,7 @@
 #include <algorithm>
 #include <chrono>
 #include <csignal>
+#include <cstring>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -46,10 +47,17 @@
 #include "obs/trace.hpp"
 #include "persist/durable.hpp"
 #include "persist/journal.hpp"
+#include "opt/offline_opt.hpp"
 #include "tenancy/accountant.hpp"
 #include "tenancy/arbiter.hpp"
 #include "tenancy/gate.hpp"
 #include "tenancy/report.hpp"
+#include "trace/convert.hpp"
+#include "trace/format.hpp"
+#include "trace/reader.hpp"
+#include "trace/reduce.hpp"
+#include "trace/replay.hpp"
+#include "trace/writer.hpp"
 
 namespace {
 
@@ -105,7 +113,23 @@ int usage() {
       "                  [--depart-fraction=0.45] [--seed=42]\n"
       "                  [--rate=0 --duration=1]  (rate>0: open loop)\n"
       "                  [--drain]  send a Drain RPC afterwards and report\n"
-      "                  the server's final packing hash\n";
+      "                  the server's final packing hash\n"
+      "                  [--trace=<file.trc>]  replay a binary trace over\n"
+      "                  the wire instead of synthetic traffic\n"
+      "\n"
+      "trace data plane (docs/TRACES.md):\n"
+      "  harness trace convert --csv=<in.csv> --out=<out.trc>\n"
+      "                  [--tenants] [--strict]  Azure-style CSV\n"
+      "                  (vmid,start,end,frac...) -> binary trace\n"
+      "  harness trace info    --in=<trc> [--bounds]  header summary and,\n"
+      "                  with --bounds, the Lemma-1 OPT lower bounds\n"
+      "  harness trace reduce  --in=<trc> --out=<reduced.trc>\n"
+      "                  [--size-grid=16] [--time-cells=64] [--no-opt]\n"
+      "                  [--node-limit=20000000]  van Bevern-style\n"
+      "                  reduction; prints a sound interval on OPT(in)\n"
+      "  harness trace run     --in=<trc> [--policy=...] [--capacity=1.0]\n"
+      "                  [--bounds] [--metrics-out=...]  streaming replay\n"
+      "                  through the live dispatcher (O(active) memory)\n";
   return 0;
 }
 
@@ -175,10 +199,21 @@ bool wants_migration(const harness::Args& args) {
 Instance load_instance(const harness::Args& args) {
   const std::string trace_path = args.get("trace", "");
   if (!trace_path.empty()) {
-    std::ifstream in(trace_path);
+    std::ifstream in(trace_path, std::ios::binary);
     if (!in) {
       throw std::runtime_error("cannot open trace '" + trace_path + "'");
     }
+    // Sniff the magic: --trace accepts both the legacy CSV instance dump
+    // and the binary columnar format (docs/TRACES.md).
+    char magic[sizeof(trace::kMagic)] = {};
+    in.read(magic, sizeof(magic));
+    if (in.gcount() == sizeof(magic) &&
+        std::memcmp(magic, trace::kMagic, sizeof(magic)) == 0) {
+      in.close();
+      return trace::TraceReader(trace_path).materialize();
+    }
+    in.clear();
+    in.seekg(0);
     return Instance::from_csv(in);
   }
   gen::UniformParams params;
@@ -784,7 +819,7 @@ int run_loadgen_cmd(const harness::Args& args) {
   static const std::set<std::string> kKnown{
       "host",   "port",     "connections", "requests", "window",
       "dim",    "depart-fraction", "seed", "rate",     "duration",
-      "drain",  "quiet",    "help"};
+      "drain",  "quiet",    "trace",       "help"};
   for (const std::string& key : args.keys()) {
     if (!kKnown.count(key)) {
       throw harness::CliError("loadgen: unknown flag '--" + key +
@@ -804,11 +839,15 @@ int run_loadgen_cmd(const harness::Args& args) {
       static_cast<std::uint64_t>(args.get_int("requests", 10000));
   opts.open_loop_rate = args.get_double("rate", 0.0);
   opts.duration_s = args.get_double("duration", 1.0);
+  opts.trace_path = args.get("trace", "");
 
   const net::LoadgenResult r = net::run_loadgen(opts);
+  const char* mode = !opts.trace_path.empty()
+                         ? "trace"
+                         : (opts.open_loop_rate > 0.0 ? "open" : "closed");
   harness::Table summary({"mode", "conns", "sent", "ok", "retry_later",
                           "throughput_rps", "p50_us", "p99_us", "p999_us"});
-  summary.add_row({opts.open_loop_rate > 0.0 ? "open" : "closed",
+  summary.add_row({mode,
                    std::to_string(opts.connections),
                    std::to_string(r.requests_sent), std::to_string(r.ok),
                    std::to_string(r.retry_later),
@@ -831,6 +870,197 @@ int run_loadgen_cmd(const harness::Args& args) {
               << " cost=" << harness::Table::num(resp.cost, 1) << '\n';
   }
   return 0;
+}
+
+void reject_unknown_subflags(const std::string& sub,
+                             const std::set<std::string>& known,
+                             const harness::Args& args) {
+  for (const std::string& key : args.keys()) {
+    if (!known.count(key)) {
+      throw harness::CliError("trace " + sub + ": unknown flag '--" + key +
+                              "' (see --help)");
+    }
+  }
+}
+
+std::string require_flag(const harness::Args& args, const std::string& sub,
+                         const std::string& flag) {
+  const std::string v = args.get(flag, "");
+  if (v.empty()) {
+    throw harness::CliError("trace " + sub + ": --" + flag + " is required");
+  }
+  return v;
+}
+
+/// `harness trace <convert|info|reduce|run>`: the binary trace data plane
+/// (docs/TRACES.md).
+int run_trace_cmd(const harness::Args& args) {
+  if (args.positional().size() < 2) {
+    throw harness::CliError(
+        "trace: need a subcommand (convert|info|reduce|run; see --help)");
+  }
+  const std::string& sub = args.positional()[1];
+  const bool quiet = args.get_bool("quiet");
+
+  if (sub == "convert") {
+    reject_unknown_subflags(
+        sub, {"csv", "out", "tenants", "strict", "quiet", "help"}, args);
+    const std::string csv = require_flag(args, sub, "csv");
+    const std::string out = require_flag(args, sub, "out");
+    harness::require_writable_file("out", out);
+    trace::ConvertOptions copts;
+    copts.tenants = args.get_bool("tenants");
+    copts.strict = args.get_bool("strict");
+    const trace::ConvertStats stats = trace::convert_csv_file(csv, out, copts);
+    if (!quiet) {
+      harness::Table t({"rows_read", "items_written", "rows_skipped", "d",
+                        "tenants", "out"});
+      t.add_row({std::to_string(stats.rows_read),
+                 std::to_string(stats.items_written),
+                 std::to_string(stats.rows_skipped),
+                 std::to_string(stats.dim), std::to_string(stats.tenants),
+                 out});
+      std::cout << t.to_aligned_text();
+    }
+    return 0;
+  }
+
+  if (sub == "info") {
+    reject_unknown_subflags(sub, {"in", "bounds", "quiet", "help"}, args);
+    const trace::TraceReader reader(require_flag(args, sub, "in"));
+    harness::Table t({"items", "events", "d", "tenants", "bytes",
+                      "first_arrival", "last_departure"});
+    t.add_row({std::to_string(reader.size()),
+               std::to_string(2 * reader.size()),
+               std::to_string(reader.dim()),
+               reader.has_tenants() ? "yes" : "no",
+               std::to_string(reader.file_bytes()),
+               harness::Table::num(reader.first_arrival(), 3),
+               harness::Table::num(reader.last_departure(), 3)});
+    std::cout << t.to_aligned_text();
+    if (args.get_bool("bounds")) {
+      const trace::StreamBounds b = trace::streaming_lower_bounds(reader);
+      harness::Table lb({"lb_height", "lb_utilization", "lb_span",
+                         "lb_best"});
+      lb.add_row({harness::Table::num(b.height, 3),
+                  harness::Table::num(b.utilization, 3),
+                  harness::Table::num(b.span, 3),
+                  harness::Table::num(b.best(), 3)});
+      std::cout << lb.to_aligned_text();
+    }
+    return 0;
+  }
+
+  if (sub == "reduce") {
+    reject_unknown_subflags(sub,
+                            {"in", "out", "size-grid", "time-cells",
+                             "no-opt", "node-limit", "quiet", "help"},
+                            args);
+    const std::string in_path = require_flag(args, sub, "in");
+    const std::string out = require_flag(args, sub, "out");
+    harness::require_writable_file("out", out);
+    const trace::TraceReader reader(in_path);
+    trace::ReduceOptions ropts;
+    ropts.size_grid =
+        static_cast<std::uint32_t>(args.get_int("size-grid", 16));
+    ropts.time_cells =
+        static_cast<std::uint32_t>(args.get_int("time-cells", 64));
+    const trace::ReduceResult r = trace::reduce_trace(reader, out, ropts);
+    if (!quiet) {
+      harness::Table t({"items_in", "items_out", "groups", "size_grid",
+                        "time_cells", "out"});
+      t.add_row({std::to_string(r.original_items),
+                 std::to_string(r.reduced_items), std::to_string(r.groups),
+                 std::to_string(r.size_grid), std::to_string(r.time_cells),
+                 out});
+      std::cout << t.to_aligned_text();
+    }
+    // The reported interval brackets OPT(in): the lower end is Lemma 1 on
+    // the ORIGINAL trace; the upper end is offline_opt on the reduced
+    // (dominating) instance -- an upper bound even when the VBP search
+    // aborts on its node limit (offline_opt reports cost >= OPT then).
+    if (!args.get_bool("no-opt")) {
+      VbpOptions vopts;
+      vopts.node_limit = static_cast<std::uint64_t>(
+          args.get_int("node-limit", 20'000'000));
+      const Instance reduced = trace::TraceReader(out).materialize();
+      const OfflineOptResult opt = offline_opt(reduced, vopts);
+      harness::Table t({"opt_lower", "opt_upper", "upper_exact",
+                        "segments", "max_active"});
+      t.add_row({harness::Table::num(r.original_bounds.best(), 3),
+                 harness::Table::num(opt.cost, 3),
+                 opt.exact ? "yes" : "no (node limit)",
+                 std::to_string(opt.segments),
+                 std::to_string(opt.max_active)});
+      std::cout << t.to_aligned_text();
+    } else if (!quiet) {
+      harness::Table t({"opt_lower"});
+      t.add_row({harness::Table::num(r.original_bounds.best(), 3)});
+      std::cout << t.to_aligned_text();
+    }
+    return 0;
+  }
+
+  if (sub == "run") {
+    reject_unknown_subflags(sub,
+                            {"in", "policy", "policy-seed", "capacity",
+                             "bounds", "metrics-out", "quiet", "help"},
+                            args);
+    const std::string metrics_out = args.get("metrics-out", "");
+    harness::require_writable_file("metrics-out", metrics_out);
+    const trace::TraceReader reader(require_flag(args, sub, "in"));
+    const std::string policy_name = args.get("policy", "MoveToFront");
+    const PolicyPtr policy = make_policy(
+        policy_name,
+        static_cast<std::uint64_t>(args.get_int("policy-seed", 0xD1CEu)));
+
+    obs::MetricRegistry registry;
+    trace::ReplayOptions opts;
+    opts.bin_capacity = args.get_double("capacity", 1.0);
+    opts.metrics = &registry;
+    const auto start = std::chrono::steady_clock::now();
+    const trace::ReplayResult r = trace::replay_trace(reader, *policy, opts);
+    const std::chrono::duration<double> wall =
+        std::chrono::steady_clock::now() - start;
+
+    if (!metrics_out.empty()) {
+      std::ofstream out(metrics_out);
+      if (!out) {
+        throw std::runtime_error("cannot open metrics-out '" + metrics_out +
+                                 "'");
+      }
+      out << registry.to_json() << '\n';
+    }
+    if (!quiet) {
+      const double eps = wall.count() > 0.0
+                             ? static_cast<double>(r.events) / wall.count()
+                             : 0.0;
+      harness::Table t({"policy", "items", "events", "cost", "bins",
+                        "peak_open", "wall_ms", "events_per_s"});
+      t.add_row({policy_name, std::to_string(r.items),
+                 std::to_string(r.events), harness::Table::num(r.cost, 1),
+                 std::to_string(r.bins_opened),
+                 std::to_string(r.max_open_bins),
+                 harness::Table::num(wall.count() * 1e3, 2),
+                 harness::Table::num(eps, 0)});
+      std::cout << t.to_aligned_text();
+      if (args.get_bool("bounds")) {
+        const trace::StreamBounds b = trace::streaming_lower_bounds(reader);
+        const double lb = b.best();
+        harness::Table vs({"opt_lower", "cost_vs_opt_lower"});
+        vs.add_row({harness::Table::num(lb, 3),
+                    lb > 0.0 ? harness::Table::num(r.cost / lb, 4) : "-"});
+        std::cout << vs.to_aligned_text();
+      }
+      if (!metrics_out.empty()) {
+        std::cout << "metrics: " << metrics_out << '\n';
+      }
+    }
+    return 0;
+  }
+
+  throw harness::CliError("trace: unknown subcommand '" + sub +
+                          "' (convert|info|reduce|run)");
 }
 
 bool same_packing(const Packing& a, const Packing& b) {
@@ -857,6 +1087,7 @@ int main(int argc, char** argv) {
       const std::string& cmd = args.positional().front();
       if (cmd == "serve") return run_serve(args);
       if (cmd == "loadgen") return run_loadgen_cmd(args);
+      if (cmd == "trace") return run_trace_cmd(args);
       throw harness::CliError("unknown subcommand '" + cmd +
                               "' (see --help)");
     }

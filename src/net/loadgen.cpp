@@ -5,8 +5,10 @@
 #include <chrono>
 #include <cmath>
 #include <cstddef>
+#include <deque>
 #include <exception>
 #include <mutex>
+#include <optional>
 #include <random>
 #include <stdexcept>
 #include <thread>
@@ -15,6 +17,7 @@
 
 #include "core/rvec.hpp"
 #include "net/client.hpp"
+#include "trace/reader.hpp"
 
 namespace dvbp::net {
 
@@ -199,6 +202,112 @@ void open_loop_worker(const LoadgenOptions& opt, std::size_t idx,
   if (sender_error) std::rethrow_exception(sender_error);
 }
 
+/// Closed-loop replay of one connection's partition of a recorded trace
+/// (items with id % connections == idx). The window never reorders the
+/// partition's event sequence: a depart whose arrival has not resolved to
+/// a server job id stalls issuing until it does, and RETRY_LATER pushes
+/// the event back to the FRONT of the pending queue, so arrive-before-
+/// depart order is preserved per item under retries too.
+void trace_replay_worker(const LoadgenOptions& opt,
+                         const trace::TraceReader& reader, std::size_t idx,
+                         ConnStats& stats) {
+  Client client(opt.host, opt.port);
+  trace::TraceCursor cursor(reader);
+  std::deque<trace::TraceEvent> pending;  // retries + one stalled head
+  std::unordered_map<std::uint64_t, InFlight> inflight;
+  std::unordered_map<std::uint64_t, trace::TraceEvent> event_of;
+  std::unordered_map<ItemId, std::uint64_t> job_of_item;
+  RVec size(reader.dim());
+  bool stream_done = false;
+
+  const auto issuable = [&](const trace::TraceEvent& e) {
+    return e.kind == EventKind::kArrival || job_of_item.count(e.item) > 0;
+  };
+
+  while (true) {
+    while (inflight.size() < std::max<std::size_t>(opt.window, 1)) {
+      trace::TraceEvent next;
+      bool have = false;
+      if (!pending.empty()) {
+        if (!issuable(pending.front())) break;  // stalled on its arrival
+        next = pending.front();
+        pending.pop_front();
+        have = true;
+      } else if (!stream_done) {
+        trace::TraceEvent ev;
+        while (cursor.next(ev)) {
+          if (ev.item % opt.connections == idx) {
+            next = ev;
+            have = true;
+            break;
+          }
+        }
+        if (!have) {
+          stream_done = true;
+        } else if (!issuable(next)) {
+          pending.push_front(next);  // arrival still in flight; wait
+          break;
+        }
+      }
+      if (!have) break;
+
+      std::uint64_t id = 0;
+      if (next.kind == EventKind::kArrival) {
+        reader.size_into(next.item, size);
+        id = client.send_arrive(next.time, size);
+        inflight.emplace(id, InFlight{false, 0, Clock::now()});
+      } else {
+        const std::uint64_t job = job_of_item[next.item];
+        id = client.send_depart(next.time, job);
+        inflight.emplace(id, InFlight{true, job, Clock::now()});
+      }
+      event_of.emplace(id, next);
+      ++stats.sent;
+    }
+    if (inflight.empty()) break;  // drained (or wedged on a failed arrival)
+
+    client.flush();
+    const Response resp = client.recv_response();
+    const auto it = inflight.find(resp.id);
+    if (it == inflight.end()) {
+      throw std::logic_error("loadgen: response for unknown request id");
+    }
+    const InFlight rec = it->second;
+    inflight.erase(it);
+    const auto ev_it = event_of.find(resp.id);
+    const trace::TraceEvent replayed = ev_it->second;
+    event_of.erase(ev_it);
+
+    switch (resp.status) {
+      case Status::kOk:
+        ++stats.ok;
+        stats.latencies_ns.push_back(ns_between(rec.sent_at, Clock::now()));
+        if (rec.is_depart) {
+          job_of_item.erase(replayed.item);
+        } else {
+          job_of_item.emplace(replayed.item, resp.job);
+        }
+        break;
+      case Status::kRetryLater:
+        ++stats.retry_later;
+        pending.push_front(replayed);
+        break;
+      case Status::kShuttingDown:
+        ++stats.shutting_down;
+        break;
+      case Status::kBadRequest:
+        ++stats.bad_request;
+        break;
+      case Status::kUnknownJob:
+        ++stats.unknown_job;
+        break;
+      default:
+        ++stats.other_errors;
+        break;
+    }
+  }
+}
+
 double nearest_rank(const std::vector<double>& sorted, double q) {
   if (sorted.empty()) return 0.0;
   const double rank = std::ceil(q * static_cast<double>(sorted.size()));
@@ -220,6 +329,15 @@ LoadgenResult run_loadgen(const LoadgenOptions& options) {
   if (options.open_loop_rate > 0.0 && options.duration_s <= 0.0) {
     throw std::invalid_argument("loadgen: open loop needs duration_s > 0");
   }
+  if (!options.trace_path.empty() && options.open_loop_rate > 0.0) {
+    throw std::invalid_argument(
+        "loadgen: trace replay is closed-loop only (open_loop_rate == 0)");
+  }
+  // Opened (and fully validated) once, shared read-only by all workers.
+  std::optional<trace::TraceReader> trace_reader;
+  if (!options.trace_path.empty()) {
+    trace_reader.emplace(options.trace_path);
+  }
 
   std::vector<ConnStats> stats(options.connections);
   std::vector<std::exception_ptr> errors(options.connections);
@@ -230,7 +348,9 @@ LoadgenResult run_loadgen(const LoadgenOptions& options) {
   for (std::size_t i = 0; i < options.connections; ++i) {
     workers.emplace_back([&, i] {
       try {
-        if (options.open_loop_rate > 0.0) {
+        if (trace_reader.has_value()) {
+          trace_replay_worker(options, *trace_reader, i, stats[i]);
+        } else if (options.open_loop_rate > 0.0) {
           open_loop_worker(options, i, stats[i]);
         } else {
           closed_loop_worker(options, i, stats[i]);

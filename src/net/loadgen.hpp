@@ -17,6 +17,14 @@
 //     on purpose and makes backpressure visible: RETRY_LATER responses are
 //     counted, never retried.
 //
+//   * Trace replay (trace_path set): closed-loop replay of a recorded
+//     binary trace (src/trace/). Items are partitioned across connections
+//     by id; each connection streams its partition's arrive/depart events
+//     in trace order through its pipeline window, mapping trace items to
+//     server job ids as admissions resolve. A depart whose arrival is
+//     still in flight stalls the window (never reorders), so the server
+//     observes a per-connection event order consistent with the trace.
+//
 // Latencies are recorded exactly (one sample per OK response; sorted at
 // the end), so p999 is a real order statistic, not an interpolation.
 #pragma once
@@ -47,6 +55,11 @@ struct LoadgenOptions {
   // 0 selects closed loop. Runs for `duration_s` wall seconds.
   double open_loop_rate = 0.0;
   double duration_s = 1.0;
+
+  // Trace replay: path to a binary trace file (docs/TRACES.md). When set,
+  // the synthetic mix is replaced by the trace's event stream (closed
+  // loop only; dim/depart_fraction/requests_per_connection are ignored).
+  std::string trace_path;
 };
 
 struct LoadgenResult {

@@ -1,0 +1,167 @@
+#include "trace/convert.hpp"
+
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <istream>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/rvec.hpp"
+#include "core/types.hpp"
+#include "trace/format.hpp"
+
+namespace dvbp::trace {
+
+namespace {
+
+/// Splits `line` on commas, trimming ASCII whitespace around each field.
+void split_fields(const std::string& line, std::vector<std::string>& out) {
+  out.clear();
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t comma = line.find(',', start);
+    const std::size_t end = comma == std::string::npos ? line.size() : comma;
+    std::size_t lo = start;
+    std::size_t hi = end;
+    while (lo < hi && std::isspace(static_cast<unsigned char>(line[lo]))) {
+      ++lo;
+    }
+    while (hi > lo &&
+           std::isspace(static_cast<unsigned char>(line[hi - 1]))) {
+      --hi;
+    }
+    out.emplace_back(line.substr(lo, hi - lo));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+}
+
+bool parse_f64(const std::string& field, double& out) {
+  if (field.empty()) return false;
+  char* end = nullptr;
+  errno = 0;
+  const double v = std::strtod(field.c_str(), &end);
+  if (end != field.c_str() + field.size() || errno == ERANGE) return false;
+  out = v;
+  return true;
+}
+
+}  // namespace
+
+ConvertStats convert_csv(std::istream& in, const std::string& out_path,
+                         const ConvertOptions& options) {
+  ConvertStats stats;
+  std::unordered_map<std::string, TenantId> tenant_of;
+  std::vector<std::string> fields;
+  std::string line;
+  std::uint64_t lineno = 0;
+  bool first_data_row = true;
+  // Deferred construction: the dimension is only known at the first row.
+  std::optional<TraceWriter> writer;
+  RVec size;
+
+  auto bad_row = [&](const std::string& why) {
+    if (options.strict) {
+      throw TraceError("csv line " + std::to_string(lineno) + ": " + why);
+    }
+    ++stats.rows_skipped;
+  };
+
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    std::size_t first = 0;
+    while (first < line.size() &&
+           std::isspace(static_cast<unsigned char>(line[first]))) {
+      ++first;
+    }
+    if (first == line.size() || line[first] == '#') continue;
+
+    split_fields(line, fields);
+    if (fields.size() < 4) {
+      ++stats.rows_read;
+      bad_row("expected vmid,start,end and at least one demand column");
+      continue;
+    }
+
+    double start_t = 0.0;
+    double end_t = 0.0;
+    if (!parse_f64(fields[1], start_t) || !parse_f64(fields[2], end_t)) {
+      // A non-numeric start/end on the very first row is the header.
+      if (first_data_row) {
+        first_data_row = false;
+        continue;
+      }
+      ++stats.rows_read;
+      bad_row("start/end fields are not numbers");
+      continue;
+    }
+    first_data_row = false;
+    ++stats.rows_read;
+
+    const std::uint32_t row_dim = static_cast<std::uint32_t>(fields.size() - 3);
+    if (!writer.has_value()) {
+      if (row_dim > kMaxDim) {
+        throw TraceError("csv line " + std::to_string(lineno) +
+                         ": unusable demand dimension " +
+                         std::to_string(row_dim));
+      }
+      stats.dim = row_dim;
+      writer.emplace(row_dim, options.tenants);
+      size = RVec(row_dim);
+    }
+    if (row_dim != stats.dim) {
+      bad_row("row has " + std::to_string(row_dim) +
+              " demand columns, trace has " + std::to_string(stats.dim));
+      continue;
+    }
+
+    bool ok = !std::isnan(start_t) && start_t >= 0.0 && end_t > start_t &&
+              std::isfinite(start_t) && std::isfinite(end_t);
+    for (std::uint32_t j = 0; ok && j < row_dim; ++j) {
+      double v = 0.0;
+      ok = parse_f64(fields[3 + j], v) && std::isfinite(v) && v >= 0.0 &&
+           v <= 1.0 + kCapacityEps;
+      size[j] = v;
+    }
+    if (!ok) {
+      bad_row("row is malformed or not packable into a unit bin");
+      continue;
+    }
+
+    TenantId tenant = kNoTenant;
+    if (options.tenants) {
+      const auto [it, inserted] = tenant_of.emplace(
+          fields[0], static_cast<TenantId>(tenant_of.size()));
+      tenant = it->second;
+      (void)inserted;
+    }
+    writer->add(start_t, end_t, size, tenant);
+    ++stats.items_written;
+  }
+
+  if (!writer.has_value()) {
+    // Header-only or empty input: emit a valid empty d=1 trace.
+    stats.dim = 1;
+    writer.emplace(1, options.tenants);
+  }
+  writer->write(out_path);
+  stats.tenants = static_cast<std::uint32_t>(tenant_of.size());
+  return stats;
+}
+
+ConvertStats convert_csv_file(const std::string& csv_path,
+                              const std::string& out_path,
+                              const ConvertOptions& options) {
+  std::ifstream in(csv_path);
+  if (!in) {
+    throw TraceError("cannot open csv '" + csv_path + "'");
+  }
+  return convert_csv(in, out_path, options);
+}
+
+}  // namespace dvbp::trace

@@ -1,0 +1,53 @@
+// Azure-style CSV -> binary trace conversion.
+//
+// Input rows are `vmid,start,end,frac_0,...,frac_{d-1}`: an opaque VM/job
+// identifier, lifetime endpoints, and d normalized demand fractions (the
+// Azure public VM traces expose core and memory fractions; d is inferred
+// from the first data row and enforced afterwards). `#`-comments, blank
+// lines, and one leading header row (detected, not configured: its start
+// field does not parse as a number) are skipped.
+//
+// Distinct vmids map to dense tenant labels in first-appearance order when
+// ConvertOptions::tenants is set, so a trace can drive the multi-tenant
+// fairness layer; placement itself stays tenant-blind.
+//
+// Conversion is lossless for well-formed rows: timestamps and demands are
+// parsed once with strtod and stored as their exact IEEE-754 bits. Rows
+// that cannot be packed (demand above 1+eps, end <= start, negative start)
+// are either skipped-and-counted (default) or fatal (strict).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "trace/writer.hpp"
+
+namespace dvbp::trace {
+
+struct ConvertOptions {
+  /// Map vmids to dense tenant labels and emit the tenant column.
+  bool tenants = false;
+  /// Fail on the first malformed/unpackable row instead of skipping it.
+  bool strict = false;
+};
+
+struct ConvertStats {
+  std::uint64_t rows_read = 0;     ///< data rows seen (comments excluded)
+  std::uint64_t items_written = 0;
+  std::uint64_t rows_skipped = 0;  ///< malformed/unpackable rows dropped
+  std::uint32_t dim = 0;           ///< inferred demand dimension
+  std::uint32_t tenants = 0;       ///< distinct vmids (0 unless mapping)
+};
+
+/// Converts CSV from `in` into a binary trace at `out_path`. Throws
+/// TraceError on unparsable structure (in strict mode: on any bad row).
+ConvertStats convert_csv(std::istream& in, const std::string& out_path,
+                         const ConvertOptions& options = {});
+
+/// File-path convenience wrapper.
+ConvertStats convert_csv_file(const std::string& csv_path,
+                              const std::string& out_path,
+                              const ConvertOptions& options = {});
+
+}  // namespace dvbp::trace

@@ -1,0 +1,61 @@
+// The dvbp binary trace format (docs/TRACES.md): a compact, mmap-friendly
+// columnar container for real or synthetic DVBP workloads.
+//
+// Layout (little-endian, raw IEEE-754 float bits -- core/serial.hpp):
+//
+//   offset  size  field
+//   0       8     magic "DVBPTRC1"
+//   8       4     u32 header_bytes (== kHeaderBytes for version 1)
+//   12      4     u32 version (== 1)
+//   16      4     u32 dim d (>= 1)
+//   20      4     u32 flags (bit 0: tenant column present)
+//   24      8     u64 n (item count; 2n events)
+//   32      8     u64 off_arrival    -- n x f64, nondecreasing
+//   40      8     u64 off_departure  -- n x f64, departure[i] > arrival[i]
+//   48      8     u64 off_demand     -- d consecutive columns of n x f64
+//                                       (dimension-major: column j holds
+//                                        demand j of every item)
+//   56      8     u64 off_tenant     -- n x u32 (0 when absent)
+//   64      8     f64 first_arrival  (0 when n == 0)
+//   72      8     f64 last_departure (0 when n == 0)
+//   80      8     u64 reserved (0)
+//   88      ...   columns, at the offsets above (all 8-byte aligned)
+//   EOF-4   4     u32 crc32 over bytes [0, EOF-4)  -- same CRC-32 as the
+//                 journal frames (serial::crc32)
+//
+// Items are stored sorted by (arrival, insertion order) and the row index
+// IS the ItemId, exactly like Instance::sort_by_arrival. The whole file is
+// covered by the trailing CRC, so a torn download or flipped byte is
+// rejected at open -- the reader never walks unvalidated bytes.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace dvbp::trace {
+
+/// Thrown on malformed/corrupt trace files and trace I/O failures. The
+/// reader throws this (never crashes) for every byte-level truncation or
+/// corruption -- pinned by the fuzz suite in tests/test_trace.cpp.
+class TraceError : public std::runtime_error {
+ public:
+  explicit TraceError(const std::string& what) : std::runtime_error(what) {}
+};
+
+inline constexpr char kMagic[8] = {'D', 'V', 'B', 'P', 'T', 'R', 'C', '1'};
+inline constexpr std::uint32_t kVersion = 1;
+inline constexpr std::uint32_t kHeaderBytes = 88;
+inline constexpr std::uint32_t kFlagTenants = 1u << 0;
+
+/// Sanity cap on the stored dimension; real workloads use single digits,
+/// and a corrupt header must not drive a multi-gigabyte layout computation.
+inline constexpr std::uint32_t kMaxDim = 4096;
+
+/// Expected file size for (n, d, tenants): header + columns + CRC footer.
+inline std::uint64_t expected_file_bytes(std::uint64_t n, std::uint32_t dim,
+                                         bool tenants) noexcept {
+  return kHeaderBytes + n * 8 * (2 + dim) + (tenants ? n * 4 : 0) + 4;
+}
+
+}  // namespace dvbp::trace

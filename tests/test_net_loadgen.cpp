@@ -7,11 +7,16 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <string>
+
 #include "cloud/sharded_dispatcher.hpp"
 #include "core/policies/registry.hpp"
+#include "gen/uniform.hpp"
 #include "net/client.hpp"
 #include "net/server.hpp"
 #include "obs/metrics.hpp"
+#include "trace/writer.hpp"
 
 namespace dvbp::net {
 namespace {
@@ -97,6 +102,43 @@ TEST(NetLoadgen, OpenLoopPacesAndDrains) {
   EXPECT_GE(r.elapsed_s, 0.3);
 
   server.stop();
+}
+
+TEST(NetLoadgen, TraceReplayDeliversEveryEvent) {
+  // Replay a binary trace over the wire: items are partitioned across
+  // connections by id, each item's departure waits for its own arrival's
+  // JobId, and every one of the 2n events must terminate OK -- the
+  // service ends up having applied exactly the trace.
+  const Instance inst = [] {
+    gen::UniformParams params;
+    params.n = 300;
+    params.d = 2;
+    params.mu = 8;
+    params.span = 50;
+    params.bin_size = 6;
+    return gen::uniform_instance(params, 0xC0FFEE);
+  }();
+  const std::string trace_path =
+      ::testing::TempDir() + "loadgen_replay.trc";
+  trace::TraceWriter::write_instance(inst, trace_path);
+
+  cloud::ShardedDispatcher service(2, first_fit_factory(),
+                                   service_options(2));
+  PlacementServer server(service);
+
+  LoadgenOptions opts;
+  opts.port = server.port();
+  opts.connections = 3;
+  opts.window = 8;
+  opts.trace_path = trace_path;
+
+  const LoadgenResult r = run_loadgen(opts);
+  check_accounting(r);
+  EXPECT_EQ(r.ok, 2 * inst.size());
+  service.drain();
+  EXPECT_EQ(service.ops_applied(), 2 * inst.size());
+  server.stop();
+  std::remove(trace_path.c_str());
 }
 
 TEST(NetLoadgen, DeterministicSeedsGiveSameOpCount) {

@@ -1,0 +1,164 @@
+// End-to-end test of the `harness trace` subcommands: runs the real
+// binary (path passed as argv[1] by CTest) through the whole data-plane
+// pipeline -- CSV convert, info/bounds, reduce, streaming run -- and
+// consumes every artifact it writes: the binary traces must open in a
+// TraceReader, and the metrics snapshot must carry the dvbp.trace.*
+// series. Usage errors (unknown subcommand/flag, missing required flag)
+// must exit with the dedicated code 2; corrupt inputs must fail nonzero
+// without crashing.
+#include <gtest/gtest.h>
+#include <sys/wait.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/json.hpp"
+#include "trace/reader.hpp"
+
+namespace dvbp::trace {
+namespace {
+
+std::string g_harness_bin;  // set from argv[1] in main() below
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.is_open()) << path;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+class TraceCli : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (g_harness_bin.empty()) {
+      GTEST_SKIP() << "harness binary path not provided";
+    }
+    const std::string dir = ::testing::TempDir();
+    csv_path_ = dir + "trace_cli.csv";
+    trc_path_ = dir + "trace_cli.trc";
+    reduced_path_ = dir + "trace_cli_reduced.trc";
+    stdout_path_ = dir + "trace_cli.out";
+    metrics_path_ = dir + "trace_cli_metrics.json";
+    // A small sample: 12 quarter/half-bin VMs from 3 tenants.
+    std::ofstream csv(csv_path_);
+    csv << "vmid,start,end,core,mem\n";
+    for (int i = 0; i < 12; ++i) {
+      csv << "vm-" << (i % 3) << "," << i << "," << (i + 10) << ","
+          << (i % 2 ? 0.5 : 0.25) << "," << 0.125 << "\n";
+    }
+  }
+  void TearDown() override {
+    for (const std::string& p : {csv_path_, trc_path_, reduced_path_,
+                                 stdout_path_, metrics_path_}) {
+      std::remove(p.c_str());
+    }
+  }
+
+  /// Runs the harness, capturing stdout; returns the raw system() status.
+  int run(const std::string& args) {
+    const std::string cmd = "\"" + g_harness_bin + "\" " + args + " > " +
+                            stdout_path_ + " 2>/dev/null";
+    return std::system(cmd.c_str());
+  }
+  static int exit_code(int status) {
+    return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  }
+
+  std::string csv_path_, trc_path_, reduced_path_, stdout_path_,
+      metrics_path_;
+};
+
+TEST_F(TraceCli, ConvertInfoReduceRunPipeline) {
+  // convert: CSV -> binary, tenant column on.
+  ASSERT_EQ(exit_code(run("trace convert --csv=" + csv_path_ +
+                          " --out=" + trc_path_ + " --tenants")),
+            0);
+  {
+    TraceReader reader(trc_path_);
+    EXPECT_EQ(reader.size(), 12u);
+    EXPECT_EQ(reader.dim(), 2u);
+    EXPECT_TRUE(reader.has_tenants());
+  }
+  EXPECT_NE(slurp(stdout_path_).find("items_written"), std::string::npos);
+
+  // info --bounds: header summary plus the streaming Lemma-1 bounds.
+  ASSERT_EQ(exit_code(run("trace info --in=" + trc_path_ + " --bounds")), 0);
+  const std::string info = slurp(stdout_path_);
+  EXPECT_NE(info.find("12"), std::string::npos);
+  EXPECT_NE(info.find("lb_best"), std::string::npos);
+
+  // reduce: emits a smaller trace plus a sound OPT interval.
+  ASSERT_EQ(exit_code(run("trace reduce --in=" + trc_path_ +
+                          " --out=" + reduced_path_ +
+                          " --size-grid=4 --time-cells=8")),
+            0);
+  {
+    TraceReader reduced(reduced_path_);
+    EXPECT_LE(reduced.size(), 12u);
+    EXPECT_EQ(reduced.dim(), 2u);
+    EXPECT_FALSE(reduced.has_tenants());  // dropped by design
+  }
+  const std::string reduce_out = slurp(stdout_path_);
+  EXPECT_NE(reduce_out.find("opt_lower"), std::string::npos);
+  EXPECT_NE(reduce_out.find("opt_upper"), std::string::npos);
+
+  // run: streaming replay with metrics.
+  ASSERT_EQ(exit_code(run("trace run --in=" + trc_path_ +
+                          " --policy=FirstFit --bounds --metrics-out=" +
+                          metrics_path_)),
+            0);
+  EXPECT_NE(slurp(stdout_path_).find("events_per_s"), std::string::npos);
+  const std::string metrics = slurp(metrics_path_);
+  EXPECT_EQ(obs::scan_json_number(metrics, "dvbp.trace.events_total"), 24.0);
+  EXPECT_EQ(obs::scan_json_number(metrics, "dvbp.trace.arrivals_total"),
+            12.0);
+  EXPECT_EQ(obs::scan_json_number(metrics, "dvbp.trace.departures_total"),
+            12.0);
+  EXPECT_EQ(obs::scan_json_number(metrics, "dvbp.trace.open_bins"), 0.0);
+  const auto opened =
+      obs::scan_json_number(metrics, "dvbp.trace.bins_opened_total");
+  ASSERT_TRUE(opened.has_value());
+  EXPECT_GT(*opened, 0.0);
+}
+
+TEST_F(TraceCli, BinaryTraceFeedsTheSimulationFrontend) {
+  ASSERT_EQ(exit_code(run("trace convert --csv=" + csv_path_ +
+                          " --out=" + trc_path_)),
+            0);
+  // --trace sniffs the binary magic; --generator=trace:<path> is the
+  // registry spelling of the same workload.
+  EXPECT_EQ(exit_code(run("--trace=" + trc_path_ + " --policy=FirstFit")),
+            0);
+  EXPECT_EQ(exit_code(run("--generator=trace:" + trc_path_ +
+                          " --policy=FirstFit")),
+            0);
+}
+
+TEST_F(TraceCli, UsageErrorsExitWithCode2) {
+  EXPECT_EQ(exit_code(run("trace")), 2);                   // no subcommand
+  EXPECT_EQ(exit_code(run("trace frobnicate")), 2);        // unknown sub
+  EXPECT_EQ(exit_code(run("trace info")), 2);              // missing --in
+  EXPECT_EQ(exit_code(run("trace convert --csv=" + csv_path_)), 2);
+  EXPECT_EQ(exit_code(run("trace run --in=" + trc_path_ +
+                          " --no-such-flag=1")),
+            2);
+}
+
+TEST_F(TraceCli, CorruptTraceFailsCleanly) {
+  { std::ofstream(trc_path_) << "this is not a trace"; }
+  const int status = run("trace info --in=" + trc_path_);
+  ASSERT_TRUE(WIFEXITED(status));  // an exception-to-exit path, not a crash
+  EXPECT_NE(exit_code(status), 0);
+}
+
+}  // namespace
+}  // namespace dvbp::trace
+
+int main(int argc, char** argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+  if (argc > 1) dvbp::trace::g_harness_bin = argv[1];
+  return RUN_ALL_TESTS();
+}
